@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Benchmarks run at FULL scale (the paper's ~306 MB Trident-class
+drive).  All reproduced metrics are *virtual*: simulated milliseconds
+and disk I/O counts.  pytest-benchmark's wall-clock numbers measure
+the harness itself and are incidental; the paper-vs-measured tables
+printed by each benchmark are the reproduction output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "repro: reproduction benchmark (prints paper-vs-measured)"
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the measured body exactly once under pytest-benchmark.
+
+    Volume state mutates as workloads run, so repeated timing rounds
+    would measure different systems; the virtual clock inside is
+    deterministic anyway.
+    """
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,84 @@
+"""§5.4 — the group-commit reduction factors.
+
+"One benchmark measured the combination of logging and group commit as
+reducing the number of I/Os for metadata by a factor of 2.98 during
+these bulk operations; the total reduction was a factor of 2.34 for
+all I/Os."
+
+The bulk workload re-releases every file of one subdirectory (the
+paper's localized hot spot).  The baseline forces the log after every
+operation — logging without group commit — so the factor isolates
+exactly what batching buys.
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import Table, ratio
+from repro.harness.runner import drain_clock, measure
+from repro.harness.scenarios import FULL, fsd_volume
+from repro.workloads.generators import BulkUpdateWorkload
+
+#: Bulk updates in Cedar (DF-file releases) were CPU-heavy operations;
+#: a Dorado processed a few per commit interval, which is the regime
+#: the paper's 2.98x factor was measured in.
+THINK_MS = 150.0
+
+
+def _run_bulk(force_every_op: bool) -> tuple[int, int]:
+    """Returns (total I/Os, data I/Os) for the bulk-update workload."""
+    disk, fs, adapter = fsd_volume(FULL)
+    workload = BulkUpdateWorkload(files=40, rounds=3)
+    workload.setup(adapter)
+    adapter.settle()
+    drain_clock(disk.clock, 1_000)
+
+    operations = 0
+
+    def body() -> None:
+        nonlocal operations
+        for round_index in range(1, workload.rounds + 1):
+            for index in range(workload.files):
+                from repro.workloads.generators import payload
+
+                fs.create(
+                    f"{workload.directory}/module-{index:03d}",
+                    payload(workload.size_bytes, index * 31 + round_index),
+                )
+                operations += 1
+                if force_every_op:
+                    fs.force()
+                else:
+                    drain_clock(disk.clock, THINK_MS)
+        fs.force()
+
+    took = measure(disk, body)
+    data_ios = operations  # one combined leader+data write per create
+    return took.io.total_ios, data_ios
+
+
+def test_group_commit_factor(once):
+    def run():
+        grouped_total, data_ios = _run_bulk(force_every_op=False)
+        solo_total, _ = _run_bulk(force_every_op=True)
+        return grouped_total, solo_total, data_ios
+
+    grouped_total, solo_total, data_ios = once(run)
+
+    grouped_meta = grouped_total - data_ios
+    solo_meta = solo_total - data_ios
+    meta_factor = ratio(solo_meta, max(grouped_meta, 1))
+    total_factor = ratio(solo_total, grouped_total)
+
+    table = Table("§5.4: logging + group commit I/O reduction (bulk updates)")
+    table.add("metadata I/Os", "2.98x", f"{meta_factor:.2f}x",
+              note=f"{solo_meta} -> {grouped_meta}")
+    table.add("all I/Os", "2.34x", f"{total_factor:.2f}x",
+              note=f"{solo_total} -> {grouped_total}")
+    table.print()
+
+    # Shape: group commit cuts metadata I/Os by a factor in the paper's
+    # neighbourhood, and the total reduction is smaller than the
+    # metadata reduction (data I/Os are unaffected).
+    assert meta_factor > 1.8
+    assert total_factor > 1.3
+    assert total_factor < meta_factor

@@ -1,0 +1,82 @@
+"""§6 — validating the analytical model against measurement.
+
+"For the simple operations benchmarked, the model almost always
+predicted performance to within five percent of measured performance."
+
+The model here is evaluated against the *same* timing object the
+simulator runs on, and the measurements are the Table 2 operations.
+The paper's model deliberately ignored CPU time; we report the
+CPU-corrected prediction (our CPU model is known, so including it is
+the like-for-like comparison) and flag the error band.
+"""
+
+from __future__ import annotations
+
+from repro.disk.geometry import TRIDENT_T300
+from repro.disk.timing import TRIDENT_TIMING
+from repro.harness.ops import measure_cfs_table2, measure_fsd_table2
+from repro.harness.report import Table
+from repro.harness.scenarios import FULL
+from repro.model.evaluate import predict_all
+from repro.model.scripts import ModelAssumptions, all_scripts
+from repro.model.validate import compare, max_abs_error_pct, mean_abs_error_pct
+
+#: operations the §6-style scripts model (steady-state single ops; the
+#: large transfers and recovery paths are modelled elsewhere).
+MODELED = [
+    "cfs small create",
+    "cfs large create",
+    "cfs open",
+    "cfs open+read",
+    "cfs read page",
+    "cfs small delete",
+    "fsd open",
+    "fsd read page",
+    "fsd small create",
+    "fsd large create",
+    "fsd small delete",
+]
+
+
+def test_model_validation(once):
+    def run():
+        fsd = measure_fsd_table2(FULL, include_recovery=False)
+        cfs = measure_cfs_table2(FULL, include_recovery=False)
+        return {**fsd.ms, **cfs.ms}
+
+    measured = once(run)
+
+    assume = ModelAssumptions()
+    predictions = predict_all(all_scripts(assume), TRIDENT_TIMING, TRIDENT_T300)
+    rows = compare(
+        predictions, {name: measured[name] for name in MODELED}
+    )
+
+    table = Table("§6 model validation (predicted vs simulated, ms)")
+    for row in rows:
+        table.add(
+            row.operation,
+            f"{row.predicted_ms:.1f}",
+            f"{row.measured_ms:.1f}",
+            note=f"{row.error_pct:+.0f}%",
+        )
+    table.add(
+        "mean |error|", "~5% (paper)", f"{mean_abs_error_pct(rows):.0f}%"
+    )
+    table.print()
+
+    # The paper claims ~5% on real hardware with hand-tuned scripts;
+    # we hold the reproduction to a generous band that still catches
+    # structural modelling mistakes.
+    assert mean_abs_error_pct(rows) < 35.0
+    assert max_abs_error_pct(rows) < 80.0
+    # The model must rank the systems correctly.
+    assert (
+        predictions["fsd small create"].predicted_ms
+        < predictions["cfs small create"].predicted_ms
+    )
+    assert predictions["fsd open"].predicted_ms < predictions["cfs open"].predicted_ms
+    assert (
+        predictions["fsd small delete"].predicted_ms
+        < predictions["cfs small delete"].predicted_ms
+    )

@@ -1,0 +1,73 @@
+"""Table 3 — CFS to FSD performance measured in disk I/Os.
+
+Paper:
+
+    workload              CFS    FSD   ratio
+    100 small creates     874    149    5.87
+    list 100 files        146      3   48.7
+    read 100 small files  262    101    2.69
+    MakeDo               1975   1299    1.52
+
+The FSD counts come from logging + group commit (creates cost one
+combined leader+data write plus an amortized share of the log) and
+from properties living in the name table (list does almost no I/O).
+"""
+
+from __future__ import annotations
+
+from repro.harness.batches import measure_batches, measure_makedo
+from repro.harness.report import Table, ratio
+from repro.harness.scenarios import FULL, cfs_volume, fsd_volume, populate
+
+PAPER = {
+    "100 small creates": (874, 149),
+    "list 100 files": (146, 3),
+    "read 100 small files": (262, 101),
+    "MakeDo": (1975, 1299),
+}
+
+
+def test_table3_disk_ios(once):
+    def run():
+        disk_f, _, fsd_adapter = fsd_volume(FULL)
+        aged = populate(fsd_adapter, 200)
+        fsd = measure_batches(disk_f, fsd_adapter, pollute=aged[:80])
+        fsd_makedo, _ = measure_makedo(disk_f, fsd_adapter)
+
+        disk_c, _, cfs_adapter = cfs_volume(FULL)
+        aged_c = populate(cfs_adapter, 200)
+        cfs = measure_batches(disk_c, cfs_adapter, pollute=aged_c[:80])
+        cfs_makedo, _ = measure_makedo(disk_c, cfs_adapter)
+        return fsd, fsd_makedo, cfs, cfs_makedo
+
+    fsd, fsd_makedo, cfs, cfs_makedo = once(run)
+
+    measured = {
+        "100 small creates": (cfs.create_ios, fsd.create_ios),
+        "list 100 files": (cfs.list_ios, fsd.list_ios),
+        "read 100 small files": (cfs.read_ios, fsd.read_ios),
+        "MakeDo": (cfs_makedo, fsd_makedo),
+    }
+    table = Table("Table 3: disk I/Os, CFS vs FSD")
+    for workload, (paper_cfs, paper_fsd) in PAPER.items():
+        m_cfs, m_fsd = measured[workload]
+        table.add(
+            workload,
+            f"{paper_cfs}/{paper_fsd} = {paper_cfs / paper_fsd:.2f}x",
+            f"{m_cfs}/{m_fsd} = {ratio(m_cfs, max(m_fsd, 1)):.2f}x",
+        )
+    table.print()
+
+    # Shape: FSD does fewer I/Os everywhere, by at least ~2x on creates
+    # and by a very large factor on list.
+    assert measured["100 small creates"][0] > 2 * measured["100 small creates"][1]
+    assert measured["list 100 files"][0] > 8 * max(measured["list 100 files"][1], 1)
+    assert measured["read 100 small files"][0] > measured["read 100 small files"][1]
+    assert measured["MakeDo"][0] > measured["MakeDo"][1]
+    # Magnitudes: CFS creates cost ~6-10 I/Os each; FSD a small multiple
+    # of one I/O per create; CFS list pays ~1 header read per file.
+    assert 600 <= measured["100 small creates"][0] <= 1100
+    assert 100 <= measured["100 small creates"][1] <= 250
+    assert measured["list 100 files"][0] >= 100
+    assert measured["list 100 files"][1] <= 20
+    assert 90 <= measured["read 100 small files"][1] <= 140

@@ -1,0 +1,70 @@
+"""Table 4 — FSD and 4.3 BSD performance measured in disk I/Os.
+
+Paper:
+
+    workload              FSD   4.3 BSD   ratio
+    100 small creates     149      308     2.07
+    list 100 files          3        9     3
+    read 100 small files  101      106     1.05
+
+"Creates in FSD use about half of the I/Os used by 4.3 BSD" — FFS
+writes the directory block and the inode synchronously per create,
+FSD batches all metadata into the group-commit log.  "Inodes in
+4.3 BSD are located on the same cylinder group as their directory...
+a disk read fetches several inodes", so list and read are close.
+"""
+
+from __future__ import annotations
+
+from repro.harness.batches import measure_batches
+from repro.harness.report import Table, ratio
+from repro.harness.scenarios import FULL, ffs_volume, fsd_volume, populate
+
+PAPER = {
+    "100 small creates": (149, 308),
+    "list 100 files": (3, 9),
+    "read 100 small files": (101, 106),
+}
+
+
+def test_table4_bsd_ios(once):
+    def run():
+        disk_f, _, fsd_adapter = fsd_volume(FULL)
+        aged = populate(fsd_adapter, 200)
+        fsd = measure_batches(disk_f, fsd_adapter, pollute=aged[:80])
+
+        disk_b, _, ffs_adapter = ffs_volume(FULL)
+        aged_b = populate(ffs_adapter, 200)
+        ffs = measure_batches(disk_b, ffs_adapter, pollute=aged_b[:80])
+        return fsd, ffs
+
+    fsd, ffs = once(run)
+
+    measured = {
+        "100 small creates": (fsd.create_ios, ffs.create_ios),
+        "list 100 files": (fsd.list_ios, ffs.list_ios),
+        "read 100 small files": (fsd.read_ios, ffs.read_ios),
+    }
+    table = Table("Table 4: disk I/Os, FSD vs 4.3 BSD")
+    for workload, (paper_fsd, paper_bsd) in PAPER.items():
+        m_fsd, m_bsd = measured[workload]
+        table.add(
+            workload,
+            f"{paper_fsd} vs {paper_bsd} ({paper_bsd / paper_fsd:.2f}x)",
+            f"{m_fsd} vs {m_bsd} ({ratio(m_bsd, max(m_fsd, 1)):.2f}x)",
+        )
+    table.print()
+
+    # Shape: FSD creates cost about half of BSD's (factor 1.5–4 allowed).
+    creates_ratio = ratio(measured["100 small creates"][1],
+                          measured["100 small creates"][0])
+    assert 1.5 <= creates_ratio <= 4.0
+    # BSD creates land near 3 sync I/Os per create.
+    assert 280 <= measured["100 small creates"][1] <= 420
+    # Both list cheaply; BSD pays a handful of dir+inode block reads.
+    assert measured["list 100 files"][0] <= 20
+    assert 2 <= measured["list 100 files"][1] <= 30
+    # Reads are nearly identical (~1 I/O per file + change).
+    reads_ratio = ratio(measured["read 100 small files"][1],
+                        max(measured["read 100 small files"][0], 1))
+    assert 0.6 <= reads_ratio <= 1.7

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: format an FSD volume, use it, crash it, recover it.
+
+Run:  python examples/quickstart.py
+
+This walks the paper's headline behaviours end to end:
+
+1. a one-byte file create costs a single synchronous disk I/O,
+2. open and list need no I/O (everything is in the name table),
+3. committed metadata survives a crash via log redo,
+4. work inside the last (un-forced) half second may be lost — the
+   price of group commit the paper argues a workstation can pay.
+"""
+
+from repro import FSD, SimDisk
+from repro.disk import StatsWindow
+
+
+def main() -> None:
+    disk = SimDisk()  # ~306 MB Trident-class simulated drive
+    FSD.format(disk)
+    fs = FSD.mount(disk)
+    print(f"mounted FSD volume, boot #{fs.boot_count}")
+
+    # --- 1. create a one-byte file, count the I/Os ------------------
+    fs.create("demo/warmup", b"?")  # fault in the name-table pages
+    window = StatsWindow(disk.stats)
+    fs.create("demo/one-byte.txt", b"!")
+    delta = window.delta(disk.stats)
+    print(
+        f"one-byte create: {delta.total_ios} synchronous disk I/O "
+        f"(the combined leader+data write)"
+    )
+
+    # --- 2. opens and lists are free ---------------------------------
+    for index in range(25):
+        fs.create(f"demo/file-{index:02d}", b"cedar" * index)
+    fs.force()  # group commit: everything above is now durable
+
+    window = StatsWindow(disk.stats)
+    names = [props.name for props in fs.list("demo/")]
+    handle = fs.open("demo/file-07")
+    delta = window.delta(disk.stats)
+    print(f"list {len(names)} files + open: {delta.total_ios} disk I/Os")
+
+    # --- 3. crash and recover ----------------------------------------
+    fs.create("demo/never-forced", b"written in the last half second")
+    fs.crash()  # volatile state (cache, VAM) vanishes
+    print("crash!  remounting...")
+
+    fs = FSD.mount(disk)
+    report = fs.mount_report
+    print(
+        f"recovered in {report.total_ms / 1000:.1f} simulated seconds "
+        f"({report.log_records_replayed} log records replayed, VAM "
+        f"{'loaded' if report.vam_loaded else 'rebuilt'})"
+    )
+    survived = fs.exists("demo/file-07")
+    lost = fs.exists("demo/never-forced")
+    print(f"committed file survived: {survived}")
+    print(f"un-forced file survived: {lost}  (<= 0.5 s of work at risk)")
+
+    data = fs.read(fs.open("demo/file-07"))
+    assert data == b"cedar" * 7
+    print("data verified byte-for-byte after recovery")
+
+    fs.unmount()
+    print("clean unmount: VAM saved, next mount will be instant")
+
+
+if __name__ == "__main__":
+    main()

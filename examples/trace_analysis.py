@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Trace a file-system operation the way the §6 model scripts it.
+
+Run:  python examples/trace_analysis.py
+
+The paper's §6 worked example scripts a CFS one-sector-file create as
+seeks, latencies, revolutions and transfers.  Attach an IoTracer to
+the simulated disk and you get the same decomposition from the *live*
+system — first for CFS (compare with the paper's script), then for
+FSD's one-write create.
+"""
+
+from repro import CFS, FSD, SimDisk
+from repro.cfs.cfs import CfsParams
+from repro.disk import IoTracer
+from repro.disk.geometry import TRIDENT_T300
+
+
+def show(title: str, tracer: IoTracer) -> None:
+    print(f"--- {title} ---")
+    for event in tracer.events:
+        print(f"  {event}")
+    totals = tracer.totals()
+    print(
+        f"  = {totals['events']:.0f} I/Os, "
+        f"seek {totals['seek_ms']:.1f} ms, "
+        f"rotation {totals['rotational_ms']:.1f} ms, "
+        f"transfer {totals['transfer_ms']:.1f} ms"
+    )
+    print("  in the model's vocabulary:")
+    for line in tracer.script():
+        print(f"    {line}")
+    print()
+
+
+def main() -> None:
+    # ----- CFS: the paper's worked example, live -------------------
+    disk = SimDisk(geometry=TRIDENT_T300)
+    CFS.format(disk, CfsParams())
+    cfs = CFS.mount(disk, CfsParams())
+    cfs.create("warm/up", b"w")  # fault in the name-table pages
+
+    tracer = IoTracer()
+    disk.tracer = tracer
+    cfs.create("demo/one-byte", b"!")
+    disk.tracer = None
+    show("CFS one-sector-file create (paper §6's worked example)", tracer)
+    print(
+        "Compare with the paper: 1) verify free pages: seek, latency,\n"
+        "3-page transfer; 2) write header labels after a revolution;\n"
+        "3) write the data label; ... — the same steps, from the live\n"
+        "system instead of a hand analysis.\n"
+    )
+
+    # ----- FSD: the one-write create ---------------------------------
+    disk2 = SimDisk(geometry=TRIDENT_T300)
+    FSD.format(disk2)
+    fsd = FSD.mount(disk2)
+    fsd.create("warm/up", b"w")
+
+    tracer2 = IoTracer()
+    disk2.tracer = tracer2
+    fsd.create("demo/one-byte", b"!")
+    fsd.force()  # make the (normally timer-driven) log write visible
+    disk2.tracer = None
+    show("FSD one-byte create + its group-commit log write", tracer2)
+    print(
+        "FSD's create is one combined leader+data write; the log record\n"
+        "(here forced explicitly) is the only other I/O, and in normal\n"
+        "operation it is shared by every update of the half-second window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setuptools shim for environments that cannot do PEP 660 editable
+installs (e.g. offline machines without the `wheel` package).
+
+Use `pip install -e .` where possible; otherwise `python setup.py develop`.
+"""
+from setuptools import setup
+
+setup()

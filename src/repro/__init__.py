@@ -1,0 +1,92 @@
+"""repro — Reimplementing the Cedar File System Using Logging and
+Group Commit (Hagmann, SOSP 1987), as a runnable Python system.
+
+Quickstart::
+
+    from repro import SimDisk, FSD
+
+    disk = SimDisk()                  # a ~306 MB Trident-class drive
+    FSD.format(disk)
+    fs = FSD.mount(disk)
+    handle = fs.create("doc/hello.txt", b"hello, cedar")
+    print(fs.read(fs.open("doc/hello.txt")))
+    fs.force()                        # group commit (<= 0.5 s anyway)
+    fs.crash()                        # volatile state vanishes
+    fs = FSD.mount(disk)              # log redo + VAM rebuild
+    assert fs.exists("doc/hello.txt")
+
+Packages:
+
+* :mod:`repro.core` — FSD, the paper's contribution (log, group
+  commit, double-written name table, leaders, VAM, allocator).
+* :mod:`repro.disk` — the simulated Dorado/Trident disk (timing,
+  labels, faults, virtual clock).
+* :mod:`repro.btree` — the page B-tree both name tables share.
+* :mod:`repro.cfs` — CFS, the label-based baseline, with scavenger.
+* :mod:`repro.bsd` — a simplified 4.3 BSD FFS with fsck.
+* :mod:`repro.model` — the paper's §6 analytical disk model.
+* :mod:`repro.workloads` / :mod:`repro.harness` — benchmark plumbing.
+"""
+
+from repro.bsd import FFS, FfsParams, fsck
+from repro.cfs import CFS, CfsParams, scavenge
+from repro.core import (
+    FSD,
+    FileKind,
+    FileProperties,
+    FsdFile,
+    Run,
+    RunTable,
+    VolumeParams,
+)
+from repro.disk import (
+    DiskGeometry,
+    DiskTiming,
+    FaultInjector,
+    SimClock,
+    SimDisk,
+)
+from repro.errors import (
+    CorruptMetadata,
+    DamagedSectorError,
+    FileExists,
+    FileNotFound,
+    FsError,
+    LabelCheckError,
+    ReproError,
+    SimulatedCrash,
+    VolumeFull,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFS",
+    "CfsParams",
+    "CorruptMetadata",
+    "DamagedSectorError",
+    "DiskGeometry",
+    "DiskTiming",
+    "FFS",
+    "FSD",
+    "FaultInjector",
+    "FfsParams",
+    "FileExists",
+    "FileKind",
+    "FileNotFound",
+    "FileProperties",
+    "FsError",
+    "FsdFile",
+    "LabelCheckError",
+    "ReproError",
+    "Run",
+    "RunTable",
+    "SimClock",
+    "SimDisk",
+    "SimulatedCrash",
+    "VolumeFull",
+    "VolumeParams",
+    "scavenge",
+    "fsck",
+    "__version__",
+]

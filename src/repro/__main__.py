@@ -1,0 +1,223 @@
+"""Command-line interface: an FSD volume in a disk-image file.
+
+    python -m repro mkfs vol.img [--size {small,t300}] [--log-vam]
+    python -m repro put vol.img LOCAL_FILE FSD_NAME [--crash]
+    python -m repro get vol.img FSD_NAME [LOCAL_FILE]
+    python -m repro ls vol.img [PREFIX]
+    python -m repro rm vol.img FSD_NAME
+    python -m repro info vol.img
+    python -m repro verify vol.img
+
+Each command loads the image, mounts the volume (recovering it if the
+last session crashed), performs the operation, unmounts cleanly, and
+saves the image back.  ``put --crash`` deliberately skips the unmount
+and saves a dirty image — run any other command next to watch log redo
+and VAM reconstruction happen.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.core.verify import verify_volume
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry, TRIDENT_T300
+from repro.disk.image import load_disk, save_disk
+from repro.errors import ReproError
+
+SMALL_GEOMETRY = DiskGeometry(cylinders=200, heads=8, sectors_per_track=48)
+SMALL_PARAMS = VolumeParams(
+    nt_pages=1024, log_record_sectors=600, cache_pages=96
+)
+
+
+def _mount(path: str) -> tuple[SimDisk, FSD]:
+    disk = load_disk(path)
+    fs = FSD.mount(disk)
+    report = fs.mount_report
+    if report.log_records_replayed or report.vam_rebuild_entries:
+        print(
+            f"(recovered: {report.log_records_replayed} log records "
+            f"replayed, VAM {'loaded' if report.vam_loaded else 'rebuilt'}, "
+            f"{report.total_ms / 1000:.1f} simulated s)"
+        )
+    return disk, fs
+
+
+def _finish(disk: SimDisk, fs: FSD, path: str, crash: bool = False) -> None:
+    if crash:
+        fs.crash()
+        print("crashed without unmounting (volume left dirty)")
+    else:
+        fs.unmount()
+    save_disk(disk, path)
+
+
+def cmd_mkfs(args) -> int:
+    if args.size == "t300":
+        geometry, params = TRIDENT_T300, VolumeParams()
+    else:
+        geometry, params = SMALL_GEOMETRY, SMALL_PARAMS
+    if args.log_vam:
+        from dataclasses import replace
+
+        params = replace(params, log_vam=True)
+    disk = SimDisk(geometry=geometry)
+    FSD.format(disk, params)
+    written = save_disk(disk, args.image)
+    print(
+        f"formatted {geometry.total_bytes // 2**20} MB FSD volume "
+        f"({written} image bytes) at {args.image}"
+    )
+    return 0
+
+
+def cmd_put(args) -> int:
+    data = Path(args.local).read_bytes()
+    disk, fs = _mount(args.image)
+    handle = fs.create(args.name, data)
+    print(
+        f"wrote {args.name}!{handle.version} "
+        f"({handle.byte_size} bytes, {len(handle.runs.runs)} runs)"
+    )
+    _finish(disk, fs, args.image, crash=args.crash)
+    return 0
+
+
+def cmd_get(args) -> int:
+    disk, fs = _mount(args.image)
+    handle = fs.open(args.name)
+    data = fs.read(handle)
+    if args.local:
+        Path(args.local).write_bytes(data)
+        print(f"read {handle.name}!{handle.version} -> {args.local}")
+    else:
+        sys.stdout.buffer.write(data)
+    _finish(disk, fs, args.image)
+    return 0
+
+
+def cmd_ls(args) -> int:
+    disk, fs = _mount(args.image)
+    entries = fs.list(args.prefix or "")
+    for props in entries:
+        print(
+            f"{props.byte_size:>10}  v{props.version:<3} "
+            f"{props.kind.name.lower():<7} {props.name}"
+        )
+    print(f"{len(entries)} file(s)")
+    _finish(disk, fs, args.image)
+    return 0
+
+
+def cmd_rm(args) -> int:
+    disk, fs = _mount(args.image)
+    props = fs.delete(args.name)
+    print(f"deleted {props.name}!{props.version}")
+    _finish(disk, fs, args.image)
+    return 0
+
+
+def cmd_info(args) -> int:
+    disk, fs = _mount(args.image)
+    geo = disk.geometry
+    print(f"geometry : {geo.cylinders} cyl x {geo.heads} heads x "
+          f"{geo.sectors_per_track} sectors ({geo.total_bytes // 2**20} MB)")
+    print(f"boot     : #{fs.boot_count}")
+    print(f"free     : {fs.vam.free_count} of {geo.total_sectors} sectors")
+    print(f"params   : nt_pages={fs.params.nt_pages} "
+          f"log={fs.params.log_record_sectors} sectors "
+          f"commit={fs.params.commit_interval_ms:.0f} ms "
+          f"log_vam={fs.params.log_vam}")
+    files = fs.list()
+    print(f"files    : {len(files)}")
+    _finish(disk, fs, args.image)
+    return 0
+
+
+def cmd_verify(args) -> int:
+    disk, fs = _mount(args.image)
+    report = verify_volume(fs)
+    print(
+        f"checked {report.files_checked} files, "
+        f"{report.leaders_verified} leaders, "
+        f"{report.nt_pages_checked} name-table pages; "
+        f"{report.leaked_sectors} leaked sectors"
+    )
+    if report.clean:
+        print("volume is clean")
+        status = 0
+    else:
+        for problem in report.problems:
+            print(f"PROBLEM: {problem}")
+        status = 1
+    _finish(disk, fs, args.image)
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSD (Cedar-FS-with-logging) volumes in image files",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("mkfs", help="format a new volume image")
+    p.add_argument("image")
+    p.add_argument("--size", choices=["small", "t300"], default="small")
+    p.add_argument("--log-vam", action="store_true",
+                   help="enable the §5.3 VAM-logging extension")
+    p.set_defaults(fn=cmd_mkfs)
+
+    p = sub.add_parser("put", help="copy a local file into the volume")
+    p.add_argument("image")
+    p.add_argument("local")
+    p.add_argument("name")
+    p.add_argument("--crash", action="store_true",
+                   help="simulate a crash instead of unmounting")
+    p.set_defaults(fn=cmd_put)
+
+    p = sub.add_parser("get", help="copy a file out of the volume")
+    p.add_argument("image")
+    p.add_argument("name")
+    p.add_argument("local", nargs="?")
+    p.set_defaults(fn=cmd_get)
+
+    p = sub.add_parser("ls", help="list files")
+    p.add_argument("image")
+    p.add_argument("prefix", nargs="?")
+    p.set_defaults(fn=cmd_ls)
+
+    p = sub.add_parser("rm", help="delete a file")
+    p.add_argument("image")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_rm)
+
+    p = sub.add_parser("info", help="volume information")
+    p.add_argument("image")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("verify", help="offline integrity check")
+    p.add_argument("image")
+    p.set_defaults(fn=cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Simplified 4.3 BSD FFS: the paper's Tables 4 and 5 comparison."""
+
+from repro.bsd.buffer_cache import BufferCache
+from repro.bsd.directory import decode_dir_block, encode_dir_block
+from repro.bsd.ffs import FFS, FfsFile, FfsOpCounts, GroupBitmaps, ROOT_INO
+from repro.bsd.fsck import FsckReport, fsck
+from repro.bsd.inode import Inode, MODE_DIR, MODE_FILE, MODE_FREE
+from repro.bsd.layout import (
+    BLOCK_SECTORS,
+    FfsLayout,
+    FfsParams,
+    INODE_BYTES,
+    Superblock,
+)
+
+__all__ = [
+    "BLOCK_SECTORS",
+    "BufferCache",
+    "FFS",
+    "FfsFile",
+    "FfsLayout",
+    "FfsOpCounts",
+    "FfsParams",
+    "FsckReport",
+    "GroupBitmaps",
+    "INODE_BYTES",
+    "Inode",
+    "MODE_DIR",
+    "MODE_FILE",
+    "MODE_FREE",
+    "ROOT_INO",
+    "Superblock",
+    "decode_dir_block",
+    "encode_dir_block",
+    "fsck",
+]

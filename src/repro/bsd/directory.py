@@ -1,0 +1,49 @@
+"""FFS directories: files whose blocks hold variable-length dirents."""
+
+from __future__ import annotations
+
+from repro.bsd.layout import BLOCK_SECTORS
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker
+
+_DIR_BLOCK_BYTES = BLOCK_SECTORS * 512
+
+
+def encode_dir_block(entries: list[tuple[str, int]]) -> bytes:
+    """Serialize one directory block: (name, ino) pairs."""
+    packer = Packer(capacity=_DIR_BLOCK_BYTES)
+    packer.u16(len(entries))
+    for name, ino in entries:
+        packer.u32(ino)
+        packer.string(name)
+    return packer.bytes(pad_to=_DIR_BLOCK_BYTES)
+
+
+def decode_dir_block(data: bytes) -> list[tuple[str, int]]:
+    """Parse one directory block into (name, ino) pairs."""
+    reader = Unpacker(data)
+    count = reader.u16()
+    entries = []
+    for _ in range(count):
+        ino = reader.u32()
+        name = reader.string()
+        entries.append((name, ino))
+    return entries
+
+
+def dir_block_fits(entries: list[tuple[str, int]]) -> bool:
+    """True when the entries serialize within one block."""
+    try:
+        encode_dir_block(entries)
+        return True
+    except ValueError:
+        return False
+
+
+def validate_component(name: str) -> str:
+    """Check a single path component; returns it unchanged."""
+    if not name or "/" in name or "\x00" in name:
+        raise CorruptMetadata(f"bad path component {name!r}")
+    if len(name.encode("utf-8")) > 255:
+        raise CorruptMetadata("path component too long")
+    return name

@@ -1,0 +1,157 @@
+"""fsck for the simplified FFS.
+
+The paper §7: "PARC's VAX-11/785 recovers in about seven minutes
+(using fsck) while FSD takes 1 to 25 seconds.  Both systems have 300
+megabyte file systems that are moderately full."
+
+The check mirrors the real fsck's expensive passes: read every inode
+table block on the volume and validate every inode (pass 1: block
+pointers, sizes, duplicate blocks), walk every directory (pass 2:
+dirent → inode references), then rebuild the free bitmaps and rewrite
+the cg headers and a clean superblock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bsd.buffer_cache import BufferCache
+from repro.bsd.directory import decode_dir_block
+from repro.bsd.ffs import GroupBitmaps, ROOT_INO
+from repro.bsd.inode import Inode, decode_indirect
+from repro.bsd.layout import (
+    BLOCK_SECTORS,
+    FfsLayout,
+    FfsParams,
+    INODE_BYTES,
+    Superblock,
+)
+from repro.disk.disk import SimDisk
+from repro.errors import CorruptMetadata
+
+
+@dataclass
+class FsckReport:
+    inodes_checked: int = 0
+    files_found: int = 0
+    directories_found: int = 0
+    blocks_claimed: int = 0
+    duplicate_blocks: int = 0
+    orphan_inodes: int = 0
+    bad_dirents: int = 0
+    elapsed_ms: float = 0.0
+
+
+def fsck(disk: SimDisk, params: FfsParams | None = None) -> FsckReport:
+    """Check and repair the volume; leaves it clean and mountable."""
+    clock = disk.clock
+    report = FsckReport()
+    start_ms = clock.now_ms
+    probe = FfsLayout.compute(disk.geometry, params or FfsParams())
+    superblock = Superblock.decode(disk.read(probe.superblock_addr, 1)[0])
+    layout = FfsLayout.compute(disk.geometry, superblock.params)
+    cache = BufferCache(disk, superblock.params.buffer_cache_blocks)
+    bitmaps = GroupBitmaps(layout)
+
+    # ------------------------------------------------------------------
+    # pass 1: every inode on the volume
+    # ------------------------------------------------------------------
+    per_block = BLOCK_SECTORS * 512 // INODE_BYTES
+    inodes: dict[int, Inode] = {}
+    claimed: dict[int, int] = {}  # block address -> ino
+    for group in range(layout.group_count):
+        table = layout.inode_table_addr(group)
+        for block_index in range(layout.params.inode_blocks_per_group):
+            address = table + block_index * BLOCK_SECTORS
+            data = cache.read_block(address)
+            for slot in range(per_block):
+                ino = (
+                    group * layout.params.inodes_per_group
+                    + block_index * per_block
+                    + slot
+                )
+                if ino >= (group + 1) * layout.params.inodes_per_group:
+                    break
+                report.inodes_checked += 1
+                clock.advance_cpu(clock.cpu.fsck_inode_ms)
+                try:
+                    inode = Inode.decode(
+                        data[slot * INODE_BYTES : (slot + 1) * INODE_BYTES]
+                    )
+                except CorruptMetadata:
+                    continue
+                if inode.is_free:
+                    continue
+                inodes[ino] = inode
+                if inode.is_dir:
+                    report.directories_found += 1
+                else:
+                    report.files_found += 1
+                blocks = [a for a in inode.direct if a]
+                if inode.indirect:
+                    blocks.append(inode.indirect)
+                    pointers = decode_indirect(
+                        cache.read_block(inode.indirect)
+                    )
+                    blocks.extend(a for a in pointers if a)
+                for block in blocks:
+                    report.blocks_claimed += 1
+                    if block in claimed:
+                        report.duplicate_blocks += 1
+                    claimed[block] = ino
+
+    # ------------------------------------------------------------------
+    # pass 2: directory structure
+    # ------------------------------------------------------------------
+    referenced: set[int] = {ROOT_INO}
+    stack = [ROOT_INO]
+    seen_dirs: set[int] = set()
+    while stack:
+        dir_ino = stack.pop()
+        if dir_ino in seen_dirs:
+            continue
+        seen_dirs.add(dir_ino)
+        dir_inode = inodes.get(dir_ino)
+        if dir_inode is None or not dir_inode.is_dir:
+            continue
+        for address in (a for a in dir_inode.direct if a):
+            try:
+                entries = decode_dir_block(cache.read_block(address))
+            except CorruptMetadata:
+                report.bad_dirents += 1
+                continue
+            for name, ino in entries:
+                if ino not in inodes:
+                    report.bad_dirents += 1
+                    continue
+                referenced.add(ino)
+                if inodes[ino].is_dir:
+                    stack.append(ino)
+
+    report.orphan_inodes = len(set(inodes) - referenced)
+
+    # ------------------------------------------------------------------
+    # rebuild bitmaps and mark the volume clean
+    # ------------------------------------------------------------------
+    bitmaps.mark_inode(ROOT_INO, True)
+    for ino in referenced:
+        if ino in inodes:
+            bitmaps.mark_inode(ino, True)
+    for block, ino in claimed.items():
+        if ino in referenced:
+            try:
+                group, index = bitmaps.index_of(block)
+                bitmaps.block_used[group][index] = 1
+            except CorruptMetadata:
+                pass
+    for group in range(layout.group_count):
+        cache.write_block(
+            layout.cg_header_addr(group), bitmaps.encode_group(group)
+        )
+    superblock.clean = True
+    disk.write(
+        layout.superblock_addr,
+        [superblock.encode(disk.geometry.sector_bytes)],
+    )
+    report.elapsed_ms = clock.now_ms - start_ms
+    return report

@@ -1,0 +1,88 @@
+"""FFS inodes: 128-byte on-disk records with 12 direct block pointers
+and one single-indirect block (ample for the paper's workloads)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bsd.layout import BLOCK_SECTORS, INODE_BYTES
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker
+
+MODE_FREE = 0
+MODE_FILE = 1
+MODE_DIR = 2
+
+NDIRECT = 12
+#: block addresses per 4 KB indirect block.
+PTRS_PER_INDIRECT = BLOCK_SECTORS * 512 // 4
+
+
+@dataclass
+class Inode:
+    mode: int = MODE_FREE
+    nlink: int = 0
+    size: int = 0
+    mtime_ms: float = 0.0
+    direct: list[int] = field(default_factory=lambda: [0] * NDIRECT)
+    indirect: int = 0  # block address of the indirect block, 0 if none
+
+    @property
+    def is_free(self) -> bool:
+        return self.mode == MODE_FREE
+
+    @property
+    def is_dir(self) -> bool:
+        return self.mode == MODE_DIR
+
+    def block_count(self) -> int:
+        """Number of data blocks the size implies."""
+        return -(-self.size // (BLOCK_SECTORS * 512))
+
+    def encode(self) -> bytes:
+        """Serialize to the 128-byte on-disk record."""
+        packer = Packer(capacity=INODE_BYTES)
+        packer.u8(self.mode)
+        packer.u8(self.nlink)
+        packer.u64(self.size)
+        packer.f64(self.mtime_ms)
+        for address in self.direct:
+            packer.u32(address)
+        packer.u32(self.indirect)
+        return packer.bytes(pad_to=INODE_BYTES)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Inode":
+        if len(data) < INODE_BYTES:
+            raise CorruptMetadata("short inode record")
+        reader = Unpacker(data)
+        mode = reader.u8()
+        if mode not in (MODE_FREE, MODE_FILE, MODE_DIR):
+            raise CorruptMetadata(f"bad inode mode {mode}")
+        nlink = reader.u8()
+        size = reader.u64()
+        mtime = reader.f64()
+        direct = [reader.u32() for _ in range(NDIRECT)]
+        indirect = reader.u32()
+        return cls(
+            mode=mode,
+            nlink=nlink,
+            size=size,
+            mtime_ms=mtime,
+            direct=direct,
+            indirect=indirect,
+        )
+
+
+def encode_indirect(pointers: list[int]) -> bytes:
+    """Serialize an indirect block of block addresses."""
+    packer = Packer(capacity=BLOCK_SECTORS * 512)
+    for address in pointers:
+        packer.u32(address)
+    return packer.bytes(pad_to=BLOCK_SECTORS * 512)
+
+
+def decode_indirect(data: bytes) -> list[int]:
+    """Parse an indirect block into its block addresses."""
+    reader = Unpacker(data)
+    return [reader.u32() for _ in range(PTRS_PER_INDIRECT)]

@@ -1,0 +1,173 @@
+"""FFS on-disk layout: superblock and cylinder groups.
+
+A simplified 4.3 BSD fast file system (McKusick et al. 1984), the
+comparison system of the paper's Tables 4 and 5: 4 KB blocks, inodes
+clustered in per-cylinder-group tables, directories stored as files,
+and synchronous metadata writes for consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import CorruptMetadata, FsError
+from repro.serial import Packer, Unpacker, checksum
+
+_SUPER_MAGIC = 0x46465331  # "FFS1"
+
+#: sectors per 4 KB block.
+BLOCK_SECTORS = 8
+
+
+@dataclass(frozen=True)
+class FfsParams:
+    """Tunable FFS parameters."""
+
+    cylinders_per_group: int = 16
+    inodes_per_group: int = 512
+    buffer_cache_blocks: int = 256
+    #: sector stride between consecutive blocks of a big file: 8 data
+    #: sectors plus a rotational-delay gap sized so the kernel can issue
+    #: the next block's I/O before its first sector passes the head.
+    rotdelay_stride_sectors: int = 20
+    #: files at least this big allocate with the rotdelay stride.
+    big_file_threshold_bytes: int = 64 * 1024
+
+    @property
+    def inode_blocks_per_group(self) -> int:
+        return -(-self.inodes_per_group * INODE_BYTES // (BLOCK_SECTORS * 512))
+
+
+#: bytes per on-disk inode.
+INODE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class FfsLayout:
+    geometry: DiskGeometry
+    params: FfsParams
+    superblock_addr: int
+    group_count: int
+    sectors_per_group: int
+
+    @classmethod
+    def compute(cls, geometry: DiskGeometry, params: FfsParams) -> "FfsLayout":
+        sectors_per_group = (
+            params.cylinders_per_group * geometry.sectors_per_cylinder
+        )
+        group_count = geometry.total_sectors // sectors_per_group
+        if group_count < 1:
+            raise FsError("volume too small for one cylinder group")
+        return cls(
+            geometry=geometry,
+            params=params,
+            superblock_addr=BLOCK_SECTORS,  # block 1; block 0 is the boot block
+            group_count=group_count,
+            sectors_per_group=sectors_per_group,
+        )
+
+    # ------------------------------------------------------------------
+    # cylinder-group geography
+    # ------------------------------------------------------------------
+    def group_start(self, group: int) -> int:
+        """First sector of cylinder group ``group``."""
+        if not (0 <= group < self.group_count):
+            raise FsError(f"cylinder group {group} out of range")
+        return group * self.sectors_per_group
+
+    def group_of_sector(self, sector: int) -> int:
+        """Cylinder group containing ``sector``."""
+        return min(sector // self.sectors_per_group, self.group_count - 1)
+
+    def cg_header_addr(self, group: int) -> int:
+        """The cg header block (bitmaps live here between mounts)."""
+        start = self.group_start(group)
+        # Group 0 also hosts the boot block and superblock.
+        return start + (2 * BLOCK_SECTORS if group == 0 else 0)
+
+    def inode_table_addr(self, group: int) -> int:
+        """First sector of the group's inode table."""
+        return self.cg_header_addr(group) + BLOCK_SECTORS
+
+    def data_start(self, group: int) -> int:
+        """First data sector of the group."""
+        return (
+            self.inode_table_addr(group)
+            + self.params.inode_blocks_per_group * BLOCK_SECTORS
+        )
+
+    def data_end(self, group: int) -> int:
+        """One past the last sector of the group."""
+        return self.group_start(group) + self.sectors_per_group
+
+    # ------------------------------------------------------------------
+    # inode addressing
+    # ------------------------------------------------------------------
+    @property
+    def total_inodes(self) -> int:
+        return self.group_count * self.params.inodes_per_group
+
+    def inode_location(self, ino: int) -> tuple[int, int]:
+        """(block address, byte offset) of inode ``ino``."""
+        if not (0 <= ino < self.total_inodes):
+            raise FsError(f"inode {ino} out of range")
+        group, slot = divmod(ino, self.params.inodes_per_group)
+        per_block = BLOCK_SECTORS * 512 // INODE_BYTES
+        block_index, within = divmod(slot, per_block)
+        address = self.inode_table_addr(group) + block_index * BLOCK_SECTORS
+        return address, within * INODE_BYTES
+
+
+@dataclass
+class Superblock:
+    params: FfsParams
+    total_sectors: int
+    clean: bool = True
+    root_ino: int = 2
+
+    def encode(self, sector_bytes: int) -> bytes:
+        """Serialize the superblock to one sector."""
+        body = Packer()
+        body.u32(self.total_sectors)
+        body.u8(1 if self.clean else 0)
+        body.u32(self.root_ino)
+        body.u16(self.params.cylinders_per_group)
+        body.u16(self.params.inodes_per_group)
+        body.u16(self.params.buffer_cache_blocks)
+        body.u16(self.params.rotdelay_stride_sectors)
+        body.u32(self.params.big_file_threshold_bytes)
+        payload = body.bytes()
+        out = Packer(capacity=sector_bytes)
+        out.u32(_SUPER_MAGIC)
+        out.u32(checksum(payload))
+        out.u16(len(payload))
+        out.raw(payload)
+        return out.bytes(pad_to=sector_bytes)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Superblock":
+        reader = Unpacker(data)
+        if reader.u32() != _SUPER_MAGIC:
+            raise CorruptMetadata("bad FFS superblock magic")
+        expect = reader.u32()
+        payload = reader.raw(reader.u16())
+        if checksum(payload) != expect:
+            raise CorruptMetadata("FFS superblock checksum mismatch")
+        body = Unpacker(payload)
+        total_sectors = body.u32()
+        clean = body.u8() == 1
+        root_ino = body.u32()
+        params = FfsParams(
+            cylinders_per_group=body.u16(),
+            inodes_per_group=body.u16(),
+            buffer_cache_blocks=body.u16(),
+            rotdelay_stride_sectors=body.u16(),
+            big_file_threshold_bytes=body.u32(),
+        )
+        return cls(
+            params=params,
+            total_sectors=total_sectors,
+            clean=clean,
+            root_ino=root_ino,
+        )

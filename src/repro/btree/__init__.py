@@ -1,0 +1,15 @@
+"""Page-based B-tree substrate shared by the CFS and FSD name tables."""
+
+from repro.btree.btree import BTree
+from repro.btree.node import INTERNAL, LEAF, Node, max_entry_bytes
+from repro.btree.pager import MemoryPager, Pager
+
+__all__ = [
+    "BTree",
+    "INTERNAL",
+    "LEAF",
+    "MemoryPager",
+    "Node",
+    "Pager",
+    "max_entry_bytes",
+]

@@ -1,0 +1,118 @@
+"""B-tree node representation and its 512-byte-page serialization.
+
+Nodes are small (one disk sector in FSD, two in CFS), so nodes are
+fully re-serialized on every write; simplicity beats in-page slot
+surgery at this scale, and every byte still round-trips through the
+simulated disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker
+
+LEAF = 1
+INTERNAL = 2
+
+#: kind byte + count word.
+_NODE_HEADER_BYTES = 3
+#: per-entry overhead in a leaf: klen u16 + vlen u16.
+_LEAF_ENTRY_OVERHEAD = 4
+#: per-key overhead in an internal node: klen u16 + child u32.
+_INTERNAL_ENTRY_OVERHEAD = 6
+#: leftmost child pointer of an internal node.
+_INTERNAL_FIRST_CHILD_BYTES = 4
+
+
+@dataclass
+class Node:
+    """One B-tree node, either a leaf or an internal node.
+
+    Leaves hold parallel ``keys``/``values``.  Internal nodes hold
+    ``keys`` as separators and ``children`` with one more element than
+    ``keys``; subtree ``children[i]`` holds keys ``k`` with
+    ``keys[i-1] <= k < keys[i]``.
+    """
+
+    kind: int
+    keys: list[bytes] = field(default_factory=list)
+    values: list[bytes] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == LEAF
+
+    # ------------------------------------------------------------------
+    # size accounting
+    # ------------------------------------------------------------------
+    def serialized_size(self) -> int:
+        """Exact on-page size of this node when serialized."""
+        if self.is_leaf:
+            payload = sum(
+                _LEAF_ENTRY_OVERHEAD + len(k) + len(v)
+                for k, v in zip(self.keys, self.values)
+            )
+            return _NODE_HEADER_BYTES + payload
+        payload = sum(_INTERNAL_ENTRY_OVERHEAD + len(k) for k in self.keys)
+        return _NODE_HEADER_BYTES + _INTERNAL_FIRST_CHILD_BYTES + payload
+
+    def fits(self, page_size: int) -> bool:
+        """True when the node serializes within ``page_size`` bytes."""
+        return self.serialized_size() <= page_size
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_bytes(self, page_size: int) -> bytes:
+        """Serialize the node, zero-padded to ``page_size``."""
+        packer = Packer(capacity=page_size)
+        packer.u8(self.kind)
+        packer.u16(len(self.keys))
+        if self.is_leaf:
+            if len(self.keys) != len(self.values):
+                raise CorruptMetadata("leaf keys/values length mismatch")
+            for key, value in zip(self.keys, self.values):
+                packer.u16(len(key))
+                packer.u16(len(value))
+                packer.raw(key)
+                packer.raw(value)
+        else:
+            if len(self.children) != len(self.keys) + 1:
+                raise CorruptMetadata("internal children/keys length mismatch")
+            packer.u32(self.children[0])
+            for key, child in zip(self.keys, self.children[1:]):
+                packer.u16(len(key))
+                packer.u32(child)
+                packer.raw(key)
+        return packer.bytes(pad_to=page_size)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Node":
+        reader = Unpacker(data)
+        kind = reader.u8()
+        if kind not in (LEAF, INTERNAL):
+            raise CorruptMetadata(f"bad node kind byte {kind}")
+        count = reader.u16()
+        node = cls(kind=kind)
+        if kind == LEAF:
+            for _ in range(count):
+                klen = reader.u16()
+                vlen = reader.u16()
+                node.keys.append(reader.raw(klen))
+                node.values.append(reader.raw(vlen))
+        else:
+            node.children.append(reader.u32())
+            for _ in range(count):
+                klen = reader.u16()
+                child = reader.u32()
+                node.keys.append(reader.raw(klen))
+                node.children.append(child)
+        return node
+
+
+def max_entry_bytes(page_size: int) -> int:
+    """Largest key+value a leaf can hold two of (split feasibility)."""
+    return (page_size - _NODE_HEADER_BYTES) // 2 - _LEAF_ENTRY_OVERHEAD

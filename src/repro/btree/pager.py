@@ -1,0 +1,95 @@
+"""Page storage interface for the B-tree.
+
+The same B-tree implementation backs both file name tables in the
+reproduction; only the pager differs:
+
+* CFS uses a write-through pager over multi-sector pages written in
+  place (non-atomically — the corruption source the paper fixes),
+* FSD uses a pager over the logged, double-written page cache.
+
+``MemoryPager`` exists for unit and property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.errors import CorruptMetadata
+
+
+class Pager(Protocol):
+    """What the B-tree needs from its page store.
+
+    Page 0 is reserved for the tree's meta page.  ``allocate`` never
+    returns 0.
+    """
+
+    page_size: int
+
+    def read(self, page_no: int) -> bytes:
+        """Return the page (zeroes for a never-written meta page)."""
+        ...
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Store the page, padded to the page size."""
+        ...
+
+    def allocate(self) -> int:
+        """Hand out an unused page number (never 0)."""
+        ...
+
+    def free(self, page_no: int) -> None:
+        """Recycle a page for later allocation."""
+        ...
+
+
+class MemoryPager:
+    """In-memory pager for tests; enforces the page-size contract."""
+
+    def __init__(self, page_size: int = 512, page_limit: int | None = None):
+        self.page_size = page_size
+        self.page_limit = page_limit
+        self._pages: dict[int, bytes] = {}
+        self._free: list[int] = []
+        self._next = 1  # page 0 is the meta page
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, page_no: int) -> bytes:
+        """Return the page; raises for never-allocated non-meta pages."""
+        self.reads += 1
+        if page_no != 0 and page_no not in self._pages:
+            raise CorruptMetadata(f"read of unallocated page {page_no}")
+        return self._pages.get(page_no, b"\x00" * self.page_size)
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """Store the page, padded to the page size."""
+        if len(data) > self.page_size:
+            raise CorruptMetadata(
+                f"page write of {len(data)} bytes > page size {self.page_size}"
+            )
+        self.writes += 1
+        self._pages[page_no] = data.ljust(self.page_size, b"\x00")
+
+    def allocate(self) -> int:
+        """Hand out an unused page number (never 0)."""
+        if self._free:
+            page_no = self._free.pop()
+        else:
+            page_no = self._next
+            self._next += 1
+        if self.page_limit is not None and page_no >= self.page_limit:
+            raise CorruptMetadata("pager out of pages")
+        self._pages[page_no] = b"\x00" * self.page_size
+        return page_no
+
+    def free(self, page_no: int) -> None:
+        """Recycle a page for later allocation."""
+        if page_no == 0:
+            raise CorruptMetadata("cannot free the meta page")
+        self._pages.pop(page_no, None)
+        self._free.append(page_no)
+
+    @property
+    def allocated_pages(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,43 @@
+"""CFS — the label-based Cedar file system, the paper's baseline."""
+
+from repro.cfs.cfs import CFS, CfsFile, CfsLayout, CfsOpCounts, CfsParams
+from repro.cfs.header import HEADER_SECTORS, decode_header, encode_header
+from repro.cfs.labels import (
+    PAGE_DATA,
+    PAGE_FREE,
+    PAGE_HEADER,
+    PAGE_NAME_TABLE,
+    data_labels,
+    free_label,
+    header_labels,
+    is_free,
+    make_label,
+    parse_label,
+)
+from repro.cfs.name_table import CfsNameTable, CfsNameTablePager
+from repro.cfs.scavenger import ScavengeReport, scavenge
+
+__all__ = [
+    "CFS",
+    "CfsFile",
+    "CfsLayout",
+    "CfsNameTable",
+    "CfsNameTablePager",
+    "CfsOpCounts",
+    "CfsParams",
+    "HEADER_SECTORS",
+    "PAGE_DATA",
+    "PAGE_FREE",
+    "PAGE_HEADER",
+    "PAGE_NAME_TABLE",
+    "ScavengeReport",
+    "data_labels",
+    "decode_header",
+    "encode_header",
+    "free_label",
+    "header_labels",
+    "is_free",
+    "make_label",
+    "parse_label",
+    "scavenge",
+]

@@ -1,0 +1,83 @@
+"""CFS file headers (paper §2, Table 1).
+
+"Header sectors contain file properties (e.g., the file's name, length
+and create date) and a run table describing the extents of the file.
+The header sectors serve about the same purpose as the inodes do in
+the UNIX file system."  A CFS header occupies two consecutive sectors.
+
+Note the redundancy the paper points out: the text name is stored both
+here and in the file name table, and the run table can be recomputed
+from the labels — that is what the scavenger exploits.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import FileProperties, Run, RunTable
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker, checksum
+
+_HEADER_MAGIC = 0x43465348  # "CFSH"
+#: sectors per header.
+HEADER_SECTORS = 2
+
+
+def encode_header(
+    props: FileProperties, runs: RunTable, sector_bytes: int
+) -> list[bytes]:
+    """Serialize a header to its two sectors."""
+    body = Packer()
+    body.u64(props.uid)
+    body.string(props.name)
+    body.u16(props.version)
+    body.u8(props.keep)
+    body.u64(props.byte_size)
+    body.f64(props.create_time_ms)
+    body.u16(len(runs.runs))
+    for run in runs.runs:
+        body.u32(run.start)
+        body.u16(run.count)
+    payload = body.bytes()
+    if len(payload) > 2 * sector_bytes - 12:
+        raise CorruptMetadata(
+            f"run table of {len(runs.runs)} runs overflows the header"
+        )
+    framed = Packer(capacity=2 * sector_bytes)
+    framed.u32(_HEADER_MAGIC)
+    framed.u32(checksum(payload))
+    framed.u32(len(payload))
+    framed.raw(payload)
+    blob = framed.bytes(pad_to=2 * sector_bytes)
+    return [blob[:sector_bytes], blob[sector_bytes:]]
+
+
+def decode_header(
+    sectors: list[bytes], sector_bytes: int
+) -> tuple[FileProperties, RunTable]:
+    """Parse a header from its two sectors."""
+    blob = b"".join(sectors)
+    reader = Unpacker(blob)
+    if reader.u32() != _HEADER_MAGIC:
+        raise CorruptMetadata("bad CFS header magic")
+    expect = reader.u32()
+    length = reader.u32()
+    payload = reader.raw(length)
+    if checksum(payload) != expect:
+        raise CorruptMetadata("CFS header checksum mismatch")
+    body = Unpacker(payload)
+    uid = body.u64()
+    name = body.string()
+    version = body.u16()
+    keep = body.u8()
+    byte_size = body.u64()
+    create_time = body.f64()
+    run_count = body.u16()
+    runs = RunTable([Run(body.u32(), body.u16()) for _ in range(run_count)])
+    props = FileProperties(
+        name=name,
+        version=version,
+        uid=uid,
+        byte_size=byte_size,
+        create_time_ms=create_time,
+        keep=keep,
+    )
+    return props, runs

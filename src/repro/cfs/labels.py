@@ -1,0 +1,69 @@
+"""Trident disk labels as CFS used them (paper §2, Table 1).
+
+"PARC file systems for these disks use the label to mark each sector
+with information identifying the sector": a uid, the page number
+within the file, and the page type (header, free, or data).  Before a
+sector's data is read or written the label is verified in microcode;
+file allocation, extension, contraction and deletion write the labels.
+
+A free sector carries the all-zero label, which is what the simulated
+disk returns for never-written label fields.
+"""
+
+from __future__ import annotations
+
+from repro.disk.disk import FREE_LABEL, LABEL_BYTES
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker
+
+PAGE_FREE = 0
+PAGE_HEADER = 1
+PAGE_DATA = 2
+PAGE_NAME_TABLE = 3
+
+
+def make_label(uid: int, page: int, page_type: int) -> bytes:
+    """Build the 13-byte label (padded to the hardware's 16)."""
+    if page_type not in (PAGE_FREE, PAGE_HEADER, PAGE_DATA, PAGE_NAME_TABLE):
+        raise CorruptMetadata(f"bad label page type {page_type}")
+    packer = Packer(capacity=LABEL_BYTES)
+    packer.u64(uid)
+    packer.u32(page)
+    packer.u8(page_type)
+    return packer.bytes(pad_to=LABEL_BYTES)
+
+
+def free_label() -> bytes:
+    """The all-zero label of an unallocated sector."""
+    return FREE_LABEL
+
+
+def parse_label(label: bytes) -> tuple[int, int, int]:
+    """Decode a label into (uid, page, page_type); free sectors decode
+    to (0, 0, PAGE_FREE)."""
+    reader = Unpacker(label)
+    uid = reader.u64()
+    page = reader.u32()
+    page_type = reader.u8()
+    if page_type not in (PAGE_FREE, PAGE_HEADER, PAGE_DATA, PAGE_NAME_TABLE):
+        raise CorruptMetadata(f"bad label page type {page_type}")
+    return uid, page, page_type
+
+
+def is_free(label: bytes) -> bool:
+    """True when the label marks the sector free."""
+    return label == FREE_LABEL
+
+
+def data_labels(uid: int, first_page: int, count: int) -> list[bytes]:
+    """Labels for ``count`` consecutive data pages starting at
+    ``first_page``."""
+    return [
+        make_label(uid, first_page + offset, PAGE_DATA)
+        for offset in range(count)
+    ]
+
+
+def header_labels(uid: int) -> list[bytes]:
+    """Labels for the two header pages of a file."""
+    return [make_label(uid, 0, PAGE_HEADER), make_label(uid, 1, PAGE_HEADER)]

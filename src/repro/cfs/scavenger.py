@@ -1,0 +1,142 @@
+"""The CFS scavenger (paper §2, §5.9).
+
+"It is possible to scavenge the file system: by reading the labels and
+interpreting some of the disk sectors, file system structural
+information, such as the free page map and the file name table, can be
+reconstructed."  And: "Scavenge in CFS was infrequent but very time
+consuming... an hour or more on a 300 megabyte disk."
+
+The scan reads every label on the volume (cylinder-sized label reads),
+finds the header pages, reads each header, and rebuilds the name table
+(write-through B-tree inserts) and the VAM.  As the paper notes, the
+CFS scavenger trusted the run tables stored in headers rather than
+cross-verifying them against the data labels; we reproduce that too
+(``verify_runs=False`` by default) and offer the stricter mode the
+paper says CFS never implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfs.cfs import CFS, CfsLayout, CfsParams
+from repro.cfs.header import HEADER_SECTORS, decode_header
+from repro.cfs.labels import PAGE_DATA, PAGE_HEADER, is_free, parse_label
+from repro.cfs.name_table import CfsNameTable, CfsNameTablePager
+from repro.core.types import Run
+from repro.core.vam import VolumeAllocationMap
+from repro.disk.disk import SimDisk
+from repro.errors import CorruptMetadata
+
+
+@dataclass
+class ScavengeReport:
+    sectors_scanned: int = 0
+    headers_found: int = 0
+    files_recovered: int = 0
+    files_damaged: int = 0
+    orphan_data_sectors: int = 0
+    run_table_mismatches: int = 0
+    elapsed_ms: float = 0.0
+
+
+def scavenge(
+    disk: SimDisk,
+    params: CfsParams | None = None,
+    verify_runs: bool = False,
+) -> tuple[CFS, ScavengeReport]:
+    """Rebuild a CFS volume's name table and VAM from labels + headers.
+
+    Returns the freshly mounted file system and a report.  This is the
+    only recovery CFS has; Table 2's "crash recovery: 3600+ seconds"
+    row is this function on a moderately full 300 MB volume.
+    """
+    params = params or CfsParams()
+    layout = CfsLayout.compute(disk, params)
+    clock = disk.clock
+    report = ScavengeReport()
+    start_ms = clock.now_ms
+    geo = disk.geometry
+
+    # Phase 1: read every label on the disk, a cylinder at a time.
+    headers: list[int] = []
+    data_sectors: dict[int, int] = {}  # uid -> count seen
+    data_by_uid: dict[int, set[int]] = {}
+    for cylinder in range(geo.cylinders):
+        base = geo.cylinder_start(cylinder)
+        labels = disk.read_labels(base, geo.sectors_per_cylinder)
+        clock.advance_cpu(
+            clock.cpu.scavenge_sector_ms * geo.sectors_per_cylinder
+        )
+        for offset, label in enumerate(labels):
+            address = base + offset
+            report.sectors_scanned += 1
+            if is_free(label):
+                continue
+            if address < layout.data_start:
+                continue  # name-table extent: being rebuilt
+            uid, page, page_type = parse_label(label)
+            if page_type == PAGE_HEADER and page == 0:
+                headers.append(address)
+            elif page_type == PAGE_DATA:
+                data_sectors[uid] = data_sectors.get(uid, 0) + 1
+                if verify_runs:
+                    data_by_uid.setdefault(uid, set()).add(address)
+
+    # Phase 2: rebuild the name table and VAM from the headers.
+    pager = CfsNameTablePager(
+        disk, layout.nt_start, params.nt_pages, params.cache_pages, clock
+    )
+    name_table = CfsNameTable.format(pager)
+    vam = VolumeAllocationMap(geo.total_sectors)
+    vam.mark_allocated(Run(0, layout.data_start))
+    max_uid = 0
+    recovered_uids: set[int] = set()
+    for header_addr in headers:
+        report.headers_found += 1
+        sectors = disk.read_maybe(header_addr, HEADER_SECTORS)
+        if any(sector is None for sector in sectors):
+            report.files_damaged += 1
+            continue
+        try:
+            props, runs = decode_header(
+                [s for s in sectors if s is not None], geo.sector_bytes
+            )
+        except CorruptMetadata:
+            report.files_damaged += 1
+            continue
+        if verify_runs:
+            # The check the paper says CFS never did: cross-verify the
+            # header's run table against the data labels.
+            labelled = data_by_uid.get(props.uid, set())
+            claimed = {
+                sector for run in runs.runs for sector in range(run.start, run.end)
+            }
+            if claimed != labelled:
+                report.run_table_mismatches += 1
+        vam.mark_allocated(Run(header_addr, HEADER_SECTORS))
+        for run in runs.runs:
+            vam.mark_allocated(run)
+        name_table.insert(props, header_addr)
+        max_uid = max(max_uid, props.uid)
+        recovered_uids.add(props.uid)
+        report.files_recovered += 1
+        clock.advance_cpu(clock.cpu.entry_interpret_ms)
+
+    # Data sectors whose file header was lost: their pages stay out of
+    # the VAM until manually reclaimed ("free pages may be lost").
+    report.orphan_data_sectors = sum(
+        count for uid, count in data_sectors.items()
+        if uid not in recovered_uids
+    )
+
+    report.elapsed_ms = clock.now_ms - start_ms
+    fs = CFS(
+        disk=disk,
+        params=params,
+        layout=layout,
+        name_table=name_table,
+        vam=vam,
+        next_uid=max_uid + 1,
+    )
+    return fs, report

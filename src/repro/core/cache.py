@@ -1,0 +1,260 @@
+"""The metadata page cache (paper §5.3).
+
+"Updates are applied to buffered copies of pages, but the copies are
+not forced to disk — they are just written to the log."  The cache
+therefore distinguishes, per page:
+
+* ``needs_log``   — modified since the page was last logged (waiting
+  for the next group commit),
+* ``logged_image``— the image most recently written to the log (what
+  recovery would reconstruct),
+* ``home_image``  — what is on the page's home sectors.
+
+The third-entry writeback ("dirty but logged" pages) writes the
+*logged* image home, never the possibly newer unlogged one: writing an
+uncommitted image home would break the atomicity the log provides
+(a multi-page B-tree split could reach disk half-done).  Pages with
+any pending obligation are pinned; only fully clean pages are evicted.
+
+Cached name-table pages are conceptually read-only between updates —
+the paper keeps them read-protected to catch wild stores.  Here the
+analogous guard is that the cache hands out ``bytes`` (immutable) and
+only :meth:`write_nt`/:meth:`write_leader` can change cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, LoggedPage
+from repro.errors import CorruptMetadata
+
+
+@dataclass
+class CacheEntry:
+    kind: int              # PAGE_NAME_TABLE or PAGE_LEADER
+    page_id: int
+    data: bytes
+    needs_log: bool = False
+    logged_image: bytes | None = None
+    home_image: bytes | None = None
+    last_logged_third: int | None = None
+    lru_tick: int = 0
+
+    @property
+    def home_stale(self) -> bool:
+        """True when the last logged image has not been written home."""
+        return self.logged_image is not None and (
+            self.logged_image != self.home_image
+        )
+
+    @property
+    def evictable(self) -> bool:
+        return not self.needs_log and not self.home_stale
+
+
+class MetadataCache:
+    """Cache of name-table pages and pending leader pages.
+
+    ``nt_reader(page_no)`` must return the page from its home copies
+    (the double read); ``nt_writer(pages)`` must write ``(page_no,
+    data)`` pairs to both home copies; ``leader_writer(addr, data)``
+    writes a leader page home.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        nt_reader: Callable[[int], bytes],
+        nt_writer: Callable[[list[tuple[int, bytes]]], None],
+        leader_writer: Callable[[int, bytes], None],
+        vam_writer: Callable[[int, bytes], None] | None = None,
+    ):
+        self.capacity = capacity_pages
+        self._nt_reader = nt_reader
+        self._nt_writer = nt_writer
+        self._leader_writer = leader_writer
+        self._vam_writer = vam_writer
+        self._entries: dict[tuple[int, int], CacheEntry] = {}
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.home_writes = 0
+
+    # ------------------------------------------------------------------
+    # name-table pages
+    # ------------------------------------------------------------------
+    def read_nt(self, page_no: int) -> bytes:
+        """Read a name-table page, via the cache (miss = double read)."""
+        key = (PAGE_NAME_TABLE, page_no)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._touch(entry)
+            return entry.data
+        self.misses += 1
+        data = self._nt_reader(page_no)
+        entry = CacheEntry(
+            kind=PAGE_NAME_TABLE, page_id=page_no, data=data, home_image=data
+        )
+        self._entries[key] = entry
+        self._touch(entry)
+        self._evict_if_needed()
+        return data
+
+    def write_nt(self, page_no: int, data: bytes) -> None:
+        """Apply an update to a cached name-table page (dirty until logged)."""
+        key = (PAGE_NAME_TABLE, page_no)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(kind=PAGE_NAME_TABLE, page_id=page_no, data=data)
+            self._entries[key] = entry
+        entry.data = data
+        entry.needs_log = True
+        self._touch(entry)
+
+    # ------------------------------------------------------------------
+    # leader pages
+    # ------------------------------------------------------------------
+    def write_leader(self, address: int, data: bytes) -> None:
+        """Stage a leader page image (logged at the next commit)."""
+        key = (PAGE_LEADER, address)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(kind=PAGE_LEADER, page_id=address, data=data)
+            self._entries[key] = entry
+        entry.data = data
+        entry.needs_log = True
+        self._touch(entry)
+
+    def leader_pending_piggyback(self, address: int) -> bytes | None:
+        """If this leader's home copy is stale, return the bytes to
+        piggyback onto an adjacent data write (paper §5.3: leader pages
+        for a create are normally written by piggybacking)."""
+        entry = self._entries.get((PAGE_LEADER, address))
+        if entry is None:
+            return None
+        if entry.data != entry.home_image:
+            return entry.data
+        return None
+
+    def note_leader_home(self, address: int) -> None:
+        """The piggybacked write carried the leader home."""
+        entry = self._entries.get((PAGE_LEADER, address))
+        if entry is not None:
+            entry.home_image = entry.data
+
+    def drop_leader(self, address: int) -> None:
+        """Forget a leader (its file was deleted before writeback)."""
+        self._entries.pop((PAGE_LEADER, address), None)
+
+    # ------------------------------------------------------------------
+    # VAM pages (§5.3 extension, only used when log_vam is enabled)
+    # ------------------------------------------------------------------
+    def write_vam(self, page_index: int, data: bytes) -> None:
+        """Stage a VAM bitmap page image (log_vam mode only)."""
+        key = (PAGE_VAM, page_index)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = CacheEntry(kind=PAGE_VAM, page_id=page_index, data=data)
+            self._entries[key] = entry
+        entry.data = data
+        entry.needs_log = True
+        self._touch(entry)
+
+    # ------------------------------------------------------------------
+    # group-commit interface
+    # ------------------------------------------------------------------
+    def pages_needing_log(self) -> list[LoggedPage]:
+        """Everything modified since the last force, ready to batch."""
+        out = []
+        for entry in self._entries.values():
+            if entry.needs_log:
+                out.append(
+                    LoggedPage(
+                        kind=entry.kind, page_id=entry.page_id, data=entry.data
+                    )
+                )
+        out.sort(key=lambda page: (page.kind, page.page_id))
+        return out
+
+    def note_logged(self, pages: Iterable[LoggedPage], third: int) -> None:
+        """Mark pages as carried by a record starting in ``third``."""
+        for page in pages:
+            entry = self._entries.get((page.kind, page.page_id))
+            if entry is None:
+                raise CorruptMetadata(
+                    f"logged page {(page.kind, page.page_id)} not in cache"
+                )
+            if entry.data == page.data:
+                entry.needs_log = False
+            # else: modified again while the force was in progress —
+            # it stays dirty for the next commit.
+            entry.logged_image = page.data
+            entry.last_logged_third = third
+        self._evict_if_needed()
+
+    def flush_third(self, third: int) -> None:
+        """The paper's writeback: write home every page whose newest
+        log copy lives in ``third`` (it is about to be overwritten)."""
+        nt_batch: list[tuple[int, bytes]] = []
+        for entry in self._entries.values():
+            if entry.last_logged_third != third or not entry.home_stale:
+                continue
+            assert entry.logged_image is not None
+            if entry.kind == PAGE_NAME_TABLE:
+                nt_batch.append((entry.page_id, entry.logged_image))
+            elif entry.kind == PAGE_VAM:
+                if self._vam_writer is None:
+                    raise CorruptMetadata("VAM page cached without a writer")
+                self._vam_writer(entry.page_id, entry.logged_image)
+                self.home_writes += 1
+            else:
+                self._leader_writer(entry.page_id, entry.logged_image)
+                self.home_writes += 1
+            entry.home_image = entry.logged_image
+        if nt_batch:
+            nt_batch.sort()
+            self._nt_writer(nt_batch)
+            self.home_writes += len(nt_batch)
+        self._evict_if_needed()
+
+    def flush_all_home(self) -> None:
+        """Clean shutdown: every logged image goes home."""
+        for third in (0, 1, 2):
+            self.flush_third(third)
+
+    def pending_log_pages(self) -> int:
+        """Pages modified since the last force (awaiting commit)."""
+        return sum(1 for e in self._entries.values() if e.needs_log)
+
+    # ------------------------------------------------------------------
+    # crash simulation
+    # ------------------------------------------------------------------
+    def discard_all(self) -> None:
+        """A crash: volatile state vanishes."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _touch(self, entry: CacheEntry) -> None:
+        self._tick += 1
+        entry.lru_tick = self._tick
+
+    def _evict_if_needed(self) -> None:
+        if len(self._entries) <= self.capacity:
+            return
+        victims = sorted(
+            (e for e in self._entries.values() if e.evictable),
+            key=lambda e: e.lru_tick,
+        )
+        excess = len(self._entries) - self.capacity
+        for entry in victims[:excess]:
+            del self._entries[(entry.kind, entry.page_id)]
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,682 @@
+"""FSD: the reimplemented Cedar file system (the paper's contribution).
+
+The facade ties the pieces together exactly as §4 describes the
+fast paths:
+
+* **create** (one-byte file): two free pages from the (in-memory) VAM,
+  a name-table update applied to the cached B-tree page, and a single
+  synchronous I/O — the combined leader+data write.  The dirtied
+  name-table pages are asynchronously logged by group commit.
+* **open**: usually no I/O at all; everything is in the name table.
+* **delete**: a name-table update plus shadow-bitmap bookkeeping; the
+  pages become free when the delete commits.
+* **crash recovery**: redo the log, then load or rebuild the VAM.
+
+Every public entry point first fires due timers, which is how the
+single-threaded simulation runs the half-second commit daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.allocator import RunAllocator
+from repro.core.cache import MetadataCache
+from repro.core.group_commit import CommitCoordinator
+from repro.core.layout import RootPage, VolumeLayout, VolumeParams
+from repro.core.leader import encode_leader, verify_leader
+from repro.core.name_table import FsdNameTable, NameTableHome, NameTablePager
+from repro.core.recovery import (
+    MountReport,
+    read_root,
+    rebuild_vam,
+    replay_log,
+    write_root,
+)
+from repro.core.types import (
+    FileKind,
+    FileProperties,
+    Run,
+    RunTable,
+    make_uid,
+)
+from repro.core.vam import VolumeAllocationMap
+from repro.core.wal import WriteAheadLog
+from repro.disk.disk import SimDisk
+from repro.errors import FileNotFound, FsError, NotMounted
+
+
+@dataclass
+class FsdFile:
+    """An open-file handle: a snapshot of the name-table entry plus the
+    leader-verification state used for piggybacked checking."""
+
+    props: FileProperties
+    runs: RunTable
+    leader_verified: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.props.name
+
+    @property
+    def version(self) -> int:
+        return self.props.version
+
+    @property
+    def byte_size(self) -> int:
+        return self.props.byte_size
+
+
+@dataclass
+class FsdOpCounts:
+    creates: int = 0
+    opens: int = 0
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    lists: int = 0
+    renames: int = 0
+    leader_verifies: int = 0
+    leader_piggyback_reads: int = 0
+    leader_separate_reads: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class FSD:
+    """One mounted FSD volume."""
+
+    DEFAULT_KEEP = 2
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        layout: VolumeLayout,
+        root: RootPage,
+        wal: WriteAheadLog,
+        cache: MetadataCache,
+        name_table: FsdNameTable,
+        vam: VolumeAllocationMap,
+        mount_report: MountReport,
+    ):
+        self.disk = disk
+        self.clock = disk.clock
+        self.layout = layout
+        self.params = layout.params
+        self.root = root
+        self.boot_count = root.boot_count
+        self.wal = wal
+        self.cache = cache
+        self.name_table = name_table
+        self.vam = vam
+        self.allocator = RunAllocator(vam, layout)
+        self.coordinator = CommitCoordinator(
+            self.clock,
+            wal,
+            cache,
+            vam,
+            layout.params.commit_interval_ms,
+            log_vam=layout.params.log_vam,
+        )
+        self.mount_report = mount_report
+        self.ops = FsdOpCounts()
+        self._uid_sequence = 0
+        self._mounted = True
+
+    # ==================================================================
+    # lifecycle
+    # ==================================================================
+    @classmethod
+    def format(cls, disk: SimDisk, params: VolumeParams | None = None) -> None:
+        """Initialize an FSD volume on ``disk`` (no instance returned;
+        call :meth:`mount` afterwards)."""
+        params = params or VolumeParams()
+        layout = VolumeLayout.compute(disk.geometry, params)
+        wal = WriteAheadLog(disk, layout)
+        wal.boot_count = 0
+        wal.format()
+
+        home = NameTableHome(disk, layout)
+        cache = MetadataCache(
+            capacity_pages=params.cache_pages,
+            nt_reader=home.read_page,
+            nt_writer=home.write_pages,
+            leader_writer=lambda addr, data: disk.write(addr, [data]),
+        )
+        pager = NameTablePager(cache, layout, disk.clock)
+        FsdNameTable.format(pager, disk.clock)
+        # At format time nothing is committed yet; write the fresh tree
+        # straight home instead of logging it.
+        pages = cache.pages_needing_log()
+        home.write_pages([(p.page_id, p.data) for p in pages])
+
+        vam = VolumeAllocationMap(disk.geometry.total_sectors)
+        for run in layout.metadata_runs():
+            vam.mark_allocated(run)
+        vam.save(disk, layout, boot_count=0)
+
+        root = RootPage(
+            params=params,
+            total_sectors=disk.geometry.total_sectors,
+            boot_count=0,
+            vam_saved=True,
+        )
+        write_root(disk, layout, root)
+
+    @classmethod
+    def mount(cls, disk: SimDisk, params: VolumeParams | None = None) -> "FSD":
+        """Mount (and, if needed, recover) the FSD volume on ``disk``.
+
+        ``params`` only provides the layout hint for locating the root
+        page; authoritative parameters come from the root itself.
+        """
+        start_ms = disk.clock.now_ms
+        report = MountReport()
+        probe_layout = VolumeLayout.compute(
+            disk.geometry, params or VolumeParams()
+        )
+        root = read_root(disk, probe_layout)
+        layout = VolumeLayout.compute(disk.geometry, root.params)
+        new_boot = root.boot_count + 1
+        report.boot_count = new_boot
+
+        wal = WriteAheadLog(disk, layout)
+        wal.boot_count = new_boot
+        replay_log(disk, layout, wal, report)
+
+        home = NameTableHome(disk, layout)
+        cache = MetadataCache(
+            capacity_pages=layout.params.cache_pages,
+            nt_reader=home.read_page,
+            nt_writer=home.write_pages,
+            leader_writer=lambda addr, data: disk.write(addr, [data]),
+            vam_writer=lambda index, data: disk.write(
+                layout.vam_start + 1 + index, [data]
+            ),
+        )
+        pager = NameTablePager(cache, layout, disk.clock)
+        name_table = FsdNameTable.open(pager, disk.clock)
+
+        vam = VolumeAllocationMap(disk.geometry.total_sectors)
+        vam_loaded = False
+        if layout.params.log_vam:
+            # §5.3 extension: the save-area base image plus the VAM
+            # pages just replayed from the log *is* the free map.
+            vam_loaded = vam.load(
+                disk, layout, expect_boot_count=root.boot_count,
+                logged_mode=True,
+            )
+        if not vam_loaded and root.vam_saved:
+            vam_loaded = vam.load(
+                disk, layout, expect_boot_count=root.boot_count
+            )
+        if not vam_loaded:
+            vam = rebuild_vam(disk, layout, name_table, report)
+        report.vam_loaded = vam_loaded
+        if layout.params.log_vam:
+            # Write this boot's base image; subsequent commits log only
+            # the changed bitmap pages on top of it.
+            vam.save(disk, layout, boot_count=new_boot)
+
+        new_root = RootPage(
+            params=root.params,
+            total_sectors=root.total_sectors,
+            boot_count=new_boot,
+            vam_saved=False,
+        )
+        write_root(disk, layout, new_root)
+        report.total_ms = disk.clock.now_ms - start_ms
+        return cls(
+            disk=disk,
+            layout=layout,
+            root=new_root,
+            wal=wal,
+            cache=cache,
+            name_table=name_table,
+            vam=vam,
+            mount_report=report,
+        )
+
+    def unmount(self) -> None:
+        """Controlled shutdown: commit, write everything home, save the
+        VAM, and mark the root clean."""
+        self._enter()
+        self.coordinator.force()
+        self.cache.flush_all_home()
+        self.wal.checkpoint()
+        self.vam.save(self.disk, self.layout, self.boot_count)
+        self.root = RootPage(
+            params=self.root.params,
+            total_sectors=self.root.total_sectors,
+            boot_count=self.boot_count,
+            vam_saved=True,
+        )
+        write_root(self.disk, self.layout, self.root)
+        self.coordinator.shutdown()
+        self._mounted = False
+
+    def crash(self) -> None:
+        """Simulated crash: all volatile state vanishes; the disk keeps
+        whatever it had.  Mount again to recover."""
+        self.cache.discard_all()
+        self.coordinator.shutdown()
+        self._mounted = False
+
+    # ==================================================================
+    # public operations
+    # ==================================================================
+    def create(
+        self,
+        name: str,
+        data: bytes = b"",
+        keep: int | None = None,
+        kind: FileKind = FileKind.LOCAL,
+        remote_target: str = "",
+    ) -> FsdFile:
+        """Create the next version of ``name`` holding ``data``.
+
+        The paper's one-byte-file script: two free pages from the VAM,
+        a cached name-table update, and one combined leader+data write.
+        """
+        self._enter()
+        self.ops.creates += 1
+        keep = self.DEFAULT_KEEP if keep is None else keep
+        version = (self.name_table.highest_version(name) or 0) + 1
+        sector_bytes = self.disk.geometry.sector_bytes
+        data_sectors = -(-len(data) // sector_bytes)
+        big = len(data) >= self.params.big_file_threshold_bytes
+        table = self.allocator.allocate(1 + data_sectors, big=big)
+        leader_addr, runs = _split_leader(table)
+
+        self._uid_sequence += 1
+        props = FileProperties(
+            name=name,
+            version=version,
+            uid=make_uid(self.boot_count, self._uid_sequence),
+            kind=kind,
+            byte_size=len(data),
+            create_time_ms=self.clock.now_ms,
+            last_used_ms=self.clock.now_ms,
+            keep=keep,
+            leader_addr=leader_addr,
+            remote_target=remote_target,
+        )
+        self.name_table.insert(props, runs)
+        self.cache.write_leader(
+            leader_addr, encode_leader(props, runs, sector_bytes)
+        )
+        handle = FsdFile(props=props, runs=runs, leader_verified=True)
+        if data:
+            self._write_data(handle, 0, data)
+        else:
+            self._piggyback_leader_alone(handle)
+        if keep > 0:
+            self._trim_versions(name, keep)
+        return handle
+
+    def open(self, name: str, version: int | None = None) -> FsdFile:
+        """Open a file: normally zero disk I/O (paper §5.7)."""
+        self._enter()
+        self.ops.opens += 1
+        props, runs = self._lookup(name, version)
+        if props.kind == FileKind.CACHED:
+            # The paper's canonical group-commit example: opening a
+            # cached remote file updates its last-used-time, a one-page
+            # name-table change batched into the next commit.
+            props = props.with_updates(last_used_ms=self.clock.now_ms)
+            self.name_table.update(props, runs)
+        return FsdFile(props=props, runs=runs)
+
+    def read(self, handle: FsdFile, offset: int = 0, length: int | None = None) -> bytes:
+        """Read file bytes; the first access piggybacks leader
+        verification onto the data transfer."""
+        self._enter()
+        self.ops.reads += 1
+        if length is None:
+            length = handle.props.byte_size - offset
+        if offset < 0 or length < 0 or offset + length > handle.props.byte_size:
+            raise FsError(
+                f"read [{offset}, {offset + length}) outside file of "
+                f"{handle.props.byte_size} bytes"
+            )
+        if length == 0:
+            self._verify_leader_if_needed(handle, piggyback_extent=None)
+            return b""
+        sector_bytes = self.disk.geometry.sector_bytes
+        first_page = offset // sector_bytes
+        last_page = (offset + length - 1) // sector_bytes
+        page_count = last_page - first_page + 1
+        extents = handle.runs.extents_for(first_page, page_count)
+        chunks: list[bytes] = []
+        first = True
+        for extent in extents:
+            piggyback = (
+                extent
+                if first and first_page == 0 and not handle.leader_verified
+                else None
+            )
+            chunks.extend(self._read_extent(handle, extent, piggyback))
+            first = False
+        if not handle.leader_verified:
+            self._verify_leader_if_needed(handle, piggyback_extent=None)
+        blob = b"".join(chunks)
+        skip = offset - first_page * sector_bytes
+        return blob[skip : skip + length]
+
+    def write(self, handle: FsdFile, offset: int, data: bytes) -> None:
+        """Write (and possibly extend) an existing file."""
+        self._enter()
+        self.ops.writes += 1
+        if offset < 0:
+            raise FsError("negative write offset")
+        self._write_data(handle, offset, data)
+
+    def delete(self, name: str, version: int | None = None) -> FileProperties:
+        """Delete a file version.  No synchronous I/O: a name-table
+        update plus shadow-bitmap bookkeeping (paper §4)."""
+        self._enter()
+        self.ops.deletes += 1
+        return self._delete_resolved(name, version)
+
+    def list(self, prefix: str = "") -> list[FileProperties]:
+        """Name + properties of every file, straight from the name
+        table — the operation Table 3 shows at 3 I/Os per 100 files."""
+        self._enter()
+        self.ops.lists += 1
+        return [props for props, _ in self.name_table.enumerate(prefix)]
+
+    def rename(self, old_name: str, new_name: str, version: int | None = None) -> FsdFile:
+        """Rename a file version; rewrites its leader (the name checksum
+        is part of the mutual check)."""
+        self._enter()
+        self.ops.renames += 1
+        props, runs = self._lookup(old_name, version)
+        self.name_table.delete(props.name, props.version)
+        new_version = (self.name_table.highest_version(new_name) or 0) + 1
+        new_props = props.with_updates(name=new_name, version=new_version)
+        self.name_table.insert(new_props, runs)
+        self.cache.write_leader(
+            new_props.leader_addr,
+            encode_leader(new_props, runs, self.disk.geometry.sector_bytes),
+        )
+        return FsdFile(props=new_props, runs=runs)
+
+    def truncate(self, handle: FsdFile, new_byte_size: int) -> None:
+        """Contract a file; freed runs go through the shadow bitmap."""
+        self._enter()
+        if new_byte_size > handle.props.byte_size:
+            raise FsError("truncate cannot grow a file (use write)")
+        sector_bytes = self.disk.geometry.sector_bytes
+        keep_sectors = -(-new_byte_size // sector_bytes)
+        freed = handle.runs.truncate_sectors(keep_sectors)
+        self.allocator.free(freed, deferred=True)
+        handle.props = handle.props.with_updates(byte_size=new_byte_size)
+        self.name_table.update(handle.props, handle.runs)
+        self._refresh_leader(handle)
+
+    def set_keep(self, name: str, keep: int) -> None:
+        """Change the version-retention count and trim old versions."""
+        self._enter()
+        props, runs = self._lookup(name, None)
+        self.name_table.update(props.with_updates(keep=keep), runs)
+        if keep > 0:
+            self._trim_versions(name, keep)
+
+    def force(self) -> int:
+        """Client-requested commit ("Clients may force the log")."""
+        self._enter()
+        return self.coordinator.force()
+
+    def exists(self, name: str, version: int | None = None) -> bool:
+        """True when the file (version) exists."""
+        self._enter()
+        try:
+            self._lookup(name, version)
+            return True
+        except FileNotFound:
+            return False
+
+    def versions(self, name: str) -> list[int]:
+        """All live versions of ``name``, ascending."""
+        self._enter()
+        return self.name_table.versions(name)
+
+    # ==================================================================
+    # internals
+    # ==================================================================
+    def _enter(self) -> None:
+        if not self._mounted:
+            raise NotMounted("volume is not mounted")
+        self.clock.fire_due_timers()
+        self.coordinator.check_pressure()
+
+    def _lookup(
+        self, name: str, version: int | None
+    ) -> tuple[FileProperties, RunTable]:
+        if version is None:
+            version = self.name_table.highest_version(name)
+            if version is None:
+                raise FileNotFound(name)
+        entry = self.name_table.get(name, version)
+        if entry is None:
+            raise FileNotFound(f"{name}!{version}")
+        return entry
+
+    def _delete_resolved(
+        self, name: str, version: int | None
+    ) -> FileProperties:
+        props, runs = (
+            self._lookup(name, version)
+            if version is None
+            else self.name_table.delete(name, version)
+        )
+        if version is None:
+            self.name_table.delete(props.name, props.version)
+        self.allocator.free([Run(props.leader_addr, 1)], deferred=True)
+        self.allocator.free(runs, deferred=True)
+        self.cache.drop_leader(props.leader_addr)
+        return props
+
+    def _trim_versions(self, name: str, keep: int) -> None:
+        versions = self.name_table.versions(name)
+        while len(versions) > keep:
+            self._delete_resolved(name, versions.pop(0))
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def _write_data(self, handle: FsdFile, offset: int, data: bytes) -> None:
+        sector_bytes = self.disk.geometry.sector_bytes
+        end = offset + len(data)
+        if not data:
+            return
+        self._ensure_capacity(handle, end)
+        first_page = offset // sector_bytes
+        last_page = (end - 1) // sector_bytes
+        page_count = last_page - first_page + 1
+
+        head_pad = offset - first_page * sector_bytes
+        tail_len = end - last_page * sector_bytes
+        payload = data
+        old_size = handle.props.byte_size
+        if head_pad:
+            payload = self._read_partial(handle, first_page, old_size)[:head_pad] + payload
+        if tail_len % sector_bytes and end < old_size:
+            tail = self._read_partial(handle, last_page, old_size)
+            payload = payload + tail[tail_len:]
+        sectors = [
+            payload[i : i + sector_bytes]
+            for i in range(0, len(payload), sector_bytes)
+        ]
+
+        extents = handle.runs.extents_for(first_page, page_count)
+        cursor = 0
+        first = True
+        for extent in extents:
+            chunk = sectors[cursor : cursor + extent.count]
+            piggyback = first and first_page == 0
+            self._write_extent(handle, extent, chunk, piggyback)
+            cursor += extent.count
+            first = False
+        if end > handle.props.byte_size:
+            handle.props = handle.props.with_updates(byte_size=end)
+            self.name_table.update(handle.props, handle.runs)
+
+    def _ensure_capacity(self, handle: FsdFile, byte_size: int) -> None:
+        sector_bytes = self.disk.geometry.sector_bytes
+        have = handle.runs.total_sectors
+        need = -(-byte_size // sector_bytes)
+        if need <= have:
+            return
+        big = byte_size >= self.params.big_file_threshold_bytes
+        extra = self.allocator.allocate(need - have, big=big)
+        for run in extra.runs:
+            handle.runs.append(run)
+        self.name_table.update(handle.props, handle.runs)
+        self._refresh_leader(handle)
+
+    def _read_partial(
+        self, handle: FsdFile, page: int, old_size: int
+    ) -> bytes:
+        """Read one existing sector for a read-modify-write boundary."""
+        sector_bytes = self.disk.geometry.sector_bytes
+        if page * sector_bytes >= old_size:
+            return b"\x00" * sector_bytes
+        address = handle.runs.sector_of_page(page)
+        return self.disk.read(address, 1)[0]
+
+    def _write_extent(
+        self,
+        handle: FsdFile,
+        extent: Run,
+        sectors: list[bytes],
+        allow_piggyback: bool,
+    ) -> None:
+        """Write one extent in max_io_sectors chunks, piggybacking the
+        pending leader write when the extent directly follows it."""
+        max_io = self.params.max_io_sectors
+        leader_addr = handle.props.leader_addr
+        start = extent.start
+        cursor = 0
+        if (
+            allow_piggyback
+            and start == leader_addr + 1
+        ):
+            pending = self.cache.leader_pending_piggyback(leader_addr)
+            if pending is not None:
+                chunk = sectors[: max_io - 1]
+                self.disk.write(
+                    leader_addr, [pending, *chunk], cpu_overlap=True
+                )
+                self.cache.note_leader_home(leader_addr)
+                cursor = len(chunk)
+        while cursor < len(sectors):
+            chunk = sectors[cursor : cursor + max_io]
+            self.disk.write(start + cursor, chunk, cpu_overlap=True)
+            cursor += len(chunk)
+
+    def _read_extent(
+        self, handle: FsdFile, extent: Run, piggyback: Run | None
+    ) -> list[bytes]:
+        """Read one extent in chunks; when ``piggyback`` is the first
+        extent of an unverified file, prepend the leader to the first
+        chunk and verify it (paper §5.7)."""
+        max_io = self.params.max_io_sectors
+        out: list[bytes] = []
+        start = extent.start
+        remaining = extent.count
+        if (
+            piggyback is not None
+            and start == handle.props.leader_addr + 1
+            and self.cache.leader_pending_piggyback(handle.props.leader_addr)
+            is None
+        ):
+            count = min(remaining, max_io - 1)
+            sectors = self.disk.read(
+                handle.props.leader_addr, count + 1, cpu_overlap=True
+            )
+            self._check_leader_bytes(handle, sectors[0])
+            self.ops.leader_piggyback_reads += 1
+            out.extend(sectors[1:])
+            start += count
+            remaining -= count
+        elif piggyback is not None:
+            # Leader is cached (e.g. just created/extended): verify the
+            # in-memory copy, no extra I/O.
+            self._verify_leader_if_needed(handle, piggyback_extent=None)
+        while remaining > 0:
+            count = min(remaining, max_io)
+            out.extend(self.disk.read(start, count, cpu_overlap=True))
+            start += count
+            remaining -= count
+        return out
+
+    # ------------------------------------------------------------------
+    # leader handling
+    # ------------------------------------------------------------------
+    def _refresh_leader(self, handle: FsdFile) -> None:
+        """The run table changed: rebuild the leader so the mutual
+        check stays valid; logged like any other metadata change."""
+        self.cache.write_leader(
+            handle.props.leader_addr,
+            encode_leader(
+                handle.props, handle.runs, self.disk.geometry.sector_bytes
+            ),
+        )
+        handle.leader_verified = True
+
+    def _piggyback_leader_alone(self, handle: FsdFile) -> None:
+        """A zero-byte create has no data write to piggyback on; the
+        leader simply stays cached until the logging code writes it
+        during entry into its third (paper §5.3)."""
+
+    def _verify_leader_if_needed(
+        self, handle: FsdFile, piggyback_extent: Run | None
+    ) -> None:
+        if handle.leader_verified:
+            return
+        address = handle.props.leader_addr
+        cached = self.cache.leader_pending_piggyback(address)
+        if cached is not None:
+            data = cached
+        else:
+            data = self.disk.read(address, 1)[0]
+            self.ops.leader_separate_reads += 1
+        self._check_leader_bytes(handle, data)
+
+    def _check_leader_bytes(self, handle: FsdFile, data: bytes) -> None:
+        verify_leader(data, handle.props, handle.runs)
+        handle.leader_verified = True
+        self.ops.leader_verifies += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def mounted(self) -> bool:
+        return self._mounted
+
+    def metadata_io_stats(self) -> dict[str, int]:
+        """Counters for the logging/commit machinery (benchmark aid)."""
+        return {
+            "log_records": self.wal.records_written,
+            "log_sectors": self.wal.sectors_logged,
+            "pages_logged": self.wal.pages_logged,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "home_writes": self.cache.home_writes,
+            "forces": self.coordinator.forces,
+        }
+
+
+def _split_leader(table: RunTable) -> tuple[int, RunTable]:
+    """Split an allocation into (leader sector, data run table): the
+    leader is the first allocated sector; data pages follow."""
+    first = table.runs[0]
+    leader_addr = first.start
+    runs = RunTable()
+    if first.count > 1:
+        runs.append(Run(first.start + 1, first.count - 1))
+    for run in table.runs[1:]:
+        runs.append(run)
+    return leader_addr, runs

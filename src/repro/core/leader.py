@@ -1,0 +1,94 @@
+"""Leader pages (paper §5.2).
+
+Every FSD file begins with a single leader page, physically the sector
+immediately before data page 0.  "The leader page doesn't contain any
+information needed for operation, but provides an optional check for
+the proper operation of the system" — leader pages and the name table
+are different data structures that are mutually checking, the design
+that replaced CFS' hardware labels.
+
+Leader verification is piggybacked: the first data access to a file is
+almost always page 0, and the leader is its physical predecessor, so
+reading the leader "usually costs only the transfer time for a page".
+"""
+
+from __future__ import annotations
+
+from repro.core.types import FileProperties, RunTable
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker, checksum
+
+_LEADER_MAGIC = 0x4C454144  # "LEAD"
+#: runs included verbatim in the leader ("preamble of run table").
+PREAMBLE_RUNS = 4
+
+
+def _run_table_digest(runs: RunTable) -> int:
+    packer = Packer()
+    for run in runs.runs:
+        packer.u32(run.start)
+        packer.u16(run.count)
+    return checksum(packer.bytes())
+
+
+def encode_leader(
+    props: FileProperties, runs: RunTable, sector_bytes: int
+) -> bytes:
+    """Build the leader sector for a file."""
+    packer = Packer(capacity=sector_bytes)
+    packer.u32(_LEADER_MAGIC)
+    packer.u64(props.uid)
+    packer.u16(props.version)
+    packer.u32(checksum(props.name.encode("utf-8")))
+    preamble = runs.runs[:PREAMBLE_RUNS]
+    packer.u8(len(preamble))
+    for run in preamble:
+        packer.u32(run.start)
+        packer.u16(run.count)
+    packer.u32(_run_table_digest(runs))
+    return packer.bytes(pad_to=sector_bytes)
+
+
+def verify_leader(
+    data: bytes, props: FileProperties, runs: RunTable
+) -> None:
+    """Cross-check a leader sector against the name-table entry.
+
+    Raises :class:`CorruptMetadata` on any mismatch — the FSD analogue
+    of a CFS label check failure.
+    """
+    reader = Unpacker(data)
+    if reader.u32() != _LEADER_MAGIC:
+        raise CorruptMetadata(
+            f"leader of {props.name}!{props.version}: bad magic"
+        )
+    uid = reader.u64()
+    if uid != props.uid:
+        raise CorruptMetadata(
+            f"leader of {props.name}!{props.version}: uid {uid:#x} != "
+            f"name table {props.uid:#x}"
+        )
+    version = reader.u16()
+    if version != props.version:
+        raise CorruptMetadata(
+            f"leader of {props.name}: version {version} != {props.version}"
+        )
+    name_sum = reader.u32()
+    if name_sum != checksum(props.name.encode("utf-8")):
+        raise CorruptMetadata(f"leader of {props.name}: name checksum")
+    preamble_count = reader.u8()
+    for index in range(preamble_count):
+        start = reader.u32()
+        count = reader.u16()
+        if index < len(runs.runs):
+            run = runs.runs[index]
+            if (start, count) != (run.start, run.count):
+                raise CorruptMetadata(
+                    f"leader of {props.name}: run preamble mismatch at "
+                    f"run {index}"
+                )
+    digest = reader.u32()
+    if digest != _run_table_digest(runs):
+        raise CorruptMetadata(
+            f"leader of {props.name}: run table checksum mismatch"
+        )

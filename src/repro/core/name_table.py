@@ -1,0 +1,342 @@
+"""FSD's file name table (paper §5.1).
+
+A B-tree keyed by (name, version) whose entries hold *everything* FSD
+knows about a file — uid, properties, and the run table, which CFS
+kept in per-file header pages.  "There is no need for a disk read for
+the properties since they are already available in the file name
+table."
+
+Robustness: "the file name table is written twice: every page is
+written on two different sectors with independent failure modes...
+When a page is read, both copies are read and checked."  The two
+copies live in two separate extents near the central cylinder.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.btree import BTree
+from repro.core.cache import MetadataCache
+from repro.core.layout import VolumeLayout
+from repro.core.types import (
+    MAX_INLINE_RUNS,
+    MAX_RUNS_PER_CHUNK,
+    FileProperties,
+    Run,
+    RunTable,
+    decode_continuation,
+    decode_key,
+    decode_main_entry,
+    encode_continuation,
+    encode_key,
+    encode_main_entry,
+    name_prefix,
+)
+from repro.disk.clock import SimClock
+from repro.disk.disk import SimDisk
+from repro.errors import CorruptMetadata, FileNotFound, VolumeFull
+
+
+class NameTableHome:
+    """The double-written home copies of the name table on disk.
+
+    With ``VolumeParams.single_nt_copy`` (the §6 "no double write"
+    ablation) only copy A exists: reads cost one I/O, writes one, and
+    a damaged sector is unrecoverable — exactly the trade the paper's
+    model weighed and rejected.
+    """
+
+    def __init__(self, disk: SimDisk, layout: VolumeLayout):
+        self.disk = disk
+        self.layout = layout
+        self.single_copy = layout.params.single_nt_copy
+        self.repairs = 0
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read both copies and cross-check (the paper's double read).
+
+        One damaged copy is corrected from the other and repaired in
+        place; two differing healthy copies mean corruption beyond the
+        failure model (e.g. a wild write) and raise.
+        """
+        addr_a, addr_b = self.layout.nt_page_addresses(page_no)
+        if self.single_copy:
+            data = self.disk.read_maybe(addr_a, 1)[0]
+            if data is None:
+                raise CorruptMetadata(
+                    f"name-table page {page_no} damaged and unreplicated"
+                )
+            return data
+        copy_a = self.disk.read_maybe(addr_a, 1)[0]
+        copy_b = self.disk.read_maybe(addr_b, 1)[0]
+        if copy_a is not None and copy_b is not None:
+            if copy_a != copy_b:
+                raise CorruptMetadata(
+                    f"name-table page {page_no}: copies differ"
+                )
+            return copy_a
+        survivor = copy_a if copy_a is not None else copy_b
+        if survivor is None:
+            raise CorruptMetadata(
+                f"name-table page {page_no}: both copies damaged"
+            )
+        bad_addr = addr_a if copy_a is None else addr_b
+        self.disk.write(bad_addr, [survivor])
+        self.repairs += 1
+        return survivor
+
+    def write_pages(self, pages: list[tuple[int, bytes]]) -> None:
+        """Write pages home, to both copies, batching contiguous page
+        numbers into single multi-sector I/Os per copy."""
+        for group in _contiguous_groups(pages):
+            first_page = group[0][0]
+            sectors = [data for _, data in group]
+            addr_a, addr_b = self.layout.nt_page_addresses(first_page)
+            self.disk.write(addr_a, sectors)
+            if not self.single_copy:
+                self.disk.write(addr_b, sectors)
+
+
+def _contiguous_groups(
+    pages: list[tuple[int, bytes]]
+) -> Iterator[list[tuple[int, bytes]]]:
+    group: list[tuple[int, bytes]] = []
+    for page_no, data in sorted(pages):
+        if group and page_no != group[-1][0] + 1:
+            yield group
+            group = []
+        group.append((page_no, data))
+    if group:
+        yield group
+
+
+class NameTablePager:
+    """B-tree pager over the metadata cache.
+
+    Page allocation within the preallocated name-table extent uses a
+    bitmap stored in the first pages of the table itself, so it is
+    logged and recovered exactly like every other name-table page.
+    """
+
+    #: pages reserved at the front: page 0 is the B-tree meta page,
+    #: pages 1..bitmap_pages hold the allocation bitmap.
+    def __init__(
+        self,
+        cache: MetadataCache,
+        layout: VolumeLayout,
+        clock: SimClock,
+    ):
+        self.cache = cache
+        self.layout = layout
+        self.clock = clock
+        self.page_size = layout.geometry.sector_bytes
+        self.nt_pages = layout.params.nt_pages
+        self.bitmap_pages = -(-self.nt_pages // (8 * self.page_size))
+        self._alloc_cursor = 1 + self.bitmap_pages
+
+    # -- Pager protocol -------------------------------------------------
+    def read(self, page_no: int) -> bytes:
+        """B-tree pager read: one cached name-table page."""
+        self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
+        return self.cache.read_nt(page_no)
+
+    def write(self, page_no: int, data: bytes) -> None:
+        """B-tree pager write: stage the page for the next commit."""
+        self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
+        self.cache.write_nt(page_no, data)
+
+    def allocate(self) -> int:
+        """Allocate a free name-table page from the logged bitmap."""
+        reserved = 1 + self.bitmap_pages
+        for probe in range(reserved, self.nt_pages):
+            page_no = reserved + (
+                (self._alloc_cursor - reserved + probe - reserved)
+                % (self.nt_pages - reserved)
+            )
+            if not self._bit(page_no):
+                self._set_bit(page_no, True)
+                self._alloc_cursor = page_no + 1
+                return page_no
+        raise VolumeFull("file name table is out of pages")
+
+    def free(self, page_no: int) -> None:
+        """Return a name-table page to the logged bitmap."""
+        if not self._bit(page_no):
+            raise CorruptMetadata(f"double free of name-table page {page_no}")
+        self._set_bit(page_no, False)
+
+    # -- bitmap plumbing -------------------------------------------------
+    def format_bitmap(self) -> None:
+        """Mark the meta page and the bitmap pages themselves used."""
+        for bitmap_page in range(1, 1 + self.bitmap_pages):
+            self.cache.write_nt(bitmap_page, b"\x00" * self.page_size)
+        for reserved in range(0, 1 + self.bitmap_pages):
+            self._set_bit(reserved, True)
+
+    def _locate(self, page_no: int) -> tuple[int, int, int]:
+        bitmap_page = 1 + page_no // (8 * self.page_size)
+        byte_index = (page_no % (8 * self.page_size)) // 8
+        bit = page_no % 8
+        return bitmap_page, byte_index, bit
+
+    def _bit(self, page_no: int) -> bool:
+        bitmap_page, byte_index, bit = self._locate(page_no)
+        data = self.cache.read_nt(bitmap_page)
+        return bool(data[byte_index] & (1 << bit))
+
+    def _set_bit(self, page_no: int, value: bool) -> None:
+        bitmap_page, byte_index, bit = self._locate(page_no)
+        data = bytearray(self.cache.read_nt(bitmap_page))
+        if value:
+            data[byte_index] |= 1 << bit
+        else:
+            data[byte_index] &= ~(1 << bit)
+        self.cache.write_nt(bitmap_page, bytes(data))
+
+    def allocated_pages(self) -> int:
+        """Pages currently marked used in the allocation bitmap."""
+        total = 0
+        for bitmap_page in range(1, 1 + self.bitmap_pages):
+            data = self.cache.read_nt(bitmap_page)
+            total += sum(bin(byte).count("1") for byte in data)
+        return total
+
+
+class FsdNameTable:
+    """Typed operations over the raw B-tree: the FS-facing name table."""
+
+    def __init__(self, tree: BTree, clock: SimClock):
+        self.tree = tree
+        self.clock = clock
+
+    @classmethod
+    def format(cls, pager: NameTablePager, clock: SimClock) -> "FsdNameTable":
+        pager.format_bitmap()
+        tree = BTree.create(pager)
+        return cls(tree, clock)
+
+    @classmethod
+    def open(cls, pager: NameTablePager, clock: SimClock) -> "FsdNameTable":
+        return cls(BTree.open(pager), clock)
+
+    # ------------------------------------------------------------------
+    # entry operations
+    # ------------------------------------------------------------------
+    def insert(self, props: FileProperties, runs: RunTable) -> None:
+        """Insert (or replace) a file's entry, spilling long run tables."""
+        self.clock.advance_cpu(self.clock.cpu.entry_interpret_ms)
+        self.tree.insert(
+            encode_key(props.name, props.version, 0),
+            encode_main_entry(props, runs),
+        )
+        self._write_continuations(props.name, props.version, runs)
+
+    def update(self, props: FileProperties, runs: RunTable) -> None:
+        """Rewrite an entry whose properties or runs changed."""
+        self.insert(props, runs)
+
+    def _write_continuations(
+        self, name: str, version: int, runs: RunTable
+    ) -> None:
+        spill = runs.runs[MAX_INLINE_RUNS:]
+        chunk = 1
+        for start in range(0, len(spill), MAX_RUNS_PER_CHUNK):
+            self.tree.insert(
+                encode_key(name, version, chunk),
+                encode_continuation(spill[start : start + MAX_RUNS_PER_CHUNK]),
+            )
+            chunk += 1
+        # Drop stale continuation chunks from an earlier, longer table.
+        while self.tree.delete(encode_key(name, version, chunk)):
+            chunk += 1
+
+    def get(
+        self, name: str, version: int
+    ) -> tuple[FileProperties, RunTable] | None:
+        """Full entry for (name, version), continuations resolved."""
+        self.clock.advance_cpu(self.clock.cpu.entry_interpret_ms)
+        value = self.tree.get(encode_key(name, version, 0))
+        if value is None:
+            return None
+        props, runs, total_runs = decode_main_entry(name, version, value)
+        chunk = 1
+        while len(runs.runs) < total_runs:
+            more = self.tree.get(encode_key(name, version, chunk))
+            if more is None:
+                raise CorruptMetadata(
+                    f"missing run-table continuation {chunk} for "
+                    f"{name}!{version}"
+                )
+            for run in decode_continuation(more):
+                runs.runs.append(run)
+            chunk += 1
+        return props, runs
+
+    def delete(self, name: str, version: int) -> tuple[FileProperties, RunTable]:
+        """Remove an entry (and its continuations); returns what it held."""
+        entry = self.get(name, version)
+        if entry is None:
+            raise FileNotFound(f"{name}!{version}")
+        self.tree.delete(encode_key(name, version, 0))
+        chunk = 1
+        while self.tree.delete(encode_key(name, version, chunk)):
+            chunk += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # version helpers
+    # ------------------------------------------------------------------
+    def versions(self, name: str) -> list[int]:
+        """All existing versions of ``name``, ascending."""
+        out = []
+        for key, _ in self.tree.scan_prefix(name_prefix(name)):
+            _, version, chunk = decode_key(key)
+            if chunk == 0:
+                out.append(version)
+        return out
+
+    def highest_version(self, name: str) -> int | None:
+        """Newest version of ``name``, or None."""
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    # ------------------------------------------------------------------
+    # enumeration
+    # ------------------------------------------------------------------
+    def enumerate(
+        self, prefix: str = ""
+    ) -> Iterator[tuple[FileProperties, RunTable]]:
+        """Iterate complete entries (with full run tables) in name order.
+
+        This is the paper's "list" operation: properties come straight
+        from the name table, no per-file I/O.
+        """
+        current: tuple[FileProperties, RunTable] | None = None
+        expected_runs = 0
+        start = prefix.encode("utf-8") if prefix else None
+        for key, value in self.tree.scan(start):
+            name, version, chunk = decode_key(key)
+            if prefix and not name.startswith(prefix):
+                break
+            self.clock.advance_cpu(self.clock.cpu.entry_interpret_ms)
+            if chunk == 0:
+                if current is not None:
+                    yield current
+                props, runs, expected_runs = decode_main_entry(
+                    name, version, value
+                )
+                current = (props, runs)
+            else:
+                if current is None:
+                    raise CorruptMetadata(
+                        f"orphan continuation entry for {name}!{version}"
+                    )
+                current[1].runs.extend(decode_continuation(value))
+        if current is not None:
+            yield current
+
+    def __len__(self) -> int:
+        """Number of chunk-0 entries is not tracked; len(tree) counts
+        all entries including continuations."""
+        return len(self.tree)

@@ -1,0 +1,278 @@
+"""Core value types of FSD: file ids, runs, properties, entry codecs.
+
+Table 1 of the paper lists what FSD keeps in its file name table for a
+local file: text name, version, keep, uid, run table, byte size, create
+time.  Those are exactly the fields of :class:`FileProperties`, and
+:func:`encode_main_entry`/:func:`decode_main_entry` are their one-sector
+B-tree representation.
+
+Unique identifiers are ``(boot_count << 40) | sequence`` so that a
+freshly booted volume can hand out uids without logging a counter: no
+two boots share a boot count, so uniqueness survives any crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import IntEnum
+
+from repro.errors import CorruptMetadata, FsError
+from repro.serial import Packer, Unpacker
+
+#: Longest permitted file name (bytes of UTF-8).
+MAX_NAME_BYTES = 64
+#: Runs stored inline in the main name-table entry; further runs spill
+#: into continuation entries (chunk >= 1).
+MAX_INLINE_RUNS = 16
+#: Runs per continuation entry (sized so key + value fit a 512-byte
+#: B-tree page even with a maximum-length name).
+MAX_RUNS_PER_CHUNK = 24
+
+
+class FileKind(IntEnum):
+    """The three kinds of name-table entries (paper §4): local files,
+    symbolic links to remote files, and cached copies of remote files."""
+
+    LOCAL = 1
+    SYMLINK = 2
+    CACHED = 3
+
+
+@dataclass(frozen=True)
+class Run:
+    """A contiguous extent of ``count`` sectors starting at ``start``."""
+
+    start: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.count <= 0:
+            raise ValueError(f"bad run ({self.start}, {self.count})")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.count
+
+    def __contains__(self, sector: int) -> bool:
+        return self.start <= sector < self.end
+
+
+@dataclass
+class RunTable:
+    """Maps logical file pages to disk sectors via a list of runs."""
+
+    runs: list[Run] = field(default_factory=list)
+
+    @property
+    def total_sectors(self) -> int:
+        return sum(run.count for run in self.runs)
+
+    def sector_of_page(self, page: int) -> int:
+        """Disk sector holding logical page ``page``."""
+        remaining = page
+        for run in self.runs:
+            if remaining < run.count:
+                return run.start + remaining
+            remaining -= run.count
+        raise FsError(f"page {page} beyond run table ({self.total_sectors})")
+
+    def extents_for(self, page: int, count: int) -> list[Run]:
+        """Contiguous disk extents covering pages [page, page+count)."""
+        out: list[Run] = []
+        remaining = count
+        cursor = page
+        while remaining > 0:
+            sector = self.sector_of_page(cursor)
+            run = next(r for r in self.runs if sector in r)
+            take = min(remaining, run.end - sector)
+            out.append(Run(sector, take))
+            cursor += take
+            remaining -= take
+        return out
+
+    def append(self, run: Run) -> None:
+        """Append a run, coalescing with the last when adjacent."""
+        if self.runs and self.runs[-1].end == run.start:
+            last = self.runs[-1]
+            self.runs[-1] = Run(last.start, last.count + run.count)
+        else:
+            self.runs.append(run)
+
+    def truncate_sectors(self, keep_sectors: int) -> list[Run]:
+        """Drop sectors beyond ``keep_sectors``; returns the freed runs."""
+        freed: list[Run] = []
+        kept: list[Run] = []
+        budget = keep_sectors
+        for run in self.runs:
+            if budget >= run.count:
+                kept.append(run)
+                budget -= run.count
+            elif budget > 0:
+                kept.append(Run(run.start, budget))
+                freed.append(Run(run.start + budget, run.count - budget))
+                budget = 0
+            else:
+                freed.append(run)
+        self.runs = kept
+        return freed
+
+    def copy(self) -> "RunTable":
+        """Shallow-independent copy of the run list."""
+        return RunTable(list(self.runs))
+
+
+@dataclass
+class FileProperties:
+    """Everything FSD's name table records about one file version."""
+
+    name: str
+    version: int
+    uid: int
+    kind: FileKind = FileKind.LOCAL
+    byte_size: int = 0
+    create_time_ms: float = 0.0
+    last_used_ms: float = 0.0
+    keep: int = 2
+    leader_addr: int = 0
+    remote_target: str = ""  # symlink / cached-copy origin
+
+    def with_updates(self, **kwargs) -> "FileProperties":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def validate_name(name: str) -> bytes:
+    """Check and encode a file name for use as a B-tree key component."""
+    encoded = name.encode("utf-8")
+    if not encoded:
+        raise FsError("empty file name")
+    if len(encoded) > MAX_NAME_BYTES:
+        raise FsError(f"file name longer than {MAX_NAME_BYTES} bytes: {name!r}")
+    if b"\x00" in encoded:
+        raise FsError("file names may not contain NUL")
+    return encoded
+
+
+# ----------------------------------------------------------------------
+# B-tree key codec
+#
+# key = name_bytes . NUL . version(be16) . chunk(be16)
+#
+# Big-endian integers keep byte order == numeric order, so all versions
+# of a name are adjacent and a main entry (chunk 0) immediately precedes
+# its run-table continuation entries.
+# ----------------------------------------------------------------------
+def encode_key(name: str, version: int, chunk: int = 0) -> bytes:
+    """Serialize a name-table key (sorts by name, version, chunk)."""
+    encoded = validate_name(name)
+    if not (0 <= version <= 0xFFFF):
+        raise FsError(f"version {version} out of range")
+    if not (0 <= chunk <= 0xFFFF):
+        raise FsError(f"chunk {chunk} out of range")
+    return (
+        encoded
+        + b"\x00"
+        + version.to_bytes(2, "big")
+        + chunk.to_bytes(2, "big")
+    )
+
+
+def name_prefix(name: str) -> bytes:
+    """Key prefix matching every version of ``name``."""
+    return validate_name(name) + b"\x00"
+
+
+def decode_key(key: bytes) -> tuple[str, int, int]:
+    """Parse a name-table key into (name, version, chunk)."""
+    nul = key.rfind(b"\x00", 0, len(key) - 4)
+    if nul < 0 or len(key) < nul + 5:
+        raise CorruptMetadata(f"malformed name-table key {key!r}")
+    name = key[:nul].decode("utf-8")
+    version = int.from_bytes(key[nul + 1 : nul + 3], "big")
+    chunk = int.from_bytes(key[nul + 3 : nul + 5], "big")
+    return name, version, chunk
+
+
+# ----------------------------------------------------------------------
+# B-tree value codecs
+# ----------------------------------------------------------------------
+def _pack_runs(packer: Packer, runs: list[Run]) -> None:
+    packer.u8(len(runs))
+    for run in runs:
+        packer.u32(run.start)
+        packer.u16(run.count)
+
+
+def _unpack_runs(reader: Unpacker) -> list[Run]:
+    count = reader.u8()
+    return [Run(reader.u32(), reader.u16()) for _ in range(count)]
+
+
+def encode_main_entry(props: FileProperties, runs: RunTable) -> bytes:
+    """Serialize the chunk-0 name-table entry for a file."""
+    inline = runs.runs[:MAX_INLINE_RUNS]
+    packer = Packer()
+    packer.u8(int(props.kind))
+    packer.u64(props.uid)
+    packer.u64(props.byte_size)
+    packer.f64(props.create_time_ms)
+    packer.f64(props.last_used_ms)
+    packer.u8(props.keep)
+    packer.u32(props.leader_addr)
+    packer.u16(len(runs.runs))
+    packer.string(props.remote_target, max_len=MAX_NAME_BYTES)
+    _pack_runs(packer, inline)
+    return packer.bytes()
+
+
+def decode_main_entry(
+    name: str, version: int, value: bytes
+) -> tuple[FileProperties, RunTable, int]:
+    """Decode a chunk-0 entry.
+
+    Returns (properties, inline run table, total run count); when the
+    total exceeds the inline count, the caller must read continuation
+    chunks to complete the run table.
+    """
+    reader = Unpacker(value)
+    kind = FileKind(reader.u8())
+    uid = reader.u64()
+    byte_size = reader.u64()
+    create_time = reader.f64()
+    last_used = reader.f64()
+    keep = reader.u8()
+    leader_addr = reader.u32()
+    total_runs = reader.u16()
+    remote_target = reader.string()
+    runs = RunTable(_unpack_runs(reader))
+    props = FileProperties(
+        name=name,
+        version=version,
+        uid=uid,
+        kind=kind,
+        byte_size=byte_size,
+        create_time_ms=create_time,
+        last_used_ms=last_used,
+        keep=keep,
+        leader_addr=leader_addr,
+        remote_target=remote_target,
+    )
+    return props, runs, total_runs
+
+
+def encode_continuation(runs: list[Run]) -> bytes:
+    """Serialize a run-table continuation chunk."""
+    packer = Packer()
+    _pack_runs(packer, runs)
+    return packer.bytes()
+
+
+def decode_continuation(value: bytes) -> list[Run]:
+    """Parse a run-table continuation chunk."""
+    return _unpack_runs(Unpacker(value))
+
+
+def make_uid(boot_count: int, sequence: int) -> int:
+    """Crash-safe unique id: no persistence needed because boot counts
+    never repeat (see module docstring)."""
+    return (boot_count << 40) | (sequence & ((1 << 40) - 1))

@@ -1,0 +1,270 @@
+"""The Volume Allocation Map (paper §5.5).
+
+The VAM is a free-page bitmap kept *entirely in volatile memory*: FSD
+"avoids all disk writes during normal operations" for free-page
+bookkeeping.  It is saved to disk on a controlled shutdown; on boot it
+is either loaded (if properly saved) or reconstructed from the file
+name table, which is compact and local enough to process quickly.
+
+Pages of deleted files are not really free until the delete commits,
+so they first enter a *shadow bitmap*; when a group commit succeeds,
+:meth:`commit_shadow` folds them into the free map.
+"""
+
+from __future__ import annotations
+
+from repro.core.layout import VolumeLayout
+from repro.core.types import Run
+from repro.disk.disk import SimDisk
+from repro.errors import CorruptMetadata, FsError
+from repro.serial import Packer, Unpacker, checksum
+
+_VAM_MAGIC = 0x56414D31  # "VAM1"
+
+_FULL_BYTE = 0xFF
+
+
+class VolumeAllocationMap:
+    """In-memory free-page bitmap with a shadow for uncommitted frees.
+
+    Bit semantics: 1 = allocated (or reserved), 0 = free.
+    """
+
+    #: bytes of bitmap per save-area sector (the granularity at which
+    #: dirty pages are tracked for VAM logging).
+    PAGE_BYTES = 512
+
+    def __init__(self, total_sectors: int):
+        self.total_sectors = total_sectors
+        self._bits = bytearray(-(-total_sectors // 8))
+        #: bitmap pages changed since they were last logged (only
+        #: consumed when VAM logging is enabled).
+        self._dirty_pages: set[int] = set()
+        # Sectors past the end of the disk are permanently "allocated".
+        for sector in range(total_sectors, len(self._bits) * 8):
+            self._set(sector)
+        self.free_count = total_sectors
+        self._shadow: list[Run] = []
+
+    # ------------------------------------------------------------------
+    # bit plumbing
+    # ------------------------------------------------------------------
+    def _set(self, sector: int) -> None:
+        self._bits[sector >> 3] |= 1 << (sector & 7)
+        self._dirty_pages.add((sector >> 3) // self.PAGE_BYTES)
+
+    def _clear(self, sector: int) -> None:
+        self._bits[sector >> 3] &= ~(1 << (sector & 7))
+        self._dirty_pages.add((sector >> 3) // self.PAGE_BYTES)
+
+    def _is_set(self, sector: int) -> bool:
+        return bool(self._bits[sector >> 3] & (1 << (sector & 7)))
+
+    def is_free(self, sector: int) -> bool:
+        """True when ``sector`` is unallocated."""
+        if not (0 <= sector < self.total_sectors):
+            raise FsError(f"sector {sector} outside volume")
+        return not self._is_set(sector)
+
+    # ------------------------------------------------------------------
+    # allocation bookkeeping
+    # ------------------------------------------------------------------
+    def mark_allocated(self, run: Run) -> None:
+        """Claim every sector of ``run`` (double allocation raises)."""
+        for sector in range(run.start, run.end):
+            if self._is_set(sector):
+                raise CorruptMetadata(
+                    f"double allocation of sector {sector}"
+                )
+            self._set(sector)
+        self.free_count -= run.count
+
+    def mark_free(self, run: Run) -> None:
+        """Release every sector of ``run`` (double free raises)."""
+        for sector in range(run.start, run.end):
+            if not self._is_set(sector):
+                raise CorruptMetadata(f"double free of sector {sector}")
+            self._clear(sector)
+        self.free_count += run.count
+
+    def shadow_free(self, run: Run) -> None:
+        """Record pages of a deleted file; they become free at commit."""
+        self._shadow.append(run)
+
+    def commit_shadow(self) -> None:
+        """Apply all shadow-freed runs: the deletes are now committed."""
+        shadow, self._shadow = self._shadow, []
+        for run in shadow:
+            self.mark_free(run)
+
+    @property
+    def shadow_sectors(self) -> int:
+        return sum(run.count for run in self._shadow)
+
+    # ------------------------------------------------------------------
+    # free-run search
+    # ------------------------------------------------------------------
+    def find_free_run(
+        self, start: int, end: int, want: int, ascending: bool = True
+    ) -> Run | None:
+        """First free run of up to ``want`` sectors inside [start, end).
+
+        Returns a shorter run when no ``want``-long one begins before
+        a longer search would leave the window; returns None when the
+        window has no free sector.  Ascending search walks up from
+        ``start``; descending walks down from ``end``.
+        """
+        if want <= 0:
+            raise FsError(f"bad allocation size {want}")
+        if ascending:
+            sector = self._next_free(start, end, step=1)
+            if sector is None:
+                return None
+            length = 1
+            while (
+                length < want
+                and sector + length < end
+                and not self._is_set(sector + length)
+            ):
+                length += 1
+            return Run(sector, length)
+        sector = self._next_free(end - 1, start - 1, step=-1)
+        if sector is None:
+            return None
+        length = 1
+        while (
+            length < want
+            and sector - 1 >= start
+            and not self._is_set(sector - 1)
+        ):
+            sector -= 1
+            length += 1
+        return Run(sector, length)
+
+    def _next_free(self, start: int, stop: int, step: int) -> int | None:
+        """First free sector scanning from ``start`` toward ``stop``
+        (exclusive), skipping fully allocated bytes quickly."""
+        sector = start
+        while (step > 0 and sector < stop) or (step < 0 and sector > stop):
+            byte_index = sector >> 3
+            if self._bits[byte_index] == _FULL_BYTE:
+                # Skip the whole byte.
+                if step > 0:
+                    sector = (byte_index + 1) << 3
+                else:
+                    sector = (byte_index << 3) - 1
+                continue
+            if not self._is_set(sector):
+                return sector
+            sector += step
+        return None
+
+    # ------------------------------------------------------------------
+    # VAM logging support (§5.3 extension)
+    # ------------------------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        return -(-len(self._bits) // self.PAGE_BYTES)
+
+    def page_image(self, index: int) -> bytes:
+        """One save-area-sector-sized slice of the bitmap."""
+        start = index * self.PAGE_BYTES
+        return bytes(self._bits[start : start + self.PAGE_BYTES]).ljust(
+            self.PAGE_BYTES, b"\xff"
+        )
+
+    def take_dirty_pages(self) -> list[tuple[int, bytes]]:
+        """Images of every bitmap page changed since the last call."""
+        dirty, self._dirty_pages = self._dirty_pages, set()
+        return [(index, self.page_image(index)) for index in sorted(dirty)]
+
+    def recount_free(self) -> None:
+        """Recompute free_count from the bits (after a logged load)."""
+        allocated = sum(bin(byte).count("1") for byte in self._bits)
+        padding = len(self._bits) * 8 - self.total_sectors
+        self.free_count = self.total_sectors - (allocated - padding)
+
+    # ------------------------------------------------------------------
+    # save / load (controlled shutdown and boot)
+    # ------------------------------------------------------------------
+    def save(self, disk: SimDisk, layout: VolumeLayout, boot_count: int) -> None:
+        """Write the bitmap to the VAM save area (one header sector plus
+        the raw bitmap), chunked into large sequential writes."""
+        if self._shadow:
+            raise FsError("cannot save a VAM with uncommitted shadow frees")
+        sector_bytes = disk.geometry.sector_bytes
+        header = Packer(capacity=sector_bytes)
+        header.u32(_VAM_MAGIC)
+        header.u32(boot_count)
+        header.u64(self.free_count)
+        header.u32(checksum(bytes(self._bits)))
+        disk.write(layout.vam_start, [header.bytes(pad_to=sector_bytes)])
+        payload = bytes(self._bits)
+        max_chunk = layout.params.max_io_sectors * sector_bytes
+        address = layout.vam_start + 1
+        for offset in range(0, len(payload), max_chunk):
+            chunk = payload[offset : offset + max_chunk]
+            sectors = [
+                chunk[i : i + sector_bytes]
+                for i in range(0, len(chunk), sector_bytes)
+            ]
+            disk.write(address, sectors)
+            address += len(sectors)
+        # The full image is now home; nothing is pending for logging.
+        self._dirty_pages = set()
+
+    def load(
+        self,
+        disk: SimDisk,
+        layout: VolumeLayout,
+        expect_boot_count: int,
+        logged_mode: bool = False,
+    ) -> bool:
+        """Try to load a saved VAM; returns False when the save is
+        missing, stale, or damaged (caller then reconstructs).
+
+        ``logged_mode`` is the §5.3 extension path: the base image was
+        written at mount time and log replay has since overwritten
+        individual bitmap pages in place, so the whole-image checksum
+        no longer applies — instead the free count is recomputed and
+        per-sector damage flags guard integrity.
+        """
+        header_sectors = disk.read_maybe(layout.vam_start, 1)
+        if header_sectors[0] is None:
+            return False
+        try:
+            reader = Unpacker(header_sectors[0])
+            if reader.u32() != _VAM_MAGIC:
+                return False
+            boot_count = reader.u32()
+            free_count = reader.u64()
+            expect_sum = reader.u32()
+        except CorruptMetadata:
+            return False
+        if boot_count != expect_boot_count:
+            return False
+        bitmap_sectors = layout.vam_sectors - 1
+        address = layout.vam_start + 1
+        payload = bytearray()
+        per_io = layout.params.max_io_sectors
+        for offset in range(0, bitmap_sectors, per_io):
+            count = min(per_io, bitmap_sectors - offset)
+            sectors = disk.read_maybe(address + offset, count)
+            if any(sector is None for sector in sectors):
+                return False
+            for sector in sectors:
+                payload.extend(sector)
+        payload = payload[: len(self._bits)]
+        if not logged_mode and checksum(bytes(payload)) != expect_sum:
+            return False
+        self._bits = bytearray(payload)
+        self._shadow = []
+        self._dirty_pages = set()
+        if logged_mode:
+            disk.clock.advance_cpu(
+                disk.clock.cpu.entry_interpret_ms * self.page_count
+            )
+            self.recount_free()
+        else:
+            self.free_count = free_count
+        return True

@@ -1,0 +1,485 @@
+"""FSD's circular physical redo log (paper §5.3).
+
+Record layout on disk, exactly as the paper describes: *"a header page,
+a blank page, a copy of the header page, the data pages being logged,
+an end page, copies of the data pages being logged, and a copy of the
+end page"* — 5 sectors of overhead plus twice the data, and the same
+data never on adjacent sectors, so the 1–2-consecutive-sector failure
+model can never destroy both copies of anything.  A one-page record is
+7 sectors; 14 pages make 33 sectors (both figures from §5.4).
+
+The record area is divided into thirds.  Each cached metadata page
+remembers the third in which it was last logged; when appending is
+about to enter a new third, every page whose latest log copy lives in
+that third is written home first (via the ``flush_third`` callback),
+and then the anchor — the pointer to the first valid record, kept in
+log page 0 and replicated in log page 2 — advances past it.  This
+simple scheme keeps 5/6 of the log usable on average.
+
+End-of-log detection on recovery matches the paper: header-page pair,
+record numbers, boot count, end-page pair, and magic bit patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.layout import VolumeLayout
+from repro.disk.disk import SimDisk
+from repro.errors import CorruptMetadata, LogFull
+from repro.serial import Packer, Unpacker, checksum
+
+_HEADER_MAGIC = 0x4C4F4748  # "LOGH"
+_END_MAGIC = 0x4C4F4745     # "LOGE"
+_ANCHOR_MAGIC = 0x4C4F4741  # "LOGA"
+_END_PATTERN = 0xA5C3A5C3   # the paper's "special bit patterns"
+
+RECORD_DATA = 1
+RECORD_SKIP = 2
+
+PAGE_NAME_TABLE = 1
+PAGE_LEADER = 2
+#: VAM bitmap pages (only when VolumeParams.log_vam is enabled: the
+#: §5.3 extension the paper describes but did not build).
+PAGE_VAM = 3
+
+#: sectors that are pure overhead in every data record.
+RECORD_OVERHEAD_SECTORS = 5
+#: sectors in a skip (wrap) record: header, blank, header copy.
+SKIP_RECORD_SECTORS = 3
+
+
+@dataclass(frozen=True)
+class LoggedPage:
+    """One page image carried by a log record.
+
+    ``kind`` is :data:`PAGE_NAME_TABLE` (``page_id`` = logical name-table
+    page number, rewritten to *both* home copies on redo) or
+    :data:`PAGE_LEADER` (``page_id`` = disk sector address).
+    """
+
+    kind: int
+    page_id: int
+    data: bytes
+
+
+@dataclass
+class LogRecord:
+    record_number: int
+    boot_count: int
+    pages: list[LoggedPage] = field(default_factory=list)
+
+
+def record_sectors(page_count: int) -> int:
+    """On-disk size of a data record carrying ``page_count`` pages."""
+    return RECORD_OVERHEAD_SECTORS + 2 * page_count
+
+
+class WriteAheadLog:
+    """The circular redo log of one FSD volume."""
+
+    def __init__(self, disk: SimDisk, layout: VolumeLayout):
+        self.disk = disk
+        self.layout = layout
+        self.sector_bytes = disk.geometry.sector_bytes
+        self.area_start = layout.log_start + 3  # after anchor/blank/anchor
+        self.area_sectors = layout.params.log_record_sectors
+        self.third_sectors = self.area_sectors // 3
+        if record_sectors(layout.params.max_record_pages) > self.third_sectors:
+            # A record must fit inside one third so it can span at most
+            # two, keeping the third-entry protocol sound.
+            raise ValueError(
+                "log too small: the largest record must fit in one third"
+            )
+        #: called with the third index before its records are overwritten
+        self.flush_third: Callable[[int], None] | None = None
+
+        self.write_offset = 0
+        self.next_record_number = 1
+        self.current_third = 0
+        self.anchor_offset = 0
+        self.anchor_record_number = 1
+        # first (offset, record_number) written into each third this pass
+        self._third_first: list[tuple[int, int] | None] = [None, None, None]
+        self.records_written = 0
+        self.sectors_logged = 0
+        self.pages_logged = 0
+        self.record_sizes: list[int] = []
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def third_of(self, offset: int) -> int:
+        """Which third of the record area ``offset`` falls in (0-2)."""
+        return min(offset // self.third_sectors, 2)
+
+    def _disk_addr(self, offset: int) -> int:
+        return self.area_start + offset
+
+    # ------------------------------------------------------------------
+    # formatting
+    # ------------------------------------------------------------------
+    def format(self) -> None:
+        """Initialize an empty log: anchor at offset 0, record 1."""
+        self.write_offset = 0
+        self.next_record_number = 1
+        self.current_third = 0
+        self._third_first = [None, None, None]
+        self._write_anchor(0, 1)
+
+    # ------------------------------------------------------------------
+    # anchor (log page 0, replicated at log page 2)
+    # ------------------------------------------------------------------
+    def _encode_anchor(self, offset: int, record_number: int) -> bytes:
+        body = Packer().u32(offset).u64(record_number).bytes()
+        out = Packer(capacity=self.sector_bytes)
+        out.u32(_ANCHOR_MAGIC).u32(checksum(body)).raw(body)
+        return out.bytes(pad_to=self.sector_bytes)
+
+    def _write_anchor(self, offset: int, record_number: int) -> None:
+        page = self._encode_anchor(offset, record_number)
+        blank = b""
+        self.disk.write(self.layout.log_start, [page, blank, page])
+        self.anchor_offset = offset
+        self.anchor_record_number = record_number
+
+    def read_anchor(self) -> tuple[int, int]:
+        """Read the anchor, tolerating damage to either copy."""
+        sectors = self.disk.read_maybe(self.layout.log_start, 3)
+        for candidate in (sectors[0], sectors[2]):
+            if candidate is None:
+                continue
+            try:
+                reader = Unpacker(candidate)
+                if reader.u32() != _ANCHOR_MAGIC:
+                    continue
+                expect = reader.u32()
+                body = reader.raw(12)
+                if checksum(body) != expect:
+                    continue
+                inner = Unpacker(body)
+                return inner.u32(), inner.u64()
+            except CorruptMetadata:
+                continue
+        raise CorruptMetadata("both log anchor copies unreadable")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, pages: list[LoggedPage]) -> int:
+        """Write one or more records carrying ``pages``; returns sectors
+        written.  Splits batches larger than the per-record page cap."""
+        records = self.append_records(pages)
+        return sum(record_sectors(len(chunk)) for _, _, chunk in records)
+
+    def append_records(
+        self, pages: list[LoggedPage]
+    ) -> list[tuple[int, int, list[LoggedPage]]]:
+        """Write ``pages`` as one or more records; returns
+        ``(record_number, start_third, pages)`` per record so the cache
+        can track which third holds each page's newest log copy."""
+        if not pages:
+            return []
+        cap = self.layout.params.max_record_pages
+        out: list[tuple[int, int, list[LoggedPage]]] = []
+        for start in range(0, len(pages), cap):
+            chunk = pages[start : start + cap]
+            record_number, third = self._append_record(chunk)
+            out.append((record_number, third, chunk))
+        return out
+
+    def _append_record(self, pages: list[LoggedPage]) -> tuple[int, int]:
+        pages = [self._normalize(page) for page in pages]
+        size = record_sectors(len(pages))
+        if size > self.third_sectors:
+            raise LogFull(
+                f"record of {size} sectors exceeds one third "
+                f"({self.third_sectors} sectors) of the log"
+            )
+        if self.write_offset + size > self.area_sectors:
+            self._wrap()
+        offset = self.write_offset
+        self._cross_thirds(offset, size)
+        record_number = self.next_record_number
+        self._note_record_start(offset, record_number)
+        sectors = self._encode_record(record_number, pages)
+        self.disk.write(self._disk_addr(offset), sectors)
+        self.write_offset = offset + size
+        self.current_third = self.third_of(self.write_offset - 1)
+        self.next_record_number += 1
+        self.records_written += 1
+        self.sectors_logged += size
+        self.pages_logged += len(pages)
+        self.record_sizes.append(size)
+        return record_number, self.third_of(offset)
+
+    def _wrap(self) -> None:
+        """Wrap to offset 0, leaving a skip record when one fits."""
+        remaining = self.area_sectors - self.write_offset
+        if remaining >= SKIP_RECORD_SECTORS:
+            self._cross_thirds(self.write_offset, SKIP_RECORD_SECTORS)
+            record_number = self.next_record_number
+            self._note_record_start(self.write_offset, record_number)
+            header = self._encode_header(RECORD_SKIP, record_number, [])
+            self.disk.write(
+                self._disk_addr(self.write_offset), [header, b"", header]
+            )
+            self.next_record_number += 1
+            self.records_written += 1
+            self.sectors_logged += SKIP_RECORD_SECTORS
+        self.write_offset = 0
+
+    def _cross_thirds(self, offset: int, size: int) -> None:
+        """Fire the third-entry protocol for every new third the write
+        [offset, offset+size) touches.  Records fit in one third, so at
+        most two consecutive thirds are involved."""
+        touched = sorted(
+            {self.third_of(s) for s in (offset, offset + size - 1)}
+        )
+        for third in touched:
+            if third != self.current_third:
+                self._enter_third(third, offset)
+
+    def _enter_third(self, third: int, upcoming_offset: int) -> None:
+        """The paper's third-entry protocol: write home every page whose
+        newest log copy is in ``third``, then advance the anchor.
+
+        The anchor moves to the first record of the oldest third that
+        still holds live record *starts*; if neither other third has
+        one (degenerately small logs), it moves to the record about to
+        be written."""
+        if self.flush_third is not None:
+            self.flush_third(third)
+        if self.third_of(self.anchor_offset) == third:
+            new_anchor = (upcoming_offset, self.next_record_number)
+            for step in (1, 2):
+                successor = self._third_first[(third + step) % 3]
+                if successor is not None:
+                    new_anchor = successor
+                    break
+            self._write_anchor(*new_anchor)
+        self._third_first[third] = None
+
+    def _note_record_start(self, offset: int, record_number: int) -> None:
+        third = self.third_of(offset)
+        if self._third_first[third] is None:
+            self._third_first[third] = (offset, record_number)
+
+    def _normalize(self, page: LoggedPage) -> LoggedPage:
+        """Pad page images to a full sector so the on-disk bytes (and
+        their checksums) are what a scan will read back."""
+        if len(page.data) == self.sector_bytes:
+            return page
+        if len(page.data) > self.sector_bytes:
+            raise LogFull(
+                f"page image of {len(page.data)} bytes exceeds a sector"
+            )
+        return LoggedPage(
+            kind=page.kind,
+            page_id=page.page_id,
+            data=page.data.ljust(self.sector_bytes, b"\x00"),
+        )
+
+    # ------------------------------------------------------------------
+    # record encoding
+    # ------------------------------------------------------------------
+    def _encode_header(
+        self, kind: int, record_number: int, pages: list[LoggedPage]
+    ) -> bytes:
+        packer = Packer(capacity=self.sector_bytes)
+        packer.u32(_HEADER_MAGIC)
+        packer.u8(kind)
+        packer.u64(record_number)
+        packer.u32(self.boot_count)
+        packer.u16(len(pages))
+        for page in pages:
+            packer.u8(page.kind)
+            packer.u64(page.page_id)
+            packer.u32(checksum(page.data))
+        return packer.bytes(pad_to=self.sector_bytes)
+
+    def _encode_end(self, record_number: int, page_count: int) -> bytes:
+        packer = Packer(capacity=self.sector_bytes)
+        packer.u32(_END_MAGIC)
+        packer.u64(record_number)
+        packer.u32(self.boot_count)
+        packer.u16(page_count)
+        packer.u32(_END_PATTERN)
+        return packer.bytes(pad_to=self.sector_bytes)
+
+    def _encode_record(
+        self, record_number: int, pages: list[LoggedPage]
+    ) -> list[bytes]:
+        header = self._encode_header(RECORD_DATA, record_number, pages)
+        end = self._encode_end(record_number, len(pages))
+        datas = [page.data for page in pages]
+        return [header, b"", header, *datas, end, *datas, end]
+
+    #: set by the volume at mount; recorded in every record for the
+    #: paper's end-of-log checks.
+    boot_count: int = 0
+
+    # ------------------------------------------------------------------
+    # recovery scan
+    # ------------------------------------------------------------------
+    def scan(self) -> list[LogRecord]:
+        """Read every valid record from the anchor forward, set the
+        append position after the last one, and return the records.
+
+        Damage to one copy of any page is corrected from the other; a
+        torn final record (crash during the log write itself) fails the
+        end-page check and cleanly terminates the scan.
+        """
+        anchor_offset, anchor_record = self.read_anchor()
+        self.anchor_offset, self.anchor_record_number = (
+            anchor_offset,
+            anchor_record,
+        )
+        records: list[LogRecord] = []
+        self._third_first = [None, None, None]
+        offset = anchor_offset
+        expected = anchor_record
+        scanned = 0
+        while scanned < self.area_sectors:
+            if self.area_sectors - offset < SKIP_RECORD_SECTORS:
+                scanned += self.area_sectors - offset
+                offset = 0
+                continue
+            head = self._read_header_pair(offset, expected)
+            if head is None:
+                break
+            kind, page_meta, boot_count = head
+            if kind == RECORD_SKIP:
+                self._note_record_start(offset, expected)
+                scanned += self.area_sectors - offset
+                offset = 0
+                expected += 1
+                continue
+            record = self._read_record_body(
+                offset, expected, boot_count, page_meta
+            )
+            if record is None:
+                break
+            self._note_record_start(offset, expected)
+            records.append(record)
+            size = record_sectors(len(record.pages))
+            offset += size
+            scanned += size
+            expected += 1
+            if offset >= self.area_sectors:
+                offset = 0
+        self.write_offset = offset
+        self.next_record_number = expected
+        if records or offset:
+            self.current_third = self.third_of(
+                (offset - 1) % self.area_sectors
+            )
+        else:
+            self.current_third = 0
+        return records
+
+    def _read_header_pair(
+        self, offset: int, expected: int
+    ) -> tuple[int, list[tuple[int, int, int]], int] | None:
+        sectors = self.disk.read_maybe(self._disk_addr(offset), 3)
+        for candidate in (sectors[0], sectors[2]):
+            parsed = self._parse_header(candidate, expected)
+            if parsed is not None:
+                return parsed
+        return None
+
+    def _parse_header(
+        self, data: bytes | None, expected: int
+    ) -> tuple[int, list[tuple[int, int, int]], int] | None:
+        if data is None:
+            return None
+        try:
+            reader = Unpacker(data)
+            if reader.u32() != _HEADER_MAGIC:
+                return None
+            kind = reader.u8()
+            if kind not in (RECORD_DATA, RECORD_SKIP):
+                return None
+            record_number = reader.u64()
+            boot_count = reader.u32()
+            if record_number != expected:
+                return None
+            count = reader.u16()
+            meta = [
+                (reader.u8(), reader.u64(), reader.u32()) for _ in range(count)
+            ]
+            return kind, meta, boot_count
+        except CorruptMetadata:
+            return None
+
+    def _read_record_body(
+        self,
+        offset: int,
+        record_number: int,
+        boot_count: int,
+        page_meta: list[tuple[int, int, int]],
+    ) -> LogRecord | None:
+        count = len(page_meta)
+        size = record_sectors(count)
+        if offset + size > self.area_sectors:
+            return None
+        sectors = self.disk.read_maybe(self._disk_addr(offset), size)
+        end_a = sectors[3 + count]
+        end_b = sectors[3 + 2 * count + 1]
+        if not any(
+            self._end_valid(end, record_number, count) for end in (end_a, end_b)
+        ):
+            return None
+        pages: list[LoggedPage] = []
+        for index, (kind, page_id, expect_sum) in enumerate(page_meta):
+            primary = sectors[3 + index]
+            copy = sectors[3 + count + 1 + index]
+            data = None
+            for candidate in (primary, copy):
+                if candidate is not None and checksum(candidate) == expect_sum:
+                    data = candidate
+                    break
+            if data is None:
+                return None  # both copies bad: treat as torn record
+            pages.append(LoggedPage(kind=kind, page_id=page_id, data=data))
+        return LogRecord(
+            record_number=record_number, boot_count=boot_count, pages=pages
+        )
+
+    def _end_valid(
+        self, data: bytes | None, record_number: int, count: int
+    ) -> bool:
+        if data is None:
+            return False
+        try:
+            reader = Unpacker(data)
+            return (
+                reader.u32() == _END_MAGIC
+                and reader.u64() == record_number
+                and reader.u32() >= 0
+                and reader.u16() == count
+                and reader.u32() == _END_PATTERN
+            )
+        except CorruptMetadata:
+            return False
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Fraction of the record area between the anchor and the write
+        position — the "in use" share the paper says averages 5/6."""
+        span = (self.write_offset - self.anchor_offset) % self.area_sectors
+        if span == 0 and self.next_record_number > self.anchor_record_number:
+            return 1.0
+        return span / self.area_sectors
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Advance the anchor to the current append position (used at
+        clean unmount, after every page has been written home)."""
+        self._write_anchor(self.write_offset, self.next_record_number)
+        self._third_first = [None, None, None]

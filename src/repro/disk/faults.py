@@ -1,0 +1,101 @@
+"""Fault injection for the paper's failure model.
+
+FSD's failure model (§5.3): at most one fault at a time, damaging one
+or two *consecutive* sectors; multi-sector writes are weakly atomic —
+when writing the last two pages, either both transfer, the last is
+detectably damaged, or both are detectably damaged.  The injector can:
+
+* mark 1–2 consecutive sectors detectably damaged (media flaw),
+* arm a crash at a chosen point in the I/O stream, tearing the
+  in-flight write exactly per the weak-atomic model,
+* perform a "wild write" (memory smash scribbling on a sector without
+  marking it damaged — only software cross-checks can catch it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CrashPlan:
+    """An armed crash.
+
+    ``after_ios`` counts down on every disk operation; when it reaches
+    zero the operation in progress raises ``SimulatedCrash``.  If that
+    operation is a write, ``surviving_sectors`` of it persist first and
+    ``damage_tail`` controls how many trailing sectors (0, 1 or 2) of
+    the persisted boundary are detectably damaged.
+    """
+
+    after_ios: int = 0
+    surviving_sectors: int | None = None  # None: all sectors persist
+    damage_tail: int = 1
+
+    def __post_init__(self) -> None:
+        if self.damage_tail not in (0, 1, 2):
+            raise ValueError("damage_tail must be 0, 1 or 2 (paper's model)")
+
+
+@dataclass
+class FaultInjector:
+    """Mutable fault state consulted by :class:`~repro.disk.disk.SimDisk`."""
+
+    damaged: set[int] = field(default_factory=set)
+    crash_plan: CrashPlan | None = None
+    injected_media_faults: int = 0
+    injected_wild_writes: int = 0
+    crashes_fired: int = 0
+
+    # ------------------------------------------------------------------
+    # media faults
+    # ------------------------------------------------------------------
+    def damage(self, address: int, count: int = 1) -> None:
+        """Mark ``count`` (1 or 2) consecutive sectors detectably damaged."""
+        if count not in (1, 2):
+            raise ValueError(
+                "the paper's failure model damages 1 or 2 consecutive sectors"
+            )
+        for offset in range(count):
+            self.damaged.add(address + offset)
+        self.injected_media_faults += 1
+
+    def repair(self, address: int) -> None:
+        """A successful rewrite of a damaged sector repairs it."""
+        self.damaged.discard(address)
+
+    def is_damaged(self, address: int) -> bool:
+        """True when ``address`` is detectably damaged."""
+        return address in self.damaged
+
+    # ------------------------------------------------------------------
+    # crashes
+    # ------------------------------------------------------------------
+    def arm_crash(
+        self,
+        after_ios: int = 0,
+        surviving_sectors: int | None = None,
+        damage_tail: int = 1,
+    ) -> None:
+        """Arm a crash ``after_ios`` further disk operations from now."""
+        self.crash_plan = CrashPlan(
+            after_ios=after_ios,
+            surviving_sectors=surviving_sectors,
+            damage_tail=damage_tail,
+        )
+
+    def disarm_crash(self) -> None:
+        """Cancel any armed crash plan."""
+        self.crash_plan = None
+
+    def crash_due(self) -> CrashPlan | None:
+        """Count down an armed crash; return the plan when it fires."""
+        plan = self.crash_plan
+        if plan is None:
+            return None
+        if plan.after_ios > 0:
+            plan.after_ios -= 1
+            return None
+        self.crash_plan = None
+        self.crashes_fired += 1
+        return plan

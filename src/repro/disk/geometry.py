@@ -1,0 +1,106 @@
+"""Disk geometry: the address arithmetic layer.
+
+The defaults model a Trident T-300-class drive, the disk behind the
+paper's "moderately full 300 megabyte file system": roughly 300 MB
+formatted, 512-byte sectors, 3600 RPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiskRangeError
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Cylinder/head/sector geometry of a simulated drive."""
+
+    cylinders: int = 830
+    heads: int = 24
+    sectors_per_track: int = 30
+    sector_bytes: int = 512
+
+    def __post_init__(self) -> None:
+        if min(self.cylinders, self.heads, self.sectors_per_track) <= 0:
+            raise ValueError("geometry dimensions must be positive")
+        if self.sector_bytes <= 0:
+            raise ValueError("sector size must be positive")
+
+    # ------------------------------------------------------------------
+    # derived sizes
+    # ------------------------------------------------------------------
+    @property
+    def sectors_per_cylinder(self) -> int:
+        return self.heads * self.sectors_per_track
+
+    @property
+    def total_sectors(self) -> int:
+        return self.cylinders * self.sectors_per_cylinder
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_sectors * self.sector_bytes
+
+    @property
+    def central_cylinder(self) -> int:
+        """The cylinder FSD clusters its metadata around (paper §5.1)."""
+        return self.cylinders // 2
+
+    # ------------------------------------------------------------------
+    # address arithmetic
+    # ------------------------------------------------------------------
+    def check_range(self, address: int, count: int = 1) -> None:
+        """Raise DiskRangeError unless [address, address+count) fits the disk."""
+        if count <= 0:
+            raise DiskRangeError(f"non-positive sector count {count}")
+        if address < 0 or address + count > self.total_sectors:
+            raise DiskRangeError(
+                f"sectors [{address}, {address + count}) outside disk of "
+                f"{self.total_sectors} sectors"
+            )
+
+    def chs(self, address: int) -> tuple[int, int, int]:
+        """Decompose a linear sector address into (cylinder, head, sector)."""
+        self.check_range(address)
+        cylinder, rest = divmod(address, self.sectors_per_cylinder)
+        head, sector = divmod(rest, self.sectors_per_track)
+        return cylinder, head, sector
+
+    def address(self, cylinder: int, head: int, sector: int) -> int:
+        """Compose a linear sector address from (cylinder, head, sector)."""
+        if not (0 <= cylinder < self.cylinders):
+            raise DiskRangeError(f"cylinder {cylinder} out of range")
+        if not (0 <= head < self.heads):
+            raise DiskRangeError(f"head {head} out of range")
+        if not (0 <= sector < self.sectors_per_track):
+            raise DiskRangeError(f"sector {sector} out of range")
+        return (
+            cylinder * self.sectors_per_cylinder
+            + head * self.sectors_per_track
+            + sector
+        )
+
+    def cylinder_of(self, address: int) -> int:
+        """Cylinder containing linear sector ``address``."""
+        self.check_range(address)
+        return address // self.sectors_per_cylinder
+
+    def rotational_slot(self, address: int) -> int:
+        """Angular position (sector index within the track) of a sector."""
+        self.check_range(address)
+        return address % self.sectors_per_track
+
+    def cylinder_start(self, cylinder: int) -> int:
+        """First linear sector address of ``cylinder``."""
+        if not (0 <= cylinder < self.cylinders):
+            raise DiskRangeError(f"cylinder {cylinder} out of range")
+        return cylinder * self.sectors_per_cylinder
+
+
+#: Geometry used throughout the benchmarks: ~306 MB formatted, like the
+#: paper's 300 MB volume.
+TRIDENT_T300 = DiskGeometry(cylinders=830, heads=24, sectors_per_track=30)
+
+#: A small geometry (~19 MB) for fast unit tests.
+SMALL_DISK = DiskGeometry(cylinders=100, heads=8, sectors_per_track=16)

@@ -1,0 +1,92 @@
+"""Exception taxonomy shared by every subsystem in the reproduction.
+
+The hierarchy mirrors the failure classes the paper reasons about:
+hardware sector damage, label mismatches (CFS' Trident check), metadata
+corruption discovered by software cross-checks, and simulated crashes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class DiskError(ReproError):
+    """Base class for errors raised by the disk simulator."""
+
+
+class DiskRangeError(DiskError):
+    """An I/O addressed sectors outside the disk."""
+
+
+class DamagedSectorError(DiskError):
+    """A read touched a sector that is detectably damaged.
+
+    The paper's failure model: a fault damages one or two *consecutive*
+    sectors, and the damage is detectable when the sector is next read.
+    """
+
+    def __init__(self, address: int):
+        super().__init__(f"sector {address} is detectably damaged")
+        self.address = address
+
+
+class LabelCheckError(DiskError):
+    """A Trident label verification failed (CFS robustness check).
+
+    On the real hardware this check ran in microcode before the data
+    transfer; here it is raised by the simulator when the label computed
+    by the file system does not match the label stored on the sector.
+    """
+
+    def __init__(self, address: int, expected: bytes, actual: bytes):
+        super().__init__(
+            f"label mismatch at sector {address}: "
+            f"expected {expected!r}, found {actual!r}"
+        )
+        self.address = address
+        self.expected = expected
+        self.actual = actual
+
+
+class SimulatedCrash(ReproError):
+    """Raised when an armed crash point fires during an I/O.
+
+    The file system under test must *not* catch this; the test harness
+    catches it, discards all volatile state, and reboots the volume to
+    exercise recovery.
+    """
+
+
+class FsError(ReproError):
+    """Base class for file-system level errors (CFS, FSD and FFS)."""
+
+
+class FileNotFound(FsError):
+    """No file with the given name (and version) exists."""
+
+
+class FileExists(FsError):
+    """A create collided with an existing name and version."""
+
+
+class VolumeFull(FsError):
+    """The allocator could not find enough free pages."""
+
+
+class CorruptMetadata(FsError):
+    """A software cross-check (leader page, checksum, double-read
+    comparison, B-tree invariant) found inconsistent metadata."""
+
+
+class LogFull(FsError):
+    """A single log record would not fit in the log file.
+
+    The paper: "A log entry that is longer than the log file will cause
+    a crash, but the log is forced long before this should occur."
+    """
+
+
+class NotMounted(FsError):
+    """An operation was attempted on an unmounted or crashed volume."""

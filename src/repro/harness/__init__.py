@@ -1,0 +1,44 @@
+"""Experiment harness: adapters, measurement, scenarios, reporting."""
+
+from repro.harness.adapters import CfsAdapter, FfsAdapter, FsdAdapter
+from repro.harness.report import Row, Table, ratio, shape_holds
+from repro.harness.runner import (
+    Measurement,
+    build_disk,
+    drain_clock,
+    measure,
+    small_disk,
+)
+from repro.harness.scenarios import (
+    FULL,
+    SMALL,
+    Scale,
+    cfs_volume,
+    ffs_volume,
+    fsd_volume,
+    populate,
+    populate_recovery_volume,
+)
+
+__all__ = [
+    "CfsAdapter",
+    "FULL",
+    "FfsAdapter",
+    "FsdAdapter",
+    "Measurement",
+    "Row",
+    "SMALL",
+    "Scale",
+    "Table",
+    "build_disk",
+    "cfs_volume",
+    "drain_clock",
+    "ffs_volume",
+    "fsd_volume",
+    "measure",
+    "populate",
+    "populate_recovery_volume",
+    "ratio",
+    "shape_holds",
+    "small_disk",
+]

@@ -1,0 +1,82 @@
+"""Measurement plumbing shared by every benchmark.
+
+Benchmarks measure *virtual* milliseconds and disk I/O counts, the two
+metrics the paper's tables report.  A :class:`Measurement` window
+snapshots the clock and the disk counters around a callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.disk.clock import SimClock
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry, TRIDENT_T300
+from repro.disk.stats import DiskStats
+from repro.disk.timing import DiskTiming
+
+
+@dataclass
+class Measurement:
+    elapsed_ms: float
+    cpu_ms: float
+    disk_ms: float
+    io: DiskStats
+    result: object = None
+
+    @property
+    def total_ios(self) -> int:
+        return self.io.total_ios
+
+    def per(self, count: int) -> "Measurement":
+        """Scale to a per-operation average."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return Measurement(
+            elapsed_ms=self.elapsed_ms / count,
+            cpu_ms=self.cpu_ms / count,
+            disk_ms=self.disk_ms / count,
+            io=self.io,
+            result=self.result,
+        )
+
+
+def build_disk(
+    geometry: DiskGeometry | None = None,
+    timing: DiskTiming | None = None,
+) -> SimDisk:
+    """A fresh simulated drive (default: the ~306 MB Trident-class)."""
+    return SimDisk(geometry=geometry or TRIDENT_T300, timing=timing)
+
+
+def small_disk() -> SimDisk:
+    """A ~38 MB drive for fast unit-style benches."""
+    return SimDisk(geometry=DiskGeometry(cylinders=200, heads=8, sectors_per_track=48))
+
+
+def measure(disk: SimDisk, fn: Callable[[], object]) -> Measurement:
+    """Run ``fn`` and capture elapsed virtual time and I/O deltas."""
+    clock = disk.clock
+    start = clock.snapshot()
+    io_start = disk.stats.copy()
+    result = fn()
+    end = clock.snapshot()
+    return Measurement(
+        elapsed_ms=end["now_ms"] - start["now_ms"],
+        cpu_ms=end["cpu_busy_ms"] - start["cpu_busy_ms"],
+        disk_ms=end["disk_busy_ms"] - start["disk_busy_ms"],
+        io=disk.stats - io_start,
+        result=result,
+    )
+
+
+def drain_clock(clock: SimClock, ms: float, step_ms: float = 100.0) -> None:
+    """Advance virtual time in idle steps, firing due timers — lets the
+    group-commit daemon run between measured phases."""
+    remaining = ms
+    while remaining > 0:
+        slice_ms = min(step_ms, remaining)
+        clock.advance_idle(slice_ms)
+        clock.fire_due_timers()
+        remaining -= slice_ms

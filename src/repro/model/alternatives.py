@@ -1,0 +1,155 @@
+"""The design alternatives the paper evaluated with the model (§6).
+
+"Many alternatives were examined using the model.  The poorer
+alternatives were quickly discarded.  The model allowed estimation of
+the effects of logging, group commit, redundancy, and central
+placement of certain files."
+
+Each alternative is a full set of operation scripts; the ablation
+bench ranks them per operation and shows the chosen design winning on
+the metadata operations, with redundancy (double writes) nearly free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.model.primitives import (
+    Cpu,
+    Fraction,
+    Latency,
+    Script,
+    Seek,
+    ShortSeek,
+    Transfer,
+)
+from repro.model.scripts import (
+    ModelAssumptions,
+    _fsd_commit_share,
+    _io_cpu,
+    cfs_open,
+    cfs_small_create,
+    cfs_small_delete,
+    fsd_open,
+    fsd_small_create,
+    fsd_small_delete,
+)
+
+OPERATIONS = ("small create", "open", "small delete")
+
+
+def _chosen(assume: ModelAssumptions) -> dict[str, Script]:
+    return {
+        "small create": fsd_small_create(assume),
+        "open": fsd_open(assume),
+        "small delete": fsd_small_delete(assume),
+    }
+
+
+def _cfs_labels(assume: ModelAssumptions) -> dict[str, Script]:
+    return {
+        "small create": cfs_small_create(assume),
+        "open": cfs_open(assume),
+        "small delete": cfs_small_delete(assume),
+    }
+
+
+def _sync_writes(assume: ModelAssumptions) -> dict[str, Script]:
+    """No log: every metadata change synchronously writes both copies
+    of the dirtied name-table page (UNIX-style ordered writes)."""
+    cpu = assume.cpu
+    sync_page = [
+        _io_cpu(cpu, 1), ShortSeek(), Latency(), Transfer(sectors=1),
+        _io_cpu(cpu, 1), ShortSeek(), Latency(), Transfer(sectors=1),
+    ]
+    create = Script(
+        name="sync small create",
+        steps=[
+            Cpu(ms=6 * cpu.btree_node_ms),
+            _io_cpu(cpu, 2), Seek(), Latency(), Transfer(sectors=2),
+            *sync_page,          # the updated leaf, twice
+            *sync_page,          # the leader page write, plus bitmap page
+        ],
+        miss_steps=list(sync_page),
+        miss_probability=assume.leaf_miss_probability,
+    )
+    open_script = fsd_open(assume)
+    delete = Script(
+        name="sync small delete",
+        steps=[Cpu(ms=6 * cpu.btree_node_ms), *sync_page],
+        miss_steps=list(sync_page),
+        miss_probability=assume.leaf_miss_probability,
+    )
+    return {"small create": create, "open": open_script, "small delete": delete}
+
+
+def _commit_per_op(assume: ModelAssumptions) -> dict[str, Script]:
+    """Logging but no group commit: every operation forces its own
+    (small) log record."""
+    solo = replace(assume, ops_per_commit=1.0, pages_per_record=2.0)
+    return _chosen(solo)
+
+
+def _no_double_write(assume: ModelAssumptions) -> dict[str, Script]:
+    """Single name-table copy: cheaper misses, less robustness."""
+    cpu = assume.cpu
+    single_miss = [
+        _io_cpu(cpu, 1), ShortSeek(), Latency(), Transfer(sectors=1),
+    ]
+    chosen = _chosen(assume)
+    out = {}
+    for op, script in chosen.items():
+        out[op] = Script(
+            name=f"{script.name} (single copy)",
+            steps=script.steps,
+            miss_steps=single_miss,
+            miss_probability=script.miss_probability,
+        )
+    return out
+
+
+def _scattered_metadata(assume: ModelAssumptions) -> dict[str, Script]:
+    """Log and name table NOT at the central cylinder: every metadata
+    I/O pays an average seek instead of a short one."""
+    cpu = assume.cpu
+    far_share = Fraction(
+        label="log force share (far)",
+        steps=(
+            _io_cpu(cpu, assume.record_sectors),
+            Seek(), Latency(), Transfer(sectors=assume.record_sectors),
+        ),
+        weight=1.0 / assume.ops_per_commit,
+    )
+    far_miss = [
+        _io_cpu(cpu, 1), Seek(), Latency(), Transfer(sectors=1),
+        _io_cpu(cpu, 1), Seek(), Latency(), Transfer(sectors=1),
+    ]
+    chosen = _chosen(assume)
+    out = {}
+    for op, script in chosen.items():
+        steps = [
+            far_share if isinstance(step, Fraction) else step
+            for step in script.steps
+        ]
+        out[op] = Script(
+            name=f"{script.name} (scattered)",
+            steps=steps,
+            miss_steps=far_miss,
+            miss_probability=script.miss_probability,
+        )
+    return out
+
+
+def design_alternatives(
+    assume: ModelAssumptions | None = None,
+) -> dict[str, dict[str, Script]]:
+    """All alternatives: name -> operation -> script."""
+    assume = assume or ModelAssumptions()
+    return {
+        "FSD (chosen: log + group commit + double write, central)": _chosen(assume),
+        "CFS (hardware labels, baseline)": _cfs_labels(assume),
+        "No log: synchronous double writes": _sync_writes(assume),
+        "Log but commit per operation": _commit_per_op(assume),
+        "No double write (single name-table copy)": _no_double_write(assume),
+        "Scattered metadata (no central placement)": _scattered_metadata(assume),
+    }

@@ -1,0 +1,52 @@
+"""Evaluate model scripts against a disk configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.timing import DiskTiming
+from repro.model.primitives import Script
+
+
+@dataclass
+class Prediction:
+    operation: str
+    predicted_ms: float
+    cpu_free_ms: float  # the paper-faithful prediction (CPU ignored)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.operation}: {self.predicted_ms:.1f} ms "
+            f"({self.cpu_free_ms:.1f} ms ignoring CPU)"
+        )
+
+
+def predict(
+    script: Script, timing: DiskTiming, geometry: DiskGeometry
+) -> Prediction:
+    """Evaluate a script both with and without its CPU steps."""
+    with_cpu = script.evaluate(timing, geometry)
+    script_no_cpu = Script(
+        name=script.name,
+        steps=script.steps,
+        miss_steps=script.miss_steps,
+        miss_probability=script.miss_probability,
+        include_cpu=False,
+    )
+    without_cpu = script_no_cpu.evaluate(timing, geometry)
+    return Prediction(
+        operation=script.name,
+        predicted_ms=with_cpu,
+        cpu_free_ms=without_cpu,
+    )
+
+
+def predict_all(
+    scripts: dict[str, Script], timing: DiskTiming, geometry: DiskGeometry
+) -> dict[str, Prediction]:
+    """Predictions for every script, keyed by operation name."""
+    return {
+        name: predict(script, timing, geometry)
+        for name, script in scripts.items()
+    }

@@ -1,0 +1,153 @@
+"""Binary serialization helpers shared by every on-disk format.
+
+All metadata in this reproduction really serializes to 512-byte sectors;
+recovery code paths parse those bytes back, so a crash genuinely
+round-trips through the "disk".  This module provides a tiny
+reader/writer pair over ``struct`` plus the checksum used by leader
+pages, log records and the name table.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.errors import CorruptMetadata
+
+
+def checksum(data: bytes) -> int:
+    """32-bit checksum used by all on-disk structures (CRC-32)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class Packer:
+    """Append-only binary writer with fixed-capacity enforcement.
+
+    A ``Packer`` refuses to grow past ``capacity`` bytes, which models
+    the hard sector/page boundary every on-disk structure must respect.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self._parts: list[bytes] = []
+        self._size = 0
+        self._capacity = capacity
+
+    def _append(self, data: bytes) -> None:
+        if self._capacity is not None and self._size + len(data) > self._capacity:
+            raise ValueError(
+                f"packed structure overflows capacity {self._capacity}"
+            )
+        self._parts.append(data)
+        self._size += len(data)
+
+    def u8(self, value: int) -> "Packer":
+        """Append an unsigned byte."""
+        self._append(struct.pack("<B", value))
+        return self
+
+    def u16(self, value: int) -> "Packer":
+        """Append a little-endian unsigned 16-bit integer."""
+        self._append(struct.pack("<H", value))
+        return self
+
+    def u32(self, value: int) -> "Packer":
+        """Append a little-endian unsigned 32-bit integer."""
+        self._append(struct.pack("<I", value))
+        return self
+
+    def u64(self, value: int) -> "Packer":
+        """Append a little-endian unsigned 64-bit integer."""
+        self._append(struct.pack("<Q", value))
+        return self
+
+    def f64(self, value: float) -> "Packer":
+        """Append a little-endian IEEE-754 double."""
+        self._append(struct.pack("<d", value))
+        return self
+
+    def raw(self, data: bytes) -> "Packer":
+        """Append raw bytes verbatim."""
+        self._append(data)
+        return self
+
+    def string(self, text: str, max_len: int = 255) -> "Packer":
+        """Length-prefixed UTF-8 string (one length byte)."""
+        encoded = text.encode("utf-8")
+        if len(encoded) > max_len:
+            raise ValueError(f"string longer than {max_len} bytes: {text!r}")
+        self.u8(len(encoded))
+        self._append(encoded)
+        return self
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def bytes(self, pad_to: int | None = None) -> bytes:
+        """Return the packed bytes, zero-padded to ``pad_to`` if given."""
+        data = b"".join(self._parts)
+        if pad_to is not None:
+            if len(data) > pad_to:
+                raise ValueError(f"packed {len(data)} bytes > pad_to {pad_to}")
+            data = data.ljust(pad_to, b"\x00")
+        return data
+
+
+class Unpacker:
+    """Sequential binary reader matching :class:`Packer`.
+
+    Raises :class:`~repro.errors.CorruptMetadata` on truncation so that
+    callers parsing possibly-damaged sectors fail into the same error
+    class the software cross-checks use.
+    """
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._offset = offset
+
+    def _take(self, count: int) -> bytes:
+        if self._offset + count > len(self._data):
+            raise CorruptMetadata(
+                f"truncated structure: wanted {count} bytes at "
+                f"offset {self._offset} of {len(self._data)}"
+            )
+        chunk = self._data[self._offset:self._offset + count]
+        self._offset += count
+        return chunk
+
+    def u8(self) -> int:
+        """Read an unsigned byte."""
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u16(self) -> int:
+        """Read a little-endian unsigned 16-bit integer."""
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        """Read a little-endian unsigned 32-bit integer."""
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        """Read a little-endian unsigned 64-bit integer."""
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def f64(self) -> float:
+        """Read a little-endian IEEE-754 double."""
+        return struct.unpack("<d", self._take(8))[0]
+
+    def raw(self, count: int) -> bytes:
+        """Read ``count`` raw bytes."""
+        return bytes(self._take(count))
+
+    def string(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        length = self.u8()
+        return self._take(length).decode("utf-8")
+
+    @property
+    def offset(self) -> int:
+        return self._offset
+
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._offset

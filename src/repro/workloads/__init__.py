@@ -1,0 +1,32 @@
+"""Synthetic workloads with the paper's distributions and hot spots."""
+
+from repro.workloads.activities import (
+    InterleavedActivities,
+    compiler_activity,
+    editor_activity,
+    mailer_activity,
+)
+
+from repro.workloads.generators import (
+    BulkUpdateWorkload,
+    NameGenerator,
+    OperationMix,
+    PaperFileSizes,
+    payload,
+    small_fraction_stats,
+)
+from repro.workloads.makedo import MakeDoWorkload
+
+__all__ = [
+    "BulkUpdateWorkload",
+    "InterleavedActivities",
+    "compiler_activity",
+    "editor_activity",
+    "mailer_activity",
+    "MakeDoWorkload",
+    "NameGenerator",
+    "OperationMix",
+    "PaperFileSizes",
+    "payload",
+    "small_fraction_stats",
+]

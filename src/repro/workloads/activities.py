@@ -1,0 +1,105 @@
+"""Interleaved workstation activities (paper §5.4).
+
+"Where databases group the updates of independent users, FSD groups
+some updates of the workstation owner."  A Cedar workstation ran an
+editor, a compiler, a mailer and background fetches concurrently; one
+log force carries whatever any of them dirtied in the last half
+second.
+
+:class:`InterleavedActivities` drives several activity scripts
+round-robin against one file system, modelling exactly that: each
+activity is a generator yielding ``(operation, think_ms)`` steps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.harness.runner import drain_clock
+from repro.workloads.generators import payload
+
+#: an activity yields (callable-to-run, think-time-after-it).
+Step = tuple[Callable[[], object], float]
+
+
+def editor_activity(fs, seed: int = 1) -> Iterator[Step]:
+    """An editor: periodically saves new versions of a few documents."""
+    rng = random.Random(seed)
+    serial = 0
+    while True:
+        serial += 1
+        name = f"editor/doc-{rng.randrange(4)}.tioga"
+        data = payload(rng.randrange(800, 6_000), serial)
+        yield (lambda n=name, d=data: fs.create(n, d, keep=2), 900.0)
+
+
+def compiler_activity(fs, seed: int = 2) -> Iterator[Step]:
+    """A compiler: reads a source, writes an object, drops a scratch."""
+    rng = random.Random(seed)
+    sources = [f"compiler/src-{index}.mesa" for index in range(6)]
+    for index, name in enumerate(sources):
+        fs.create(name, payload(4_000, index), keep=1)
+    serial = 0
+    while True:
+        serial += 1
+        source = rng.choice(sources)
+        yield (lambda s=source: fs.read(fs.open(s)), 120.0)
+        obj = source.replace("src", "obj").replace(".mesa", ".bcd")
+        yield (
+            lambda o=obj, s=serial: fs.create(o, payload(7_000, s), keep=1),
+            200.0,
+        )
+        scratch = f"compiler/tmp-{serial % 3}"
+        yield (lambda t=scratch, s=serial: fs.create(t, payload(500, s), keep=1), 80.0)
+
+
+def mailer_activity(fs, seed: int = 3) -> Iterator[Step]:
+    """A mailer: appends small messages and lists the inbox."""
+    rng = random.Random(seed)
+    serial = 0
+    while True:
+        serial += 1
+        yield (
+            lambda s=serial: fs.create(
+                f"mail/msg-{s:04d}", payload(rng.randrange(200, 1_500), s)
+            ),
+            1_500.0,
+        )
+        if serial % 4 == 0:
+            yield (lambda: fs.list("mail/"), 300.0)
+
+
+@dataclass
+class InterleavedActivities:
+    """Round-robin scheduler over several activity generators."""
+
+    fs: object
+    activities: list[Iterator[Step]] = field(default_factory=list)
+    steps_run: int = 0
+
+    @classmethod
+    def workstation(cls, fs) -> "InterleavedActivities":
+        """The canonical editor+compiler+mailer mix."""
+        return cls(
+            fs=fs,
+            activities=[
+                editor_activity(fs),
+                compiler_activity(fs),
+                mailer_activity(fs),
+            ],
+        )
+
+    def run(self, steps: int) -> int:
+        """Run ``steps`` interleaved steps; returns operations issued."""
+        clock = self.fs.clock
+        operations = 0
+        for index in range(steps):
+            activity = self.activities[index % len(self.activities)]
+            fn, think_ms = next(activity)
+            fn()
+            operations += 1
+            drain_clock(clock, think_ms)
+            self.steps_run += 1
+        return operations

@@ -1,0 +1,42 @@
+"""Unit tests for FFS directory blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsd.directory import (
+    decode_dir_block,
+    dir_block_fits,
+    encode_dir_block,
+    validate_component,
+)
+from repro.errors import CorruptMetadata
+
+
+class TestDirBlocks:
+    def test_roundtrip(self):
+        entries = [("a.txt", 5), ("subdir", 9), ("ünïcode", 77)]
+        assert decode_dir_block(encode_dir_block(entries)) == entries
+
+    def test_empty_block(self):
+        assert decode_dir_block(encode_dir_block([])) == []
+
+    def test_fits(self):
+        small = [("x", 1)]
+        assert dir_block_fits(small)
+        huge = [(f"file-{i:05d}-{'x' * 40}", i) for i in range(200)]
+        assert not dir_block_fits(huge)
+
+    def test_block_capacity_hundreds_of_entries(self):
+        entries = [(f"f{i:04d}", i) for i in range(300)]
+        assert dir_block_fits(entries)
+
+
+class TestComponents:
+    def test_valid(self):
+        assert validate_component("hello.c") == "hello.c"
+
+    @pytest.mark.parametrize("bad", ["", "a/b", "nul\x00", "x" * 300])
+    def test_invalid(self, bad):
+        with pytest.raises(CorruptMetadata):
+            validate_component(bad)

@@ -1,0 +1,72 @@
+"""Unit tests for FFS inode and indirect-block codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsd.inode import (
+    Inode,
+    MODE_DIR,
+    MODE_FILE,
+    MODE_FREE,
+    NDIRECT,
+    PTRS_PER_INDIRECT,
+    decode_indirect,
+    encode_indirect,
+)
+from repro.bsd.layout import INODE_BYTES
+from repro.errors import CorruptMetadata
+
+
+class TestInodeCodec:
+    def test_roundtrip(self):
+        inode = Inode(
+            mode=MODE_FILE,
+            nlink=1,
+            size=123456,
+            mtime_ms=42.5,
+            direct=[100 + i for i in range(NDIRECT)],
+            indirect=9999,
+        )
+        back = Inode.decode(inode.encode())
+        assert back == inode
+
+    def test_encoded_size_fixed(self):
+        assert len(Inode().encode()) == INODE_BYTES
+
+    def test_free_inode_decodes_from_zeros(self):
+        inode = Inode.decode(b"\x00" * INODE_BYTES)
+        assert inode.is_free
+        assert inode.mode == MODE_FREE
+
+    def test_bad_mode_rejected(self):
+        blob = bytearray(Inode(mode=MODE_DIR).encode())
+        blob[0] = 9
+        with pytest.raises(CorruptMetadata):
+            Inode.decode(bytes(blob))
+
+    def test_short_record_rejected(self):
+        with pytest.raises(CorruptMetadata):
+            Inode.decode(b"\x01" * 10)
+
+    def test_block_count(self):
+        assert Inode(size=0).block_count() == 0
+        assert Inode(size=1).block_count() == 1
+        assert Inode(size=4096).block_count() == 1
+        assert Inode(size=4097).block_count() == 2
+
+    def test_is_dir(self):
+        assert Inode(mode=MODE_DIR).is_dir
+        assert not Inode(mode=MODE_FILE).is_dir
+
+
+class TestIndirect:
+    def test_roundtrip(self):
+        pointers = [i * 8 for i in range(PTRS_PER_INDIRECT)]
+        assert decode_indirect(encode_indirect(pointers)) == pointers
+
+    def test_padding(self):
+        short = [5, 6, 7]
+        decoded = decode_indirect(encode_indirect(short))
+        assert decoded[:3] == short
+        assert all(p == 0 for p in decoded[3:])

@@ -1,0 +1,72 @@
+"""Stateful property testing of the B-tree with hypothesis's rule
+machine: arbitrary interleavings of insert/replace/delete/reopen must
+keep the tree equal to a dict and structurally valid at every step."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.btree import BTree, MemoryPager
+
+keys = st.integers(min_value=0, max_value=120).map(
+    lambda i: f"key-{i:03d}".encode()
+)
+values = st.binary(max_size=40)
+
+
+class BTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pager = MemoryPager(page_size=256)
+        self.tree = BTree.create(self.pager)
+        self.model: dict[bytes, bytes] = {}
+        self.steps = 0
+
+    @rule(key=keys, value=values)
+    def insert(self, key, value):
+        was_new = self.tree.insert(key, value)
+        assert was_new == (key not in self.model)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        assert self.tree.delete(key) == (key in self.model)
+        self.model.pop(key, None)
+
+    @rule(key=keys)
+    def get(self, key):
+        assert self.tree.get(key) == self.model.get(key)
+
+    @rule()
+    def reopen(self):
+        """Close and reopen from the pager: all state is in the pages."""
+        self.tree = BTree.open(self.pager)
+
+    @rule(start=keys)
+    def scan_from(self, start):
+        got = [k for k, _ in self.tree.scan(start=start)]
+        expected = sorted(k for k in self.model if k >= start)
+        assert got == expected
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.tree) == len(self.model)
+
+    @invariant()
+    def structure_valid_periodically(self):
+        self.steps += 1
+        if self.steps % 10 == 0:
+            self.tree.check_invariants()
+
+
+BTreeMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None
+)
+TestBTreeMachine = BTreeMachine.TestCase

@@ -1,0 +1,62 @@
+"""Unit tests for CFS file headers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs.header import HEADER_SECTORS, decode_header, encode_header
+from repro.core.types import FileProperties, Run, RunTable
+from repro.errors import CorruptMetadata
+
+
+def props() -> FileProperties:
+    return FileProperties(
+        name="dir/some-file.mesa",
+        version=3,
+        uid=0xFACE,
+        byte_size=54321,
+        create_time_ms=12.5,
+        keep=4,
+    )
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        runs = RunTable([Run(100, 7), Run(300, 2)])
+        sectors = encode_header(props(), runs, 512)
+        assert len(sectors) == HEADER_SECTORS
+        assert all(len(sector) == 512 for sector in sectors)
+        back_props, back_runs = decode_header(sectors, 512)
+        assert back_props.name == "dir/some-file.mesa"
+        assert back_props.version == 3
+        assert back_props.uid == 0xFACE
+        assert back_props.byte_size == 54321
+        assert back_props.keep == 4
+        assert back_runs.runs == runs.runs
+
+    def test_empty_run_table(self):
+        sectors = encode_header(props(), RunTable(), 512)
+        _, runs = decode_header(sectors, 512)
+        assert runs.runs == []
+
+    def test_large_run_table_spills_to_second_sector(self):
+        runs = RunTable([Run(1000 + i * 10, 1) for i in range(120)])
+        sectors = encode_header(props(), runs, 512)
+        _, back = decode_header(sectors, 512)
+        assert len(back.runs) == 120
+
+    def test_run_table_overflow_rejected(self):
+        runs = RunTable([Run(1000 + i * 10, 1) for i in range(200)])
+        with pytest.raises(CorruptMetadata):
+            encode_header(props(), runs, 512)
+
+    def test_checksum_detects_corruption(self):
+        sectors = encode_header(props(), RunTable([Run(5, 1)]), 512)
+        damaged = bytearray(sectors[0])
+        damaged[40] ^= 0x01
+        with pytest.raises(CorruptMetadata):
+            decode_header([bytes(damaged), sectors[1]], 512)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CorruptMetadata):
+            decode_header([b"\x00" * 512, b"\x00" * 512], 512)

@@ -1,0 +1,65 @@
+"""Unit tests for Trident label codecs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cfs.labels import (
+    PAGE_DATA,
+    PAGE_FREE,
+    PAGE_HEADER,
+    PAGE_NAME_TABLE,
+    data_labels,
+    free_label,
+    header_labels,
+    is_free,
+    make_label,
+    parse_label,
+)
+from repro.disk.disk import LABEL_BYTES
+from repro.errors import CorruptMetadata
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        label = make_label(uid=0xABCDEF, page=42, page_type=PAGE_DATA)
+        assert parse_label(label) == (0xABCDEF, 42, PAGE_DATA)
+
+    def test_fixed_width(self):
+        assert len(make_label(1, 2, PAGE_HEADER)) == LABEL_BYTES
+
+    def test_free_label_is_all_zero(self):
+        assert free_label() == b"\x00" * LABEL_BYTES
+        assert is_free(free_label())
+        assert parse_label(free_label()) == (0, 0, PAGE_FREE)
+
+    def test_nonfree_label_detected(self):
+        assert not is_free(make_label(1, 0, PAGE_DATA))
+
+    def test_bad_type_rejected_on_make(self):
+        with pytest.raises(CorruptMetadata):
+            make_label(1, 0, 99)
+
+    def test_bad_type_rejected_on_parse(self):
+        bogus = bytearray(make_label(1, 0, PAGE_DATA))
+        bogus[12] = 77
+        with pytest.raises(CorruptMetadata):
+            parse_label(bytes(bogus))
+
+
+class TestHelpers:
+    def test_data_labels_sequence(self):
+        labels = data_labels(uid=9, first_page=3, count=3)
+        assert [parse_label(l) for l in labels] == [
+            (9, 3, PAGE_DATA), (9, 4, PAGE_DATA), (9, 5, PAGE_DATA),
+        ]
+
+    def test_header_labels(self):
+        labels = header_labels(uid=9)
+        assert [parse_label(l) for l in labels] == [
+            (9, 0, PAGE_HEADER), (9, 1, PAGE_HEADER),
+        ]
+
+    def test_name_table_type_exists(self):
+        label = make_label(5, 0, PAGE_NAME_TABLE)
+        assert parse_label(label)[2] == PAGE_NAME_TABLE

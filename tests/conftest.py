@@ -1,0 +1,45 @@
+"""Shared test fixtures: small, fast volumes on the simulated disk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bsd.ffs import FFS
+from repro.bsd.layout import FfsParams
+from repro.cfs.cfs import CFS, CfsParams
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+
+TEST_GEOMETRY = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+TEST_FSD_PARAMS = VolumeParams(
+    nt_pages=512, log_record_sectors=300, cache_pages=48
+)
+TEST_CFS_PARAMS = CfsParams(nt_pages=256, cache_pages=32)
+TEST_FFS_PARAMS = FfsParams(
+    cylinders_per_group=12, inodes_per_group=128, buffer_cache_blocks=32
+)
+
+
+@pytest.fixture
+def disk() -> SimDisk:
+    return SimDisk(geometry=TEST_GEOMETRY)
+
+
+@pytest.fixture
+def fsd(disk: SimDisk) -> FSD:
+    FSD.format(disk, TEST_FSD_PARAMS)
+    return FSD.mount(disk)
+
+
+@pytest.fixture
+def cfs(disk: SimDisk) -> CFS:
+    CFS.format(disk, TEST_CFS_PARAMS)
+    return CFS.mount(disk, TEST_CFS_PARAMS)
+
+
+@pytest.fixture
+def ffs(disk: SimDisk) -> FFS:
+    FFS.format(disk, TEST_FFS_PARAMS)
+    return FFS.mount(disk, TEST_FFS_PARAMS)

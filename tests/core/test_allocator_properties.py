@@ -1,0 +1,138 @@
+"""Property-based tests for the allocator and run tables.
+
+Invariants under arbitrary allocate/free interleavings:
+
+* no sector is ever owned by two live allocations,
+* every allocation delivers exactly the requested sector count,
+* freeing returns the VAM to a consistent state (free_count balances),
+* run tables map pages to sectors bijectively.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.allocator import RunAllocator
+from repro.core.layout import VolumeLayout, VolumeParams
+from repro.core.types import Run, RunTable
+from repro.core.vam import VolumeAllocationMap
+from repro.disk.geometry import DiskGeometry
+from repro.errors import VolumeFull
+
+GEO = DiskGeometry(cylinders=60, heads=4, sectors_per_track=16)
+PARAMS = VolumeParams(nt_pages=64, log_record_sectors=99, max_file_runs=128)
+
+
+def fresh_allocator() -> RunAllocator:
+    layout = VolumeLayout.compute(GEO, PARAMS)
+    vam = VolumeAllocationMap(GEO.total_sectors)
+    for run in layout.metadata_runs():
+        vam.mark_allocated(run)
+    return RunAllocator(vam, layout)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("alloc"),
+            st.integers(min_value=1, max_value=200),
+            st.booleans(),
+        ),
+        st.tuples(st.just("free"), st.integers(min_value=0), st.booleans()),
+    ),
+    max_size=60,
+)
+
+
+@settings(
+    max_examples=80, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=operations)
+def test_allocations_never_overlap(ops):
+    allocator = fresh_allocator()
+    vam = allocator.vam
+    live: list[RunTable] = []
+    owned: set[int] = set()
+    free_before = vam.free_count
+
+    for kind, value, flag in ops:
+        if kind == "alloc":
+            try:
+                table = allocator.allocate(value, big=flag)
+            except VolumeFull:
+                continue
+            assert table.total_sectors == value
+            sectors = {
+                s for run in table.runs for s in range(run.start, run.end)
+            }
+            assert len(sectors) == value  # runs internally disjoint
+            assert sectors.isdisjoint(owned)  # and disjoint from others
+            owned |= sectors
+            live.append(table)
+        elif live:
+            victim = live.pop(value % len(live))
+            allocator.free(victim, deferred=flag)
+            if flag:
+                vam.commit_shadow()
+            for run in victim.runs:
+                owned -= set(range(run.start, run.end))
+
+    # Conservation: free count balances exactly.
+    assert vam.free_count == free_before - len(owned)
+    # And every owned sector is marked allocated.
+    for table in live:
+        for run in table.runs:
+            for sector in range(run.start, run.end):
+                assert not vam.is_free(sector)
+
+
+@given(
+    runs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100_000),
+            st.integers(min_value=1, max_value=50),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_run_table_page_mapping_is_bijective(runs):
+    # Make the runs disjoint by spacing them out deterministically.
+    spaced = []
+    cursor = 0
+    for start, count in runs:
+        spaced.append(Run(cursor, count))
+        cursor += count + 3
+    table = RunTable(list(spaced))
+    total = table.total_sectors
+    sectors = [table.sector_of_page(page) for page in range(total)]
+    assert len(set(sectors)) == total  # no two pages share a sector
+    # extents_for over any window covers exactly those pages, in order.
+    if total >= 2:
+        window = table.extents_for(1, total - 1)
+        flattened = [
+            sector
+            for run in window
+            for sector in range(run.start, run.end)
+        ]
+        assert flattened == sectors[1:]
+
+
+@given(
+    runs=st.lists(
+        st.integers(min_value=1, max_value=30), min_size=1, max_size=8
+    ),
+    keep=st.integers(min_value=0, max_value=200),
+)
+def test_truncate_conserves_sectors(runs, keep):
+    cursor = 0
+    table = RunTable()
+    for count in runs:
+        table.append(Run(cursor, count))
+        cursor += count + 2
+    total = table.total_sectors
+    freed = table.truncate_sectors(keep)
+    kept = table.total_sectors
+    assert kept == min(keep, total)
+    assert kept + sum(run.count for run in freed) == total

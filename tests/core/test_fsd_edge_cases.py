@@ -1,0 +1,135 @@
+"""Edge-case tests for the FSD facade: the corners a downstream user
+will eventually hit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.core.types import MAX_NAME_BYTES
+from repro.errors import FileNotFound, FsError
+from repro.workloads.generators import payload
+
+
+class TestNames:
+    def test_max_length_name_works(self, fsd):
+        name = "n" * MAX_NAME_BYTES
+        fsd.create(name, b"x")
+        assert fsd.exists(name)
+
+    def test_overlong_name_rejected(self, fsd):
+        with pytest.raises(FsError):
+            fsd.create("n" * (MAX_NAME_BYTES + 1), b"x")
+
+    def test_empty_name_rejected(self, fsd):
+        with pytest.raises(FsError):
+            fsd.create("", b"x")
+
+    def test_nul_in_name_rejected(self, fsd):
+        with pytest.raises(FsError):
+            fsd.create("bad\x00name", b"x")
+
+    def test_unicode_names(self, fsd):
+        fsd.create("日本語/ファイル.txt", b"konnichiwa")
+        assert fsd.read(fsd.open("日本語/ファイル.txt")) == b"konnichiwa"
+
+    def test_names_sort_like_strings(self, fsd):
+        for name in ("z", "a/x", "a/y", "m"):
+            fsd.create(name, b"-")
+        assert [p.name for p in fsd.list()] == ["a/x", "a/y", "m", "z"]
+
+
+class TestVersionEdges:
+    def test_version_numbers_grow_past_gaps(self, fsd):
+        fsd.create("v", b"1", keep=0)
+        fsd.create("v", b"2", keep=0)
+        fsd.delete("v", version=1)
+        handle = fsd.create("v", b"3", keep=0)
+        assert handle.version == 3
+        assert fsd.versions("v") == [2, 3]
+
+    def test_open_explicit_missing_version(self, fsd):
+        fsd.create("v", b"1")
+        with pytest.raises(FileNotFound):
+            fsd.open("v", version=9)
+
+    def test_recreate_after_full_delete_restarts(self, fsd):
+        fsd.create("v", b"1")
+        fsd.delete("v")
+        handle = fsd.create("v", b"again")
+        assert handle.version == 1
+
+
+class TestSizeEdges:
+    def test_exact_sector_multiple(self, fsd):
+        blob = payload(1024, 1)
+        fsd.create("s", blob)
+        assert fsd.read(fsd.open("s")) == blob
+
+    def test_one_byte_less_than_sector(self, fsd):
+        blob = payload(511, 2)
+        fsd.create("s", blob)
+        assert fsd.read(fsd.open("s")) == blob
+
+    def test_zero_length_read_of_empty_file(self, fsd):
+        fsd.create("empty")
+        assert fsd.read(fsd.open("empty"), 0, 0) == b""
+
+    def test_write_empty_payload_is_noop(self, fsd):
+        fsd.create("f", b"data")
+        handle = fsd.open("f")
+        fsd.write(handle, 2, b"")
+        assert fsd.read(fsd.open("f")) == b"data"
+
+    def test_truncate_to_zero(self, fsd):
+        fsd.create("t", payload(2_000, 3))
+        handle = fsd.open("t")
+        fsd.truncate(handle, 0)
+        assert fsd.open("t").byte_size == 0
+        assert fsd.read(fsd.open("t")) == b""
+
+    def test_grow_after_truncate_to_zero(self, fsd):
+        fsd.create("t", payload(2_000, 3))
+        handle = fsd.open("t")
+        fsd.truncate(handle, 0)
+        fsd.write(handle, 0, b"reborn")
+        assert fsd.read(fsd.open("t")) == b"reborn"
+
+
+class TestHandleSemantics:
+    def test_stale_handle_reads_old_runs(self, fsd):
+        """Handles are snapshots: a handle taken before a new version
+        still reads the version it opened."""
+        fsd.create("h", b"old", keep=0)
+        old = fsd.open("h")
+        fsd.create("h", b"new!", keep=0)
+        assert fsd.read(old) == b"old"
+
+    def test_two_handles_same_file(self, fsd):
+        fsd.create("h", payload(1_000, 1))
+        a = fsd.open("h")
+        b = fsd.open("h")
+        assert fsd.read(a) == fsd.read(b)
+
+
+class TestRenameEdges:
+    def test_rename_onto_existing_name_makes_next_version(self, fsd):
+        fsd.create("a", b"from-a")
+        fsd.create("b", b"from-b", keep=0)
+        renamed = fsd.rename("a", "b")
+        assert renamed.version == 2
+        assert fsd.read(fsd.open("b")) == b"from-a"
+        assert fsd.read(fsd.open("b", version=1)) == b"from-b"
+
+    def test_rename_missing(self, fsd):
+        with pytest.raises(FileNotFound):
+            fsd.rename("ghost", "new")
+
+    def test_rename_survives_crash(self, fsd, disk):
+        fsd.create("old-name", payload(700, 5))
+        fsd.rename("old-name", "new-name")
+        fsd.force()
+        fsd.crash()
+        recovered = FSD.mount(disk)
+        assert not recovered.exists("old-name")
+        assert recovered.read(recovered.open("new-name")) == payload(700, 5)

@@ -1,0 +1,121 @@
+"""Unit tests for the FSD volume layout and root page."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layout import RootPage, VolumeLayout, VolumeParams
+from repro.disk.geometry import DiskGeometry, TRIDENT_T300
+from repro.errors import CorruptMetadata, FsError
+
+
+def layout_for(geometry=TRIDENT_T300, **param_overrides) -> VolumeLayout:
+    return VolumeLayout.compute(geometry, VolumeParams(**param_overrides))
+
+
+class TestParams:
+    def test_log_must_divide_in_thirds(self):
+        with pytest.raises(ValueError):
+            VolumeParams(log_record_sectors=100)
+
+    def test_tiny_name_table_rejected(self):
+        with pytest.raises(ValueError):
+            VolumeParams(nt_pages=4)
+
+
+class TestLayout:
+    def test_metadata_is_central(self):
+        layout = layout_for()
+        central = TRIDENT_T300.cylinder_start(TRIDENT_T300.central_cylinder)
+        assert layout.log_start == central
+
+    def test_regions_do_not_overlap(self):
+        layout = layout_for()
+        regions = [
+            ("root_a", layout.root_a, 1),
+            ("root_b", layout.root_b, 1),
+            ("log", layout.log_start, layout.log_sectors),
+            ("nt_a", layout.nt_a_start, layout.params.nt_pages),
+            ("nt_b", layout.nt_b_start, layout.params.nt_pages),
+            ("vam", layout.vam_start, layout.vam_sectors),
+            ("big", layout.big_area.start, layout.big_area.count),
+            ("small", layout.small_area.start, layout.small_area.count),
+        ]
+        for i, (name_a, start_a, count_a) in enumerate(regions):
+            for name_b, start_b, count_b in regions[i + 1:]:
+                overlap = max(
+                    0,
+                    min(start_a + count_a, start_b + count_b)
+                    - max(start_a, start_b),
+                )
+                assert overlap == 0, f"{name_a} overlaps {name_b}"
+
+    def test_everything_inside_the_disk(self):
+        layout = layout_for()
+        assert layout.small_area.end <= TRIDENT_T300.total_sectors
+        assert layout.meta_end <= TRIDENT_T300.total_sectors
+
+    def test_root_copies_on_different_cylinders(self):
+        layout = layout_for()
+        assert TRIDENT_T300.cylinder_of(layout.root_a) != TRIDENT_T300.cylinder_of(
+            layout.root_b
+        )
+
+    def test_nt_page_addresses(self):
+        layout = layout_for()
+        a0, b0 = layout.nt_page_addresses(0)
+        a5, b5 = layout.nt_page_addresses(5)
+        assert a0 == layout.nt_a_start and b0 == layout.nt_b_start
+        assert a5 - a0 == 5 and b5 - b0 == 5
+        # Copies never adjacent (independent failure modes).
+        assert abs(a0 - b0) > 2
+
+    def test_nt_page_out_of_range(self):
+        layout = layout_for()
+        with pytest.raises(FsError):
+            layout.nt_page_addresses(layout.params.nt_pages)
+
+    def test_big_area_below_small_area(self):
+        layout = layout_for()
+        assert layout.big_area.end <= layout.small_area.start
+
+    def test_volume_too_small(self):
+        tiny = DiskGeometry(cylinders=6, heads=2, sectors_per_track=8)
+        with pytest.raises(FsError):
+            VolumeLayout.compute(tiny, VolumeParams(nt_pages=64, log_record_sectors=99))
+
+    def test_metadata_runs_cover_boot_and_meta(self):
+        layout = layout_for()
+        covered = set()
+        for run in layout.metadata_runs():
+            covered.update(range(run.start, run.end))
+        assert layout.root_a in covered
+        assert layout.root_b in covered
+        assert layout.log_start in covered
+        assert layout.nt_a_start in covered
+        assert layout.vam_start + layout.vam_sectors - 1 in covered
+        assert layout.big_area.start not in covered
+        assert layout.small_area.start not in covered
+
+
+class TestRootPage:
+    def test_roundtrip(self):
+        root = RootPage(
+            params=VolumeParams(nt_pages=1024, cache_pages=33),
+            total_sectors=999,
+            boot_count=7,
+            vam_saved=True,
+        )
+        back = RootPage.decode(root.encode(512))
+        assert back == root
+
+    def test_checksum_detects_corruption(self):
+        root = RootPage(params=VolumeParams(), total_sectors=10)
+        blob = bytearray(root.encode(512))
+        blob[20] ^= 0xFF
+        with pytest.raises(CorruptMetadata):
+            RootPage.decode(bytes(blob))
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptMetadata):
+            RootPage.decode(b"\x00" * 512)

@@ -1,0 +1,86 @@
+"""Unit tests for leader pages: the mutual-checking structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.leader import PREAMBLE_RUNS, encode_leader, verify_leader
+from repro.core.types import FileProperties, Run, RunTable, make_uid
+from repro.errors import CorruptMetadata
+
+
+def props(name="dir/file", version=2, uid=None) -> FileProperties:
+    return FileProperties(
+        name=name,
+        version=version,
+        uid=uid if uid is not None else make_uid(1, 7),
+        leader_addr=500,
+    )
+
+
+def runs() -> RunTable:
+    return RunTable([Run(501, 3), Run(600, 2)])
+
+
+class TestEncodeVerify:
+    def test_valid_leader_verifies(self):
+        p, r = props(), runs()
+        verify_leader(encode_leader(p, r, 512), p, r)
+
+    def test_leader_is_one_sector(self):
+        assert len(encode_leader(props(), runs(), 512)) == 512
+
+    def test_wrong_uid(self):
+        p, r = props(), runs()
+        blob = encode_leader(p, r, 512)
+        with pytest.raises(CorruptMetadata, match="uid"):
+            verify_leader(blob, props(uid=make_uid(9, 9)), r)
+
+    def test_wrong_version(self):
+        p, r = props(), runs()
+        blob = encode_leader(p, r, 512)
+        with pytest.raises(CorruptMetadata, match="version"):
+            verify_leader(blob, props(version=3), r)
+
+    def test_wrong_name(self):
+        p, r = props(), runs()
+        blob = encode_leader(p, r, 512)
+        with pytest.raises(CorruptMetadata, match="name checksum"):
+            verify_leader(blob, props(name="other/file"), r)
+
+    def test_changed_run_table_detected(self):
+        p, r = props(), runs()
+        blob = encode_leader(p, r, 512)
+        other = RunTable([Run(501, 3), Run(700, 2)])
+        with pytest.raises(CorruptMetadata):
+            verify_leader(blob, p, other)
+
+    def test_changed_first_run_detected_via_preamble(self):
+        p, r = props(), runs()
+        blob = encode_leader(p, r, 512)
+        other = RunTable([Run(999, 3), Run(600, 2)])
+        with pytest.raises(CorruptMetadata, match="preamble|checksum"):
+            verify_leader(blob, p, other)
+
+    def test_garbage_sector_rejected(self):
+        with pytest.raises(CorruptMetadata, match="magic"):
+            verify_leader(b"\x00" * 512, props(), runs())
+
+    def test_wild_write_rejected(self):
+        blob = bytearray(encode_leader(props(), runs(), 512))
+        blob[10] ^= 0xFF
+        with pytest.raises(CorruptMetadata):
+            verify_leader(bytes(blob), props(), runs())
+
+    def test_preamble_limited_to_first_runs(self):
+        many = RunTable([Run(1000 + i * 10, 1) for i in range(12)])
+        p = props()
+        blob = encode_leader(p, many, 512)
+        verify_leader(blob, p, many)
+        # Only PREAMBLE_RUNS are stored verbatim.
+        assert PREAMBLE_RUNS == 4
+
+    def test_empty_run_table(self):
+        p = props()
+        empty = RunTable()
+        verify_leader(encode_leader(p, empty, 512), p, empty)

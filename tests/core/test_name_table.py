@@ -1,0 +1,238 @@
+"""Unit tests for the FSD name table: double-written home copies,
+page allocation bitmap, typed entries and run-table continuations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import MetadataCache
+from repro.core.layout import VolumeLayout, VolumeParams
+from repro.core.name_table import (
+    FsdNameTable,
+    NameTableHome,
+    NameTablePager,
+)
+from repro.core.types import FileKind, FileProperties, Run, RunTable, make_uid
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.errors import CorruptMetadata, FileNotFound, VolumeFull
+
+GEO = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+PARAMS = VolumeParams(nt_pages=512, log_record_sectors=300, cache_pages=64)
+
+
+@pytest.fixture
+def world():
+    disk = SimDisk(geometry=GEO)
+    layout = VolumeLayout.compute(GEO, PARAMS)
+    home = NameTableHome(disk, layout)
+    cache = MetadataCache(
+        capacity_pages=PARAMS.cache_pages,
+        nt_reader=home.read_page,
+        nt_writer=home.write_pages,
+        leader_writer=lambda addr, data: disk.write(addr, [data]),
+    )
+    pager = NameTablePager(cache, layout, disk.clock)
+    return disk, layout, home, cache, pager
+
+
+def props_for(name: str, version: int = 1, **over) -> FileProperties:
+    base = dict(
+        name=name,
+        version=version,
+        uid=make_uid(1, hash(name) & 0xFFFF),
+        byte_size=100,
+        keep=2,
+        leader_addr=1000,
+    )
+    base.update(over)
+    return FileProperties(**base)
+
+
+class TestHome:
+    def test_write_then_double_read(self, world):
+        disk, layout, home, *_ = world
+        home.write_pages([(3, b"three".ljust(512, b"\x00"))])
+        a, b = layout.nt_page_addresses(3)
+        assert disk.peek(a).startswith(b"three")
+        assert disk.peek(b).startswith(b"three")
+        assert home.read_page(3).startswith(b"three")
+
+    def test_damaged_copy_a_repaired(self, world):
+        disk, layout, home, *_ = world
+        home.write_pages([(3, b"data".ljust(512, b"\x00"))])
+        a, _ = layout.nt_page_addresses(3)
+        disk.faults.damage(a)
+        assert home.read_page(3).startswith(b"data")
+        assert home.repairs == 1
+        assert not disk.faults.is_damaged(a)
+
+    def test_damaged_copy_b_repaired(self, world):
+        disk, layout, home, *_ = world
+        home.write_pages([(3, b"data".ljust(512, b"\x00"))])
+        _, b = layout.nt_page_addresses(3)
+        disk.faults.damage(b)
+        assert home.read_page(3).startswith(b"data")
+        assert home.repairs == 1
+
+    def test_diverging_copies_is_corruption(self, world):
+        disk, layout, home, *_ = world
+        home.write_pages([(3, b"data".ljust(512, b"\x00"))])
+        a, _ = layout.nt_page_addresses(3)
+        disk.poke(a, b"wild write")
+        with pytest.raises(CorruptMetadata):
+            home.read_page(3)
+
+    def test_both_copies_damaged_is_fatal(self, world):
+        disk, layout, home, *_ = world
+        home.write_pages([(3, b"data".ljust(512, b"\x00"))])
+        a, b = layout.nt_page_addresses(3)
+        disk.faults.damage(a)
+        disk.faults.damage(b)
+        with pytest.raises(CorruptMetadata):
+            home.read_page(3)
+
+    def test_contiguous_batching(self, world):
+        disk, layout, home, *_ = world
+        writes_before = disk.stats.writes
+        home.write_pages([(5, b"a" * 512), (6, b"b" * 512), (7, b"c" * 512)])
+        # One multi-sector write per copy.
+        assert disk.stats.writes - writes_before == 2
+
+
+class TestPagerBitmap:
+    def test_allocate_unique_pages(self, world):
+        *_, pager = world
+        pager.format_bitmap()
+        pages = {pager.allocate() for _ in range(50)}
+        assert len(pages) == 50
+        reserved = 1 + pager.bitmap_pages
+        assert all(page >= reserved for page in pages)
+
+    def test_free_then_reallocate(self, world):
+        *_, pager = world
+        pager.format_bitmap()
+        page = pager.allocate()
+        pager.free(page)
+        reserved = 1 + pager.bitmap_pages
+        seen = {pager.allocate() for _ in range(PARAMS.nt_pages - reserved)}
+        assert page in seen
+
+    def test_double_free_is_corruption(self, world):
+        *_, pager = world
+        pager.format_bitmap()
+        page = pager.allocate()
+        pager.free(page)
+        with pytest.raises(CorruptMetadata):
+            pager.free(page)
+
+    def test_exhaustion(self, world):
+        *_, pager = world
+        pager.format_bitmap()
+        reserved = 1 + pager.bitmap_pages
+        for _ in range(PARAMS.nt_pages - reserved):
+            pager.allocate()
+        with pytest.raises(VolumeFull):
+            pager.allocate()
+
+    def test_allocated_pages_counter(self, world):
+        *_, pager = world
+        pager.format_bitmap()
+        base = pager.allocated_pages()
+        pager.allocate()
+        pager.allocate()
+        assert pager.allocated_pages() == base + 2
+
+
+class TestTypedTable:
+    @pytest.fixture
+    def table(self, world) -> FsdNameTable:
+        disk, layout, home, cache, pager = world
+        return FsdNameTable.format(pager, disk.clock)
+
+    def test_insert_get(self, table):
+        props = props_for("a/file")
+        runs = RunTable([Run(2000, 4)])
+        table.insert(props, runs)
+        got = table.get("a/file", 1)
+        assert got is not None
+        assert got[0] == props
+        assert got[1].runs == runs.runs
+
+    def test_get_missing(self, table):
+        assert table.get("nope", 1) is None
+
+    def test_delete(self, table):
+        table.insert(props_for("a/file"), RunTable([Run(2000, 1)]))
+        props, runs = table.delete("a/file", 1)
+        assert props.name == "a/file"
+        assert table.get("a/file", 1) is None
+
+    def test_delete_missing_raises(self, table):
+        with pytest.raises(FileNotFound):
+            table.delete("ghost", 1)
+
+    def test_versions_ascending(self, table):
+        for version in (3, 1, 2):
+            table.insert(
+                props_for("f", version=version), RunTable([Run(2000 + version, 1)])
+            )
+        assert table.versions("f") == [1, 2, 3]
+        assert table.highest_version("f") == 3
+        assert table.highest_version("ghost") is None
+
+    def test_continuation_runs_roundtrip(self, table):
+        runs = RunTable([Run(3000 + i * 10, 2) for i in range(45)])
+        table.insert(props_for("frag"), runs)
+        got = table.get("frag", 1)
+        assert got is not None
+        assert got[1].runs == runs.runs
+
+    def test_shrinking_run_table_drops_stale_chunks(self, table):
+        big = RunTable([Run(3000 + i * 10, 2) for i in range(45)])
+        table.insert(props_for("frag"), big)
+        small = RunTable([Run(9000, 3)])
+        table.update(props_for("frag"), small)
+        got = table.get("frag", 1)
+        assert got is not None
+        assert got[1].runs == small.runs
+
+    def test_delete_removes_continuations(self, table):
+        runs = RunTable([Run(3000 + i * 10, 2) for i in range(45)])
+        table.insert(props_for("frag"), runs)
+        table.delete("frag", 1)
+        # No orphan continuation entries remain in the tree.
+        assert len(table.tree) == 0
+
+    def test_enumerate_returns_full_run_tables(self, table):
+        table.insert(props_for("a"), RunTable([Run(2000, 1)]))
+        table.insert(
+            props_for("b"), RunTable([Run(3000 + i * 10, 2) for i in range(40)])
+        )
+        entries = list(table.enumerate())
+        assert [props.name for props, _ in entries] == ["a", "b"]
+        assert entries[1][1].total_sectors == 80
+
+    def test_enumerate_prefix(self, table):
+        for name in ("dir/a", "dir/b", "other/c"):
+            table.insert(props_for(name), RunTable([Run(2000, 1)]))
+        names = [props.name for props, _ in table.enumerate("dir/")]
+        assert names == ["dir/a", "dir/b"]
+
+    def test_symlink_and_cached_kinds(self, table):
+        table.insert(
+            props_for("link", kind=FileKind.SYMLINK, remote_target="srv/x"),
+            RunTable(),
+        )
+        got = table.get("link", 1)
+        assert got is not None
+        assert got[0].kind == FileKind.SYMLINK
+        assert got[0].remote_target == "srv/x"
+
+    def test_reopen_after_format(self, world):
+        disk, layout, home, cache, pager = world
+        table = FsdNameTable.format(pager, disk.clock)
+        table.insert(props_for("persist"), RunTable([Run(2000, 1)]))
+        cache.flush_all_home()  # not strictly needed: cache shared
+        reopened = FsdNameTable.open(pager, disk.clock)
+        assert reopened.get("persist", 1) is not None

@@ -1,0 +1,150 @@
+"""Unit tests for the recovery paths: root replication, log replay,
+VAM reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.core.layout import RootPage, VolumeLayout, VolumeParams
+from repro.core.recovery import read_root, write_root
+from repro.core.types import Run
+from repro.core.vam import VolumeAllocationMap
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.errors import CorruptMetadata
+
+GEO = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+PARAMS = VolumeParams(nt_pages=512, log_record_sectors=300, cache_pages=48)
+
+
+def formatted_disk() -> SimDisk:
+    disk = SimDisk(geometry=GEO)
+    FSD.format(disk, PARAMS)
+    return disk
+
+
+class TestRootReplication:
+    def test_roundtrip(self):
+        disk = SimDisk(geometry=GEO)
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        root = RootPage(params=PARAMS, total_sectors=GEO.total_sectors, boot_count=9)
+        write_root(disk, layout, root)
+        assert read_root(disk, layout) == root
+
+    def test_copy_a_damaged_falls_back_and_repairs(self):
+        disk = formatted_disk()
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        disk.faults.damage(layout.root_a)
+        root = read_root(disk, layout)
+        assert root.boot_count == 0
+        assert not disk.faults.is_damaged(layout.root_a)  # repaired
+
+    def test_copy_b_damaged(self):
+        disk = formatted_disk()
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        disk.faults.damage(layout.root_b)
+        assert read_root(disk, layout).boot_count == 0
+
+    def test_both_damaged_is_massive_failure(self):
+        disk = formatted_disk()
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        disk.faults.damage(layout.root_a)
+        disk.faults.damage(layout.root_b)
+        with pytest.raises(CorruptMetadata):
+            read_root(disk, layout)
+
+    def test_diverging_copies_prefer_newer(self):
+        disk = SimDisk(geometry=GEO)
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        old = RootPage(params=PARAMS, total_sectors=GEO.total_sectors, boot_count=1)
+        new = RootPage(params=PARAMS, total_sectors=GEO.total_sectors, boot_count=2)
+        disk.write(layout.root_b, [old.encode(512)])
+        disk.write(layout.root_a, [new.encode(512)])
+        assert read_root(disk, layout).boot_count == 2
+
+
+class TestMountPaths:
+    def test_boot_count_increments_per_mount(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        assert fs.boot_count == 1
+        fs.unmount()
+        fs = FSD.mount(disk)
+        assert fs.boot_count == 2
+
+    def test_clean_mount_loads_vam(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        fs.create("a", b"x")
+        fs.unmount()
+        fs = FSD.mount(disk)
+        assert fs.mount_report.vam_loaded
+        assert fs.mount_report.vam_rebuild_entries == 0
+
+    def test_crash_mount_rebuilds_vam(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        fs.create("a", b"x")
+        fs.force()
+        fs.crash()
+        fs = FSD.mount(disk)
+        assert not fs.mount_report.vam_loaded
+        assert fs.mount_report.vam_rebuild_entries == 1
+
+    def test_stale_vam_save_not_loaded_after_crash(self):
+        """A clean save from boot N must not satisfy a crash in boot
+        N+1 (the VAM is stale by then)."""
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        fs.unmount()  # saves VAM for boot 1
+        fs = FSD.mount(disk)  # boot 2; marks vam_saved = False
+        fs.create("b", b"y")
+        fs.force()
+        fs.crash()
+        fs = FSD.mount(disk)
+        assert not fs.mount_report.vam_loaded
+        assert fs.exists("b")
+
+    def test_rebuilt_vam_matches_live_vam(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        for index in range(30):
+            fs.create(f"d/f{index:02d}", b"z" * (index * 40 + 1))
+        fs.delete("d/f03")
+        fs.delete("d/f17")
+        fs.force()
+        live_bits = bytes(fs.vam._bits)
+        live_free = fs.vam.free_count
+        fs.crash()
+        recovered = FSD.mount(disk)
+        assert bytes(recovered.vam._bits) == live_bits
+        assert recovered.vam.free_count == live_free
+
+    def test_replay_is_idempotent(self):
+        """Mounting twice after the same crash replays to the same
+        state (redo can be repeated)."""
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        for index in range(10):
+            fs.create(f"d/f{index}", b"data")
+        fs.force()
+        fs.crash()
+        first = FSD.mount(disk)
+        names_first = [p.name for p in first.list()]
+        first.crash()
+        second = FSD.mount(disk)
+        assert [p.name for p in second.list()] == names_first
+
+    def test_mount_report_timing_fields(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        fs.create("a", b"x")
+        fs.force()
+        fs.crash()
+        fs = FSD.mount(disk)
+        report = fs.mount_report
+        assert report.total_ms > 0
+        assert report.replay_ms >= 0
+        assert report.log_records_replayed >= 1
+        assert report.pages_replayed >= 1

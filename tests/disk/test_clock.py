@@ -1,0 +1,130 @@
+"""Unit tests for the virtual clock and CPU accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.clock import CpuCostModel, SimClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        clock = SimClock()
+        assert clock.now_ms == 0.0
+        assert clock.cpu_busy_ms == 0.0
+        assert clock.disk_busy_ms == 0.0
+
+    def test_disk_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance_disk(10.0)
+        clock.advance_disk(5.5)
+        assert clock.now_ms == pytest.approx(15.5)
+        assert clock.disk_busy_ms == pytest.approx(15.5)
+        assert clock.cpu_busy_ms == 0.0
+
+    def test_cpu_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance_cpu(3.0)
+        assert clock.now_ms == pytest.approx(3.0)
+        assert clock.cpu_busy_ms == pytest.approx(3.0)
+        assert clock.disk_busy_ms == 0.0
+
+    def test_idle_advances_only_now(self):
+        clock = SimClock()
+        clock.advance_idle(100.0)
+        assert clock.now_ms == pytest.approx(100.0)
+        assert clock.cpu_busy_ms == 0.0
+        assert clock.disk_busy_ms == 0.0
+
+    def test_overlapped_cpu_does_not_advance_now(self):
+        clock = SimClock()
+        clock.charge_overlapped_cpu(7.0)
+        assert clock.now_ms == 0.0
+        assert clock.cpu_busy_ms == pytest.approx(7.0)
+
+    @pytest.mark.parametrize(
+        "method", ["advance_disk", "advance_cpu", "advance_idle",
+                   "charge_overlapped_cpu"]
+    )
+    def test_negative_advance_rejected(self, method):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            getattr(clock, method)(-1.0)
+
+    def test_snapshot_fields(self):
+        clock = SimClock()
+        clock.advance_disk(2.0)
+        clock.advance_cpu(1.0)
+        snap = clock.snapshot()
+        assert snap == {
+            "now_ms": pytest.approx(3.0),
+            "cpu_busy_ms": pytest.approx(1.0),
+            "disk_busy_ms": pytest.approx(2.0),
+        }
+
+
+class TestTimers:
+    def test_timer_fires_after_period(self):
+        clock = SimClock()
+        fired = []
+        clock.add_timer(500.0, lambda c: fired.append(c.now_ms))
+        clock.advance_idle(499.0)
+        clock.fire_due_timers()
+        assert fired == []
+        clock.advance_idle(2.0)
+        clock.fire_due_timers()
+        assert len(fired) == 1
+
+    def test_timer_reschedules(self):
+        clock = SimClock()
+        fired = []
+        clock.add_timer(100.0, lambda c: fired.append(c.now_ms))
+        for _ in range(5):
+            clock.advance_idle(100.0)
+            clock.fire_due_timers()
+        assert len(fired) == 5
+
+    def test_long_idle_fires_once_per_wakeup(self):
+        """Catching up after a long gap runs the daemon once, like a
+        real timer thread that overslept."""
+        clock = SimClock()
+        fired = []
+        clock.add_timer(100.0, lambda c: fired.append(c.now_ms))
+        clock.advance_idle(1_000.0)
+        assert clock.fire_due_timers() == 1
+        assert len(fired) == 1
+
+    def test_removed_timer_never_fires(self):
+        clock = SimClock()
+        fired = []
+        event = clock.add_timer(10.0, lambda c: fired.append(1))
+        clock.remove_timer(event)
+        clock.advance_idle(100.0)
+        clock.fire_due_timers()
+        assert fired == []
+
+    def test_multiple_timers_independent(self):
+        clock = SimClock()
+        a, b = [], []
+        clock.add_timer(10.0, lambda c: a.append(1), name="a")
+        clock.add_timer(25.0, lambda c: b.append(1), name="b")
+        clock.advance_idle(12.0)
+        clock.fire_due_timers()
+        assert (len(a), len(b)) == (1, 0)
+        clock.advance_idle(15.0)
+        clock.fire_due_timers()
+        assert (len(a), len(b)) == (2, 1)
+
+
+class TestCpuCostModel:
+    def test_defaults_are_positive(self):
+        cpu = CpuCostModel()
+        assert cpu.io_setup_ms > 0
+        assert cpu.per_sector_copy_ms > 0
+        assert cpu.scavenge_sector_ms > 0
+        assert cpu.fsck_inode_ms > 0
+
+    def test_custom_model_attaches_to_clock(self):
+        cpu = CpuCostModel(io_setup_ms=1.5)
+        clock = SimClock(cpu=cpu)
+        assert clock.cpu.io_setup_ms == 1.5

@@ -1,0 +1,68 @@
+"""Unit tests for the fault injector's model constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.faults import CrashPlan, FaultInjector
+
+
+class TestDamage:
+    def test_damage_one_or_two_sectors(self):
+        injector = FaultInjector()
+        injector.damage(10)
+        injector.damage(20, count=2)
+        assert injector.is_damaged(10)
+        assert injector.is_damaged(20) and injector.is_damaged(21)
+        assert injector.injected_media_faults == 2
+
+    def test_paper_failure_model_enforced(self):
+        """Longer contiguous failures are 'massive' — out of scope."""
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.damage(0, count=3)
+        with pytest.raises(ValueError):
+            injector.damage(0, count=0)
+
+    def test_repair_clears(self):
+        injector = FaultInjector()
+        injector.damage(5)
+        injector.repair(5)
+        assert not injector.is_damaged(5)
+
+    def test_repair_idempotent(self):
+        FaultInjector().repair(99)  # no error
+
+
+class TestCrashPlans:
+    def test_damage_tail_bounds(self):
+        with pytest.raises(ValueError):
+            CrashPlan(damage_tail=3)
+        CrashPlan(damage_tail=0)
+        CrashPlan(damage_tail=2)
+
+    def test_countdown_semantics(self):
+        injector = FaultInjector()
+        injector.arm_crash(after_ios=2)
+        assert injector.crash_due() is None
+        assert injector.crash_due() is None
+        plan = injector.crash_due()
+        assert plan is not None
+        assert injector.crashes_fired == 1
+        # Fired plans are consumed.
+        assert injector.crash_due() is None
+
+    def test_disarm(self):
+        injector = FaultInjector()
+        injector.arm_crash(after_ios=0)
+        injector.disarm_crash()
+        assert injector.crash_due() is None
+        assert injector.crashes_fired == 0
+
+    def test_rearm_replaces(self):
+        injector = FaultInjector()
+        injector.arm_crash(after_ios=5)
+        injector.arm_crash(after_ios=0, surviving_sectors=1)
+        plan = injector.crash_due()
+        assert plan is not None
+        assert plan.surviving_sectors == 1

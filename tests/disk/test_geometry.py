@@ -1,0 +1,103 @@
+"""Unit and property tests for disk geometry address arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.geometry import DiskGeometry, SMALL_DISK, TRIDENT_T300
+from repro.errors import DiskRangeError
+
+
+class TestSizes:
+    def test_trident_is_about_300mb(self):
+        assert 290 * 2**20 < TRIDENT_T300.total_bytes < 320 * 2**20
+
+    def test_derived_quantities(self):
+        geo = DiskGeometry(cylinders=10, heads=4, sectors_per_track=16)
+        assert geo.sectors_per_cylinder == 64
+        assert geo.total_sectors == 640
+        assert geo.total_bytes == 640 * 512
+        assert geo.central_cylinder == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cylinders": 0},
+            {"heads": 0},
+            {"sectors_per_track": 0},
+            {"sector_bytes": 0},
+            {"cylinders": -5},
+        ],
+    )
+    def test_bad_dimensions_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DiskGeometry(**kwargs)
+
+
+class TestAddressing:
+    def test_chs_of_first_and_last(self):
+        geo = SMALL_DISK
+        assert geo.chs(0) == (0, 0, 0)
+        last = geo.total_sectors - 1
+        assert geo.chs(last) == (
+            geo.cylinders - 1,
+            geo.heads - 1,
+            geo.sectors_per_track - 1,
+        )
+
+    def test_cylinder_start(self):
+        geo = SMALL_DISK
+        assert geo.cylinder_start(0) == 0
+        assert geo.cylinder_start(3) == 3 * geo.sectors_per_cylinder
+
+    def test_out_of_range_rejected(self):
+        geo = SMALL_DISK
+        with pytest.raises(DiskRangeError):
+            geo.chs(geo.total_sectors)
+        with pytest.raises(DiskRangeError):
+            geo.check_range(-1)
+        with pytest.raises(DiskRangeError):
+            geo.check_range(geo.total_sectors - 1, 2)
+        with pytest.raises(DiskRangeError):
+            geo.check_range(0, 0)
+
+    def test_address_component_range_checks(self):
+        geo = SMALL_DISK
+        with pytest.raises(DiskRangeError):
+            geo.address(geo.cylinders, 0, 0)
+        with pytest.raises(DiskRangeError):
+            geo.address(0, geo.heads, 0)
+        with pytest.raises(DiskRangeError):
+            geo.address(0, 0, geo.sectors_per_track)
+
+    def test_rotational_slot(self):
+        geo = SMALL_DISK
+        assert geo.rotational_slot(0) == 0
+        assert geo.rotational_slot(geo.sectors_per_track + 3) == 3
+
+
+@given(
+    cylinders=st.integers(min_value=1, max_value=50),
+    heads=st.integers(min_value=1, max_value=8),
+    spt=st.integers(min_value=1, max_value=32),
+    data=st.data(),
+)
+def test_chs_address_roundtrip(cylinders, heads, spt, data):
+    """address(chs(a)) == a for every valid sector address."""
+    geo = DiskGeometry(cylinders=cylinders, heads=heads, sectors_per_track=spt)
+    address = data.draw(
+        st.integers(min_value=0, max_value=geo.total_sectors - 1)
+    )
+    cylinder, head, sector = geo.chs(address)
+    assert geo.address(cylinder, head, sector) == address
+    assert geo.cylinder_of(address) == cylinder
+    assert 0 <= sector < spt
+
+
+@given(st.integers(min_value=0, max_value=SMALL_DISK.total_sectors - 1))
+def test_cylinder_of_monotonic(address):
+    geo = SMALL_DISK
+    assert 0 <= geo.cylinder_of(address) < geo.cylinders
+    if address > 0:
+        assert geo.cylinder_of(address) >= geo.cylinder_of(address - 1)

@@ -1,0 +1,87 @@
+"""Tests for disk-image persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.image import load_disk, save_disk
+from repro.errors import DiskError
+from tests.conftest import TEST_FSD_PARAMS, TEST_GEOMETRY
+from repro.workloads.generators import payload
+
+GEO = DiskGeometry(cylinders=30, heads=4, sectors_per_track=16)
+
+
+class TestRoundtrip:
+    def test_empty_disk(self, tmp_path):
+        disk = SimDisk(geometry=GEO)
+        save_disk(disk, tmp_path / "disk.img")
+        loaded = load_disk(tmp_path / "disk.img")
+        assert loaded.geometry == GEO
+        assert loaded.peek(0) == b"\x00" * 512
+
+    def test_sectors_and_labels(self, tmp_path):
+        disk = SimDisk(geometry=GEO)
+        disk.write(5, [b"hello", b"world"], set_labels=[b"L1", b"L2"])
+        save_disk(disk, tmp_path / "disk.img")
+        loaded = load_disk(tmp_path / "disk.img")
+        assert loaded.peek(5).startswith(b"hello")
+        assert loaded.peek(6).startswith(b"world")
+        assert loaded.peek_label(5).startswith(b"L1")
+
+    def test_damage_persists(self, tmp_path):
+        disk = SimDisk(geometry=GEO)
+        disk.write(5, [b"x"])
+        disk.faults.damage(5)
+        save_disk(disk, tmp_path / "disk.img")
+        loaded = load_disk(tmp_path / "disk.img")
+        assert loaded.faults.is_damaged(5)
+
+    def test_clock_not_persisted(self, tmp_path):
+        disk = SimDisk(geometry=GEO)
+        disk.read(100, 5)
+        assert disk.clock.now_ms > 0
+        save_disk(disk, tmp_path / "disk.img")
+        assert load_disk(tmp_path / "disk.img").clock.now_ms == 0.0
+
+    def test_not_an_image(self, tmp_path):
+        path = tmp_path / "garbage"
+        path.write_bytes(b"not an image at all")
+        with pytest.raises(DiskError):
+            load_disk(path)
+
+    def test_fsd_volume_survives_image_roundtrip(self, tmp_path):
+        disk = SimDisk(geometry=TEST_GEOMETRY)
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk)
+        fs.create("persist/me", payload(3_000, 4))
+        fs.unmount()
+        save_disk(disk, tmp_path / "vol.img")
+
+        loaded = load_disk(tmp_path / "vol.img")
+        fs2 = FSD.mount(loaded)
+        assert fs2.read(fs2.open("persist/me")) == payload(3_000, 4)
+
+    def test_dirty_volume_recovers_after_roundtrip(self, tmp_path):
+        disk = SimDisk(geometry=TEST_GEOMETRY)
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk)
+        fs.create("crashy", b"committed")
+        fs.force()
+        fs.crash()  # no unmount: dirty image
+        save_disk(disk, tmp_path / "vol.img")
+
+        loaded = load_disk(tmp_path / "vol.img")
+        fs2 = FSD.mount(loaded)
+        assert fs2.mount_report.log_records_replayed >= 1
+        assert fs2.read(fs2.open("crashy")) == b"committed"
+
+    def test_mirrored_disk_refused(self, tmp_path):
+        from repro.disk.mirror import MirroredDisk
+
+        mirror = MirroredDisk(geometry=GEO)
+        with pytest.raises(DiskError, match="shadow"):
+            save_disk(mirror, tmp_path / "mirror.img")

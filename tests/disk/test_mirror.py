@@ -1,0 +1,160 @@
+"""Tests for the mirrored-disk extension (§3: massive failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mirror import MirroredDisk
+from repro.errors import DiskError
+from repro.workloads.generators import payload
+
+GEO = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+
+
+@pytest.fixture
+def mirror() -> MirroredDisk:
+    return MirroredDisk(geometry=GEO)
+
+
+class TestShadowedIO:
+    def test_writes_land_on_both_units(self, mirror):
+        mirror.write(10, [b"both"])
+        assert mirror.peek(10).startswith(b"both")
+        assert mirror.peek_mirror(10).startswith(b"both")
+
+    def test_damaged_primary_sector_recovered(self, mirror):
+        mirror.write(10, [b"safe"])
+        mirror.faults.damage(10)
+        assert mirror.read(10)[0].startswith(b"safe")
+        assert mirror.mirror_recoveries == 1
+        # ...and repaired in place.
+        assert not mirror.faults.is_damaged(10)
+
+    def test_both_sides_damaged_still_fails(self, mirror):
+        mirror.write(10, [b"x"])
+        mirror.faults.damage(10)
+        mirror.mirror_faults.damage(10)
+        assert mirror.read_maybe(10)[0] is None
+
+    def test_recovery_costs_extra_time(self, mirror):
+        mirror.write(10, [b"x"])
+        clean = MirroredDisk(geometry=GEO)
+        clean.write(10, [b"x"])
+        mirror.faults.damage(10)
+        t0 = mirror.clock.now_ms
+        mirror.read(10)
+        with_recovery = mirror.clock.now_ms - t0
+        t0 = clean.clock.now_ms
+        clean.read(10)
+        without = clean.clock.now_ms - t0
+        assert with_recovery > without
+
+
+class TestMassiveFailure:
+    def test_unit_a_loss_transparent(self, mirror):
+        mirror.write(10, [b"survives"])
+        mirror.massive_failure("a")
+        assert mirror.degraded
+        assert mirror.read(10)[0].startswith(b"survives")
+
+    def test_unit_b_loss_transparent(self, mirror):
+        mirror.write(10, [b"survives"])
+        mirror.massive_failure("b")
+        assert mirror.read(10)[0].startswith(b"survives")
+        # New writes go only to the survivor; still readable.
+        mirror.write(11, [b"new"])
+        assert mirror.read(11)[0].startswith(b"new")
+
+    def test_double_failure_rejected(self, mirror):
+        mirror.massive_failure("a")
+        with pytest.raises(DiskError):
+            mirror.massive_failure("b")
+
+    def test_unknown_unit(self, mirror):
+        with pytest.raises(ValueError):
+            mirror.massive_failure("c")
+
+    def test_resilver_restores_redundancy(self, mirror):
+        mirror.write(10, [b"data"])
+        mirror.massive_failure("a")
+        mirror.write(11, [b"degraded-write"])
+        copied = mirror.resilver()
+        assert copied == GEO.total_sectors
+        assert not mirror.degraded
+        # Now the primary holds everything again.
+        assert mirror.peek(10).startswith(b"data")
+        assert mirror.peek(11).startswith(b"degraded-write")
+        # And can lose the *other* unit.
+        mirror.massive_failure("b")
+        assert mirror.read(10)[0].startswith(b"data")
+
+    def test_resilver_noop_when_healthy(self, mirror):
+        assert mirror.resilver() == 0
+
+
+class TestFsdOnMirror:
+    def test_head_crash_survivable(self):
+        """The paper's §3 scenario: with mirrored hardware even a head
+        crash loses nothing — FSD keeps running."""
+        disk = MirroredDisk(geometry=GEO)
+        FSD.format(disk, VolumeParams(nt_pages=512, log_record_sectors=300))
+        fs = FSD.mount(disk)
+        contents = {}
+        for index in range(15):
+            name = f"d/f{index:02d}"
+            contents[name] = payload(700 + index * 13, index)
+            fs.create(name, contents[name])
+        fs.force()
+
+        disk.massive_failure("a")  # the head crash
+        for name, data in contents.items():
+            assert fs.read(fs.open(name)) == data
+
+        # A crash+recovery cycle on the surviving unit also works.
+        fs.crash()
+        recovered = FSD.mount(disk)
+        for name, data in contents.items():
+            assert recovered.read(recovered.open(name)) == data
+
+
+class TestLabelsOnMirror:
+    def test_label_writes_shadowed(self, mirror):
+        mirror.write_labels(10, [b"L1", b"L2"])
+        assert mirror._mirror_labels[10].startswith(b"L1")
+        assert mirror._mirror_labels[11].startswith(b"L2")
+
+    def test_labelled_write_shadowed(self, mirror):
+        mirror.write(10, [b"data"], set_labels=[b"claimed"])
+        assert mirror._mirror_labels[10].startswith(b"claimed")
+
+    def test_cfs_survives_resilver_roundtrip(self, mirror):
+        from repro.cfs.cfs import CFS, CfsParams
+
+        params = CfsParams(nt_pages=128, cache_pages=16)
+        CFS.format(mirror, params)
+        fs = CFS.mount(mirror, params)
+        fs.create("m/file", b"mirrored cfs")
+        mirror.massive_failure("a")
+        mirror.resilver()
+        # Labels restored on the rebuilt unit: verified reads work.
+        assert fs.read(fs.open("m/file")) == b"mirrored cfs"
+
+    def test_torn_write_leaves_old_values_on_mirror(self, mirror):
+        """Careful replacement: a crash mid-write tears only the
+        primary; reads then see old data, never garbage."""
+        from repro.errors import SimulatedCrash
+
+        mirror.write(10, [b"old-a", b"old-b", b"old-c"])
+        mirror.faults.arm_crash(
+            after_ios=0, surviving_sectors=1, damage_tail=2
+        )
+        with pytest.raises(SimulatedCrash):
+            mirror.write(10, [b"new-a", b"new-b", b"new-c"])
+        # Primary: new prefix persisted, tail damaged.
+        assert mirror.peek(10).startswith(b"new-a")
+        # Damaged sectors recover the OLD value from the mirror.
+        assert mirror.read(11)[0].startswith(b"old-b")
+        assert mirror.read(12)[0].startswith(b"old-c")

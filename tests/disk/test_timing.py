@@ -1,0 +1,75 @@
+"""Unit and property tests for the disk timing model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.timing import DiskTiming, TRIDENT_TIMING
+
+
+class TestSeek:
+    def test_zero_distance_is_free(self):
+        assert TRIDENT_TIMING.seek_ms(0) == 0.0
+
+    def test_track_to_track_in_era_band(self):
+        assert 4.0 < TRIDENT_TIMING.seek_ms(1) < 10.0
+
+    def test_full_stroke_in_era_band(self):
+        assert 35.0 < TRIDENT_TIMING.seek_ms(829) < 60.0
+
+    def test_average_seek_in_era_band(self):
+        assert 20.0 < TRIDENT_TIMING.average_seek_ms < 40.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            TRIDENT_TIMING.seek_ms(-1)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_seek_monotonic_in_distance(self, distance):
+        timing = TRIDENT_TIMING
+        assert timing.seek_ms(distance) >= timing.seek_ms(distance - 1)
+
+    def test_short_seek_shorter_than_average(self):
+        assert TRIDENT_TIMING.short_seek_ms < TRIDENT_TIMING.average_seek_ms
+
+
+class TestRotation:
+    def test_latency_is_half_revolution(self):
+        assert TRIDENT_TIMING.latency_ms == pytest.approx(
+            TRIDENT_TIMING.rotation_ms / 2
+        )
+
+    def test_transfer_scales_linearly(self):
+        t1 = TRIDENT_TIMING.transfer_ms(1, 30)
+        t30 = TRIDENT_TIMING.transfer_ms(30, 30)
+        assert t30 == pytest.approx(30 * t1)
+        assert t30 == pytest.approx(TRIDENT_TIMING.rotation_ms)
+
+    def test_transfer_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TRIDENT_TIMING.transfer_ms(-1, 30)
+
+    def test_track_bandwidth(self):
+        bw = TRIDENT_TIMING.track_bandwidth_bytes_per_ms(30, 512)
+        # 30 sectors * 512 bytes per 16.67 ms revolution: ~0.92 MB/s.
+        assert bw == pytest.approx(30 * 512 / 16.67, rel=1e-6)
+
+    @given(
+        now=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        slot=st.integers(min_value=0, max_value=29),
+    )
+    def test_rotational_wait_bounds(self, now, slot):
+        wait = TRIDENT_TIMING.rotational_wait_ms(now, slot, 30)
+        assert 0.0 <= wait < TRIDENT_TIMING.rotation_ms + 1e-9
+
+    def test_rotational_wait_exact_alignment(self):
+        timing = DiskTiming(rotation_ms=16.0)
+        # At t=0 the head is at slot 0; waiting for slot 8 of 16 is
+        # exactly half a revolution.
+        assert timing.rotational_wait_ms(0.0, 8, 16) == pytest.approx(8.0)
+        assert timing.rotational_wait_ms(0.0, 0, 16) == pytest.approx(0.0)
+
+    def test_angle_wraps(self):
+        timing = DiskTiming(rotation_ms=10.0)
+        assert timing.angle_at(25.0) == pytest.approx(0.5)

@@ -1,0 +1,110 @@
+"""Tests for the I/O tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.trace import IoEvent, IoTracer
+
+GEO = DiskGeometry(cylinders=40, heads=4, sectors_per_track=16)
+
+
+@pytest.fixture
+def traced() -> tuple[SimDisk, IoTracer]:
+    disk = SimDisk(geometry=GEO)
+    tracer = IoTracer()
+    disk.tracer = tracer
+    return disk, tracer
+
+
+class TestTracing:
+    def test_no_tracer_no_overhead(self):
+        disk = SimDisk(geometry=GEO)
+        disk.read(0, 1)  # must not blow up without a tracer
+
+    def test_events_recorded_per_io(self, traced):
+        disk, tracer = traced
+        disk.write(10, [b"x", b"y"])
+        disk.read(10, 2)
+        disk.read_labels(100, 1)
+        disk.write_labels(100, [b"l"])
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == ["write", "read", "label_read", "label_write"]
+
+    def test_event_fields(self, traced):
+        disk, tracer = traced
+        disk.read(GEO.sectors_per_cylinder * 10, 3)
+        event = tracer.events[0]
+        assert event.sectors == 3
+        assert event.cylinder_distance == 10
+        assert event.seek_ms > 0
+        assert event.transfer_ms == pytest.approx(
+            disk.timing.transfer_ms(3, GEO.sectors_per_track)
+        )
+        assert event.total_ms == pytest.approx(
+            event.seek_ms + event.rotational_ms + event.transfer_ms
+        )
+
+    def test_seek_classification(self):
+        near = IoEvent("read", 0, 1, 2, 1.0, 1.0, 1.0, 0.0)
+        far = IoEvent("read", 0, 1, 30, 1.0, 1.0, 1.0, 0.0)
+        none = IoEvent("read", 0, 1, 0, 0.0, 1.0, 1.0, 0.0)
+        assert near.classify_seek() == "short seek"
+        assert far.classify_seek() == "seek"
+        assert none.classify_seek() == "none"
+
+    def test_script_rendering(self, traced):
+        disk, tracer = traced
+        disk.read(GEO.sectors_per_cylinder * 20, 2)
+        lines = tracer.script()
+        assert len(lines) == 1
+        assert "seek" in lines[0]
+        assert "transfer 2" in lines[0]
+
+    def test_totals(self, traced):
+        disk, tracer = traced
+        disk.read(0, 4)
+        disk.read(4, 4)
+        totals = tracer.totals()
+        assert totals["events"] == 2
+        assert totals["sectors"] == 8
+        assert totals["transfer_ms"] == pytest.approx(
+            disk.timing.transfer_ms(8, GEO.sectors_per_track)
+        )
+
+    def test_disable_and_clear(self, traced):
+        disk, tracer = traced
+        disk.read(0, 1)
+        tracer.enabled = False
+        disk.read(0, 1)
+        assert len(tracer.events) == 1
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_str_is_readable(self, traced):
+        disk, tracer = traced
+        disk.read(0, 1)
+        text = str(tracer.events[0])
+        assert "read" in text and "x1" in text
+
+
+class TestTraceMatchesModelShape:
+    def test_fsd_small_create_trace_is_one_write(self):
+        """The warm-path trace must match the §4 description: one
+        combined leader+data write, no seeks back and forth."""
+        from repro.core.fsd import FSD
+        from repro.core.layout import VolumeParams
+
+        disk = SimDisk(
+            geometry=DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+        )
+        FSD.format(disk, VolumeParams(nt_pages=512, log_record_sectors=300))
+        fs = FSD.mount(disk)
+        fs.create("warm/up", b"w")
+        tracer = IoTracer()
+        disk.tracer = tracer
+        fs.create("warm/measured", b"x")
+        assert [event.kind for event in tracer.events] == ["write"]
+        assert tracer.events[0].sectors == 2  # leader + one data page

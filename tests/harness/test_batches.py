@@ -1,0 +1,65 @@
+"""Unit tests for the Table 3/4 batch workload harness."""
+
+from __future__ import annotations
+
+from repro.harness.batches import (
+    BATCH_FILES,
+    BatchResult,
+    measure_batches,
+    measure_makedo,
+)
+from repro.harness.scenarios import SMALL, cfs_volume, ffs_volume, fsd_volume, populate
+
+
+class TestBatches:
+    def test_fsd_counts_in_expected_ranges(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        result = measure_batches(disk, adapter)
+        # ~1 combined write per create plus log traffic.
+        assert BATCH_FILES <= result.create_ios <= 2.5 * BATCH_FILES
+        # Reads: one I/O per file (+ leaf misses).
+        assert BATCH_FILES * 0.9 <= result.read_ios <= 1.6 * BATCH_FILES
+        assert result.list_ios <= 20
+        assert result.create_ms > 0 and result.read_ms > 0
+
+    def test_cfs_counts_much_higher(self):
+        disk, fs, adapter = cfs_volume(SMALL)
+        result = measure_batches(disk, adapter)
+        assert result.create_ios >= 6 * BATCH_FILES
+        assert result.list_ios >= BATCH_FILES  # a header read per file
+
+    def test_ffs_counts(self):
+        disk, fs, adapter = ffs_volume(SMALL)
+        result = measure_batches(disk, adapter)
+        assert 2.5 * BATCH_FILES <= result.create_ios <= 4.5 * BATCH_FILES
+
+    def test_pollution_changes_cache_state(self):
+        disk, fs, adapter = ffs_volume(SMALL)
+        aged = populate(adapter, 60)
+        polluted = measure_batches(
+            disk, adapter, directory="p", pollute=aged[:40]
+        )
+        disk2, fs2, adapter2 = ffs_volume(SMALL)
+        populate(adapter2, 60)
+        warm = measure_batches(disk2, adapter2, directory="p")
+        assert polluted.list_ios >= warm.list_ios
+
+    def test_files_created_verifiably(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        measure_batches(disk, adapter, directory="check")
+        assert adapter.list("check/") == BATCH_FILES
+
+
+class TestMakeDoHarness:
+    def test_returns_io_count_and_time(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        ios, elapsed = measure_makedo(disk, adapter, modules=5)
+        assert ios > 5  # at least the data traffic
+        assert elapsed > 0
+
+    def test_scales_with_modules(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        small_ios, _ = measure_makedo(disk, adapter, modules=3)
+        disk2, fs2, adapter2 = fsd_volume(SMALL)
+        big_ios, _ = measure_makedo(disk2, adapter2, modules=9)
+        assert big_ios > 2 * small_ios

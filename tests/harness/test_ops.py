@@ -1,0 +1,70 @@
+"""Smoke tests for the Table 2 measurement harness at SMALL scale."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.ops import (
+    Table2Result,
+    measure_cfs_table2,
+    measure_fsd_table2,
+)
+from repro.harness.scenarios import SMALL
+
+OPS = (
+    "small create", "large create", "open", "open+read",
+    "read page", "small delete", "large delete",
+)
+
+
+@pytest.fixture(scope="module")
+def fsd_result() -> Table2Result:
+    return measure_fsd_table2(SMALL, include_recovery=True)
+
+
+@pytest.fixture(scope="module")
+def cfs_result() -> Table2Result:
+    return measure_cfs_table2(SMALL, include_recovery=True)
+
+
+class TestFsdMeasurements:
+    def test_all_operations_measured(self, fsd_result):
+        assert set(fsd_result.ms) == {f"fsd {op}" for op in OPS}
+
+    def test_all_positive(self, fsd_result):
+        assert all(value > 0 for value in fsd_result.ms.values())
+
+    def test_large_dominates_small(self, fsd_result):
+        assert fsd_result.ms["fsd large create"] > 20 * fsd_result.ms[
+            "fsd small create"
+        ]
+
+    def test_recovery_measured(self, fsd_result):
+        assert fsd_result.recovery_ms > 0
+        assert "records" in fsd_result.recovery_note
+
+
+class TestCfsMeasurements:
+    def test_all_operations_measured(self, cfs_result):
+        assert set(cfs_result.ms) == {f"cfs {op}" for op in OPS}
+
+    def test_recovery_is_scavenge(self, cfs_result):
+        assert "labels" in cfs_result.recovery_note
+        assert cfs_result.recovery_ms > 10_000
+
+
+class TestShapeAtSmallScale:
+    """Even on the tiny test volume, every winner must be right."""
+
+    @pytest.mark.parametrize(
+        "op", ["small create", "large create", "small delete", "large delete"]
+    )
+    def test_fsd_wins(self, fsd_result, cfs_result, op):
+        assert cfs_result.ms[f"cfs {op}"] > fsd_result.ms[f"fsd {op}"]
+
+    def test_read_page_parity(self, fsd_result, cfs_result):
+        ratio = cfs_result.ms["cfs read page"] / fsd_result.ms["fsd read page"]
+        assert 0.5 < ratio < 2.0
+
+    def test_recovery_gap(self, fsd_result, cfs_result):
+        assert cfs_result.recovery_ms > 10 * fsd_result.recovery_ms

@@ -1,0 +1,111 @@
+"""Property-based CFS testing against an in-memory reference.
+
+CFS has no crash-consistency contract (that is the paper's point), so
+the model here covers clean operation only: any sequence of creates,
+deletes, writes and reads must match a dict, and the label discipline
+must hold throughout (every live sector labelled for its file, every
+freed sector relabelled free).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cfs.cfs import CFS, CfsParams
+from repro.cfs.labels import is_free, parse_label
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.workloads.generators import payload
+
+GEO = DiskGeometry(cylinders=100, heads=8, sectors_per_track=24)
+PARAMS = CfsParams(nt_pages=256, cache_pages=24)
+
+operation = st.one_of(
+    st.tuples(
+        st.just("create"),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=2_500),
+    ),
+    st.tuples(
+        st.just("delete"), st.integers(min_value=0, max_value=11), st.just(0)
+    ),
+    st.tuples(
+        st.just("append"),
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=1, max_value=1_200),
+    ),
+)
+
+
+@settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(operation, max_size=40))
+def test_cfs_matches_reference_model(ops):
+    disk = SimDisk(geometry=GEO)
+    CFS.format(disk, PARAMS)
+    fs = CFS.mount(disk, PARAMS)
+
+    reference: dict[str, bytes] = {}
+    serial = 0
+    for kind, slot, size in ops:
+        name = f"m/f{slot:02d}"
+        if kind == "create":
+            serial += 1
+            data = payload(size, serial)
+            fs.create(name, data, keep=1)
+            reference[name] = data
+        elif kind == "delete":
+            if name in reference:
+                fs.delete(name)
+                del reference[name]
+        elif kind == "append":
+            if name in reference:
+                handle = fs.open(name)
+                extra = payload(size, serial)
+                fs.write(handle, handle.props.byte_size, extra)
+                reference[name] = reference[name] + extra
+
+    # Contents match.
+    live = {name: fs.read(fs.open(name)) for name in reference}
+    assert live == reference
+    # Label discipline: every live file's sectors carry its uid/pages.
+    for name in reference:
+        handle = fs.open(name)
+        page = 0
+        for run in handle.runs.runs:
+            for sector in range(run.start, run.end):
+                uid, label_page, _ = parse_label(disk.peek_label(sector))
+                assert uid == handle.props.uid
+                assert label_page == page
+                page += 1
+    fs.name_table.tree.check_invariants()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    slots=st.lists(
+        st.integers(min_value=0, max_value=8), min_size=1, max_size=12
+    )
+)
+def test_cfs_deleted_sectors_relabelled_free(slots):
+    disk = SimDisk(geometry=GEO)
+    CFS.format(disk, PARAMS)
+    fs = CFS.mount(disk, PARAMS)
+    created = {}
+    for index, slot in enumerate(slots):
+        name = f"d/f{slot}"
+        if name in created:
+            handle = fs.open(name)
+            sectors = [
+                s for run in handle.runs.runs
+                for s in range(run.start, run.end)
+            ] + [handle.header_addr, handle.header_addr + 1]
+            fs.delete(name)
+            del created[name]
+            for sector in sectors:
+                assert is_free(disk.peek_label(sector))
+                assert fs.vam.is_free(sector)
+        else:
+            created[name] = fs.create(name, payload(700 + index * 13, index))

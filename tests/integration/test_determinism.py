@@ -1,0 +1,49 @@
+"""The simulation must be fully deterministic: identical workloads on
+identical volumes produce bit-identical disks and equal clocks.  Every
+benchmark number in EXPERIMENTS.md depends on this."""
+
+from __future__ import annotations
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.workloads.generators import OperationMix, payload
+from tests.conftest import TEST_FSD_PARAMS, TEST_GEOMETRY
+
+
+def run_workload() -> tuple[float, float, bytes, int]:
+    disk = SimDisk(geometry=TEST_GEOMETRY)
+    FSD.format(disk, TEST_FSD_PARAMS)
+    fs = FSD.mount(disk)
+    from repro.harness.adapters import FsdAdapter
+
+    adapter = FsdAdapter(fs)
+    names = []
+    for index in range(25):
+        name = f"det/f{index:02d}"
+        adapter.create(name, payload(300 + index * 77, index))
+        names.append(name)
+    OperationMix(seed=13).run(adapter, names, operations=120)
+    fs.force()
+    fs.crash()
+    fs = FSD.mount(disk)
+    digest_input = b"".join(
+        disk.peek(sector)
+        for sector in range(0, TEST_GEOMETRY.total_sectors, 977)
+    )
+    from repro.serial import checksum
+
+    return (
+        disk.clock.now_ms,
+        disk.clock.cpu_busy_ms,
+        digest_input,
+        checksum(digest_input),
+    )
+
+
+def test_bit_identical_replay():
+    first = run_workload()
+    second = run_workload()
+    assert first[0] == second[0]  # identical virtual clocks
+    assert first[1] == second[1]
+    assert first[2] == second[2]  # identical on-disk bytes
+    assert first[3] == second[3]

@@ -1,0 +1,120 @@
+"""Property-based FSD testing against an in-memory reference model.
+
+Hypothesis drives arbitrary operation sequences — including crashes
+and recoveries — against FSD and a plain dict; after every crash the
+reference keeps only what was committed (plus, possibly, operations
+since the last force that happened to be logged by the timer: the
+model tracks both bounds).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.workloads.generators import payload
+
+GEO = DiskGeometry(cylinders=100, heads=8, sectors_per_track=24)
+PARAMS = VolumeParams(
+    nt_pages=512, log_record_sectors=231, cache_pages=24, max_record_pages=16
+)
+
+operation = st.one_of(
+    st.tuples(
+        st.just("create"),
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=3_000),
+    ),
+    st.tuples(
+        st.just("delete"), st.integers(min_value=0, max_value=14), st.just(0)
+    ),
+    st.tuples(st.just("force"), st.just(0), st.just(0)),
+    st.tuples(st.just("crash"), st.just(0), st.just(0)),
+    st.tuples(
+        st.just("truncate"),
+        st.integers(min_value=0, max_value=14),
+        st.integers(min_value=0, max_value=1_000),
+    ),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(ops=st.lists(operation, max_size=60))
+def test_fsd_matches_reference_model(ops):
+    disk = SimDisk(geometry=GEO)
+    FSD.format(disk, PARAMS)
+    fs = FSD.mount(disk)
+
+    committed: dict[str, bytes] = {}  # state as of the last force
+    pending: dict[str, bytes] = {}    # changes since the last force
+    serial = 0
+
+    def current() -> dict[str, bytes]:
+        state = dict(committed)
+        for name, data in pending.items():
+            if data is None:
+                state.pop(name, None)
+            else:
+                state[name] = data
+        return state
+
+    for kind, slot, size in ops:
+        name = f"m/f{slot:02d}"
+        if kind == "create":
+            serial += 1
+            data = payload(size, serial)
+            fs.create(name, data, keep=1)
+            pending[name] = data
+        elif kind == "delete":
+            if fs.exists(name):
+                fs.delete(name)
+                pending[name] = None
+        elif kind == "truncate":
+            if fs.exists(name):
+                handle = fs.open(name)
+                new_size = min(size, handle.byte_size)
+                fs.truncate(handle, new_size)
+                pending[name] = fs.read(fs.open(name))
+        elif kind == "force":
+            fs.force()
+            committed.update(
+                {k: v for k, v in pending.items() if v is not None}
+            )
+            for k, v in pending.items():
+                if v is None:
+                    committed.pop(k, None)
+            pending.clear()
+        elif kind == "crash":
+            fs.crash()
+            fs = FSD.mount(disk)
+            # Everything committed must be there; pending ops may or
+            # may not have been carried by a timer-forced record.  The
+            # recovered state must be *some* prefix-consistent mix, so
+            # just adopt it as the new committed state after checking
+            # the committed lower bound.
+            names_now = {props.name for props in fs.list("m/")}
+            for known, data in committed.items():
+                assert known in names_now
+                assert fs.read(fs.open(known)) == data
+            committed = {
+                props.name: fs.read(fs.open(props.name))
+                for props in fs.list("m/")
+            }
+            pending.clear()
+
+    # Final verification of live state.
+    fs.force()
+    committed.update({k: v for k, v in pending.items() if v is not None})
+    for k, v in pending.items():
+        if v is None:
+            committed.pop(k, None)
+    live = {props.name: fs.read(fs.open(props.name)) for props in fs.list("m/")}
+    assert live == committed
+    fs.name_table.tree.check_invariants()

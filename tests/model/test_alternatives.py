@@ -1,0 +1,52 @@
+"""Unit tests for the design-alternatives analysis."""
+
+from __future__ import annotations
+
+from repro.disk.geometry import TRIDENT_T300
+from repro.disk.timing import TRIDENT_TIMING
+from repro.model.alternatives import OPERATIONS, design_alternatives
+
+
+def totals() -> dict[str, float]:
+    out = {}
+    for name, scripts in design_alternatives().items():
+        out[name] = sum(
+            scripts[op].evaluate(TRIDENT_TIMING, TRIDENT_T300)
+            for op in OPERATIONS
+        )
+    return out
+
+
+class TestAlternatives:
+    def test_every_alternative_covers_all_operations(self):
+        for name, scripts in design_alternatives().items():
+            assert set(scripts) == set(OPERATIONS), name
+
+    def test_chosen_beats_sync_writes(self):
+        scores = totals()
+        chosen = next(v for k, v in scores.items() if "chosen" in k)
+        assert scores["No log: synchronous double writes"] > chosen
+
+    def test_chosen_beats_commit_per_op(self):
+        scores = totals()
+        chosen = next(v for k, v in scores.items() if "chosen" in k)
+        assert scores["Log but commit per operation"] > chosen
+
+    def test_chosen_beats_scattered_metadata(self):
+        scores = totals()
+        chosen = next(v for k, v in scores.items() if "chosen" in k)
+        assert scores["Scattered metadata (no central placement)"] > chosen
+
+    def test_chosen_beats_cfs(self):
+        scores = totals()
+        chosen = next(v for k, v in scores.items() if "chosen" in k)
+        assert scores["CFS (hardware labels, baseline)"] > 3 * chosen
+
+    def test_single_copy_cheaper_but_bounded(self):
+        """Dropping redundancy helps on misses but is not a different
+        league — the premium the paper chose to pay."""
+        scores = totals()
+        chosen = next(v for k, v in scores.items() if "chosen" in k)
+        single = scores["No double write (single name-table copy)"]
+        assert single < chosen
+        assert single > 0.3 * chosen

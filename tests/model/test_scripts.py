@@ -1,0 +1,88 @@
+"""Unit tests for the per-operation model scripts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.geometry import TRIDENT_T300
+from repro.disk.timing import TRIDENT_TIMING
+from repro.model.evaluate import predict, predict_all
+from repro.model.scripts import (
+    ModelAssumptions,
+    all_scripts,
+    cfs_small_create,
+    fsd_open,
+    fsd_small_create,
+)
+
+
+def evaluate(script) -> float:
+    return script.evaluate(TRIDENT_TIMING, TRIDENT_T300)
+
+
+class TestAssumptions:
+    def test_record_sectors_matches_paper(self):
+        assume = ModelAssumptions(pages_per_record=14)
+        assert assume.record_sectors == 33.0
+
+    def test_defaults_sane(self):
+        assume = ModelAssumptions()
+        assert 0 < assume.leaf_miss_probability < 1
+        assert assume.ops_per_commit >= 1
+
+
+class TestScriptCatalogue:
+    def test_all_scripts_present(self):
+        scripts = all_scripts()
+        for name in (
+            "cfs small create", "cfs open", "cfs open+read", "cfs read page",
+            "cfs small delete", "cfs list (per file)",
+            "fsd small create", "fsd open", "fsd open+read", "fsd read page",
+            "fsd small delete", "fsd list (per file)",
+        ):
+            assert name in scripts
+
+    def test_all_predictions_positive(self):
+        for name, prediction in predict_all(
+            all_scripts(), TRIDENT_TIMING, TRIDENT_T300
+        ).items():
+            assert prediction.predicted_ms > 0, name
+            assert prediction.cpu_free_ms >= 0, name
+            assert prediction.cpu_free_ms <= prediction.predicted_ms + 1e-9
+
+
+class TestPaperShapeInModel:
+    """The model alone must already predict Table 2's winners."""
+
+    def test_fsd_beats_cfs_everywhere_metadata(self):
+        scripts = all_scripts()
+        for op in ("small create", "open", "open+read", "small delete"):
+            assert evaluate(scripts[f"fsd {op}"]) < evaluate(
+                scripts[f"cfs {op}"]
+            ), op
+
+    def test_read_page_identical(self):
+        scripts = all_scripts()
+        assert evaluate(scripts["fsd read page"]) == pytest.approx(
+            evaluate(scripts["cfs read page"])
+        )
+
+    def test_cfs_create_dominated_by_revolutions(self):
+        assume = ModelAssumptions()
+        script = cfs_small_create(assume)
+        rows = script.breakdown(TRIDENT_TIMING, TRIDENT_T300)
+        revolution_ms = sum(ms for label, ms in rows if label == "revolution")
+        assert revolution_ms > 0.3 * evaluate(script)
+
+    def test_group_commit_amortization_visible(self):
+        solo = ModelAssumptions(ops_per_commit=1.0)
+        grouped = ModelAssumptions(ops_per_commit=16.0)
+        assert evaluate(fsd_small_create(grouped)) < evaluate(
+            fsd_small_create(solo)
+        )
+
+    def test_fsd_open_mostly_cpu_when_hitting(self):
+        assume = ModelAssumptions(leaf_miss_probability=0.0)
+        prediction = predict(fsd_open(assume), TRIDENT_TIMING, TRIDENT_T300)
+        assert prediction.cpu_free_ms == pytest.approx(0.0)
+        assert prediction.predicted_ms < 1.0

@@ -1,0 +1,127 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def image(tmp_path) -> str:
+    path = str(tmp_path / "vol.img")
+    assert main(["mkfs", path]) == 0
+    return path
+
+
+class TestMkfs:
+    def test_creates_image(self, tmp_path, capsys):
+        path = str(tmp_path / "new.img")
+        assert main(["mkfs", path]) == 0
+        out = capsys.readouterr().out
+        assert "formatted" in out
+
+    def test_log_vam_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "lv.img")
+        assert main(["mkfs", path, "--log-vam"]) == 0
+        assert main(["info", path]) == 0
+        assert "log_vam=True" in capsys.readouterr().out
+
+
+class TestPutGetLsRm:
+    def test_roundtrip(self, image, tmp_path, capsys):
+        source = tmp_path / "hello.txt"
+        source.write_bytes(b"hello cedar cli")
+        assert main(["put", image, str(source), "doc/hello.txt"]) == 0
+        target = tmp_path / "out.txt"
+        assert main(["get", image, "doc/hello.txt", str(target)]) == 0
+        assert target.read_bytes() == b"hello cedar cli"
+
+    def test_ls(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"data")
+        main(["put", image, str(source), "dir/a"])
+        main(["put", image, str(source), "dir/b"])
+        capsys.readouterr()
+        assert main(["ls", image, "dir/"]) == 0
+        out = capsys.readouterr().out
+        assert "dir/a" in out and "dir/b" in out
+        assert "2 file(s)" in out
+
+    def test_rm(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"data")
+        main(["put", image, str(source), "victim"])
+        assert main(["rm", image, "victim"]) == 0
+        capsys.readouterr()
+        main(["ls", image])
+        assert "victim" not in capsys.readouterr().out
+
+    def test_get_missing_file(self, image, capsys):
+        assert main(["get", image, "ghost"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_versions_accumulate(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"v1")
+        main(["put", image, str(source), "f"])
+        source.write_bytes(b"v2!")
+        main(["put", image, str(source), "f"])
+        capsys.readouterr()
+        target = tmp_path / "out"
+        main(["get", image, "f", str(target)])
+        assert target.read_bytes() == b"v2!"
+
+
+class TestCrashRecovery:
+    def test_crash_then_recover(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"survives the crash")
+        assert main(["put", image, str(source), "keep"]) == 0
+        source.write_bytes(b"crashy write")
+        assert main(["put", image, str(source), "crashy", "--crash"]) == 0
+        capsys.readouterr()
+        # Next command recovers the dirty volume.
+        assert main(["ls", image]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "keep" in out
+
+    def test_info_and_verify(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"x" * 2_000)
+        main(["put", image, str(source), "checked"])
+        capsys.readouterr()
+        assert main(["info", image]) == 0
+        out = capsys.readouterr().out
+        assert "geometry" in out and "files    : 1" in out
+        assert main(["verify", image]) == 0
+        assert "volume is clean" in capsys.readouterr().out
+
+
+class TestCliEdges:
+    def test_put_missing_local_file(self, image, capsys):
+        assert main(["put", image, "/nonexistent/file", "x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_get_to_stdout(self, image, tmp_path, capsys):
+        source = tmp_path / "a"
+        source.write_bytes(b"to-stdout")
+        main(["put", image, str(source), "f"])
+        capsys.readouterr()
+        assert main(["get", image, "f"]) == 0
+
+    def test_rm_missing(self, image, capsys):
+        assert main(["rm", image, "ghost"]) == 2
+
+    def test_load_garbage_image(self, tmp_path, capsys):
+        path = tmp_path / "junk.img"
+        path.write_bytes(b"not an image")
+        assert main(["ls", str(path)]) == 2
+
+    def test_t300_size(self, tmp_path, capsys):
+        path = str(tmp_path / "big.img")
+        assert main(["mkfs", path, "--size", "t300"]) == 0
+        out = capsys.readouterr().out
+        # ~306 MB (291 MiB) Trident-class volume.
+        assert "291 MB" in out

@@ -1,0 +1,48 @@
+"""Quality gate: every public module, class and function carries a
+docstring — "documentation on every public item" is a deliverable."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_items_have_docstrings(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, item in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(item) or inspect.isfunction(item)):
+            continue
+        if getattr(item, "__module__", None) != module_name:
+            continue  # re-export; documented at home
+        if not inspect.getdoc(item):
+            undocumented.append(name)
+        elif inspect.isclass(item):
+            for method_name, method in vars(item).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not inspect.getdoc(method):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module_name}: missing docstrings on {undocumented}"
+    )

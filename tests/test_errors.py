@@ -1,0 +1,67 @@
+"""Tests for the exception taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CorruptMetadata,
+    DamagedSectorError,
+    DiskError,
+    DiskRangeError,
+    FileExists,
+    FileNotFound,
+    FsError,
+    LabelCheckError,
+    LogFull,
+    NotMounted,
+    ReproError,
+    SimulatedCrash,
+    VolumeFull,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DiskError, DiskRangeError, DamagedSectorError, LabelCheckError,
+            SimulatedCrash, FsError, FileNotFound, FileExists, VolumeFull,
+            CorruptMetadata, LogFull, NotMounted,
+        ],
+    )
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc", [DiskRangeError, DamagedSectorError, LabelCheckError]
+    )
+    def test_disk_errors(self, exc):
+        assert issubclass(exc, DiskError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [FileNotFound, FileExists, VolumeFull, CorruptMetadata, LogFull,
+         NotMounted],
+    )
+    def test_fs_errors(self, exc):
+        assert issubclass(exc, FsError)
+
+    def test_simulated_crash_is_not_an_fs_error(self):
+        """A crash must never be swallowed by FS-level error handling."""
+        assert not issubclass(SimulatedCrash, FsError)
+        assert not issubclass(SimulatedCrash, DiskError)
+
+
+class TestPayloads:
+    def test_damaged_sector_carries_address(self):
+        error = DamagedSectorError(42)
+        assert error.address == 42
+        assert "42" in str(error)
+
+    def test_label_check_carries_details(self):
+        error = LabelCheckError(7, b"want", b"got!")
+        assert error.address == 7
+        assert error.expected == b"want"
+        assert error.actual == b"got!"
+        assert "mismatch" in str(error)

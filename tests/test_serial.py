@@ -1,0 +1,109 @@
+"""Unit and property tests for the binary serialization helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker, checksum
+
+
+class TestPacker:
+    def test_roundtrip_scalars(self):
+        data = (
+            Packer().u8(7).u16(300).u32(70000).u64(1 << 40).f64(2.5).bytes()
+        )
+        reader = Unpacker(data)
+        assert reader.u8() == 7
+        assert reader.u16() == 300
+        assert reader.u32() == 70000
+        assert reader.u64() == 1 << 40
+        assert reader.f64() == 2.5
+        assert reader.remaining() == 0
+
+    def test_string_roundtrip(self):
+        data = Packer().string("héllo wörld").bytes()
+        assert Unpacker(data).string() == "héllo wörld"
+
+    def test_string_too_long(self):
+        with pytest.raises(ValueError):
+            Packer().string("x" * 20, max_len=10)
+
+    def test_capacity_enforced(self):
+        packer = Packer(capacity=4)
+        packer.u32(1)
+        with pytest.raises(ValueError):
+            packer.u8(2)
+
+    def test_padding(self):
+        data = Packer().u8(1).bytes(pad_to=512)
+        assert len(data) == 512
+        assert data[1:] == b"\x00" * 511
+
+    def test_padding_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            Packer().raw(b"x" * 10).bytes(pad_to=4)
+
+    def test_size_tracks(self):
+        packer = Packer()
+        packer.u32(0).u16(0)
+        assert packer.size == 6
+
+
+class TestUnpacker:
+    def test_truncation_raises_corrupt_metadata(self):
+        with pytest.raises(CorruptMetadata):
+            Unpacker(b"\x01").u32()
+
+    def test_offset_tracks(self):
+        reader = Unpacker(b"\x01\x02\x03\x04")
+        reader.u16()
+        assert reader.offset == 2
+        assert reader.remaining() == 2
+
+    def test_raw_returns_bytes_copy(self):
+        raw = Unpacker(bytearray(b"abcd")).raw(4)
+        assert isinstance(raw, bytes)
+        assert raw == b"abcd"
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        assert checksum(b"cedar") == checksum(b"cedar")
+
+    def test_sensitive_to_any_byte(self):
+        assert checksum(b"cedar") != checksum(b"cedaR")
+
+    def test_empty(self):
+        assert checksum(b"") == 0
+
+
+@given(
+    values=st.lists(
+        st.tuples(
+            st.sampled_from(["u8", "u16", "u32", "u64"]),
+            st.integers(min_value=0),
+        ),
+        max_size=20,
+    )
+)
+def test_integer_roundtrip_property(values):
+    limits = {"u8": 0xFF, "u16": 0xFFFF, "u32": 0xFFFFFFFF, "u64": (1 << 64) - 1}
+    packer = Packer()
+    expected = []
+    for kind, value in values:
+        value %= limits[kind] + 1
+        getattr(packer, kind)(value)
+        expected.append((kind, value))
+    reader = Unpacker(packer.bytes())
+    for kind, value in expected:
+        assert getattr(reader, kind)() == value
+
+
+@given(st.text(max_size=60))
+def test_string_roundtrip_property(text):
+    if len(text.encode("utf-8")) > 255:
+        return
+    data = Packer().string(text).bytes()
+    assert Unpacker(data).string() == text

@@ -1,0 +1,53 @@
+"""Unit tests for the MakeDo workload."""
+
+from __future__ import annotations
+
+from repro.harness.scenarios import SMALL, cfs_volume, ffs_volume, fsd_volume
+from repro.workloads.makedo import MakeDoWorkload
+
+
+class TestMakeDo:
+    def test_runs_on_fsd(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        workload = MakeDoWorkload(modules=5)
+        workload.setup(adapter)
+        counts = workload.run(adapter)
+        assert counts["creates"] == 10  # scratch + object per module
+        assert counts["deletes"] == 5
+        assert counts["pages_read"] == 5 * (12_000 // 512 + 1)
+        # scratch files cleaned up, objects remain
+        names = {props.name for props in fs.list("obj/")}
+        assert len(names) == 5
+        assert not fs.list("tmp/")
+
+    def test_runs_on_cfs(self):
+        disk, fs, adapter = cfs_volume(SMALL)
+        workload = MakeDoWorkload(modules=3)
+        workload.setup(adapter)
+        counts = workload.run(adapter)
+        assert counts["creates"] == 6
+        assert len(fs.list("obj/")) == 3
+
+    def test_runs_on_ffs(self):
+        disk, fs, adapter = ffs_volume(SMALL)
+        workload = MakeDoWorkload(modules=3)
+        workload.setup(adapter)
+        workload.run(adapter)
+        assert len(fs.list("obj")) == 3
+
+    def test_objects_have_expected_content_size(self):
+        disk, fs, adapter = fsd_volume(SMALL)
+        workload = MakeDoWorkload(modules=2)
+        workload.setup(adapter)
+        workload.run(adapter)
+        handle = fs.open("obj/mod-001.bcd")
+        assert handle.byte_size == workload.object_bytes
+
+    def test_deterministic_op_counts(self):
+        counts = []
+        for _ in range(2):
+            disk, fs, adapter = fsd_volume(SMALL)
+            workload = MakeDoWorkload(modules=4)
+            workload.setup(adapter)
+            counts.append(tuple(sorted(workload.run(adapter).items())))
+        assert counts[0] == counts[1]
