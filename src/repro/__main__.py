@@ -7,6 +7,7 @@
     python -m repro rm vol.img FSD_NAME
     python -m repro info vol.img
     python -m repro verify vol.img
+    python -m repro crashcheck [--scenario NAME] [--max-points N]
 
 Each command loads the image, mounts the volume (recovering it if the
 last session crashed), performs the operation, unmounts cleanly, and
@@ -204,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="offline integrity check")
     p.add_argument("image")
     p.set_defaults(fn=cmd_verify)
+
+    from repro.crashcheck.cli import add_subparser as add_crashcheck
+
+    add_crashcheck(sub)
     return parser
 
 

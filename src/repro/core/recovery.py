@@ -24,6 +24,13 @@ from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, WriteAheadLog
 from repro.disk.disk import SimDisk
 from repro.errors import CorruptMetadata
 
+#: Test-only fault hook: when true, replay drops the last scanned log
+#: record, simulating a recovery implementation that misses the tail
+#: of the log.  The crashcheck semantic oracle must catch this (a
+#: committed op's pages never reach home); it exists so the checker's
+#: own sensitivity is testable.  Never set outside tests.
+TEST_DROP_LAST_RECORD = False
+
 
 @dataclass
 class MountReport:
@@ -86,6 +93,8 @@ def replay_log(
     """Scan the log from its anchor and write every page image home."""
     start_ms = disk.clock.now_ms
     records = wal.scan()
+    if TEST_DROP_LAST_RECORD and records:
+        records = records[:-1]
     newest: dict[tuple[int, int], bytes] = {}
     for record in records:
         for page in record.pages:

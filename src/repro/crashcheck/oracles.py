@@ -1,0 +1,206 @@
+"""Recovery oracles: what must hold after crash + remount.
+
+Two layers, per the paper's durability contract:
+
+* **structural** — the offline integrity sweep (:mod:`repro.core.verify`)
+  passes in strict-VAM mode: the B-tree is valid, both home copies of
+  every name-table page agree, every leader verifies, no sector is
+  claimed twice, and the live VAM exactly matches a rebuild.
+
+* **semantic** — every operation the workload saw committed (a group
+  commit covering it returned before the crash point) is fully
+  present, byte for byte; operations after the last returned commit
+  are either absent or *atomically* applied — a file is never present
+  with content that no create ever wrote.
+
+The semantic oracle models FSD's versioned namespace as per-name
+version stacks.  For uncommitted ops it accepts any per-name prefix
+of the pending sequence (a strict superset of the globally consistent
+prefixes recovery can actually produce, so it never false-alarms, but
+partial or garbled content is still always caught).
+
+Oracles are pluggable: anything with a ``name`` and a
+``check(fs, ctx) -> list[str]`` fits the engine's oracle slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.fsd import FSD
+from repro.core.verify import verify_volume
+from repro.crashcheck.workload import AppliedOp, Op, Recording
+
+#: sentinel for "the name resolves to no file" in allowed-state sets.
+ABSENT = "<absent>"
+
+
+# ----------------------------------------------------------------------
+# the namespace model
+# ----------------------------------------------------------------------
+def model_apply(stacks: dict[str, list[bytes]], op: Op) -> None:
+    """Apply one op to the version-stack model of the namespace.
+
+    Mirrors FSD semantics: a create pushes the next version (trimming
+    the oldest past ``keep`` when retention is bounded); a delete pops
+    the newest version, exposing the previous one if any.
+    """
+    if op.kind == "create":
+        stack = stacks.setdefault(op.name, [])
+        stack.append(op.data)
+        if op.keep > 0 and len(stack) > op.keep:
+            del stack[: len(stack) - op.keep]
+    elif op.kind == "delete":
+        stack = stacks.get(op.name)
+        if stack:
+            stack.pop()
+            if not stack:
+                del stacks[op.name]
+    # "force" has no namespace effect
+
+
+def model_state(ops: list[Op]) -> dict[str, list[bytes]]:
+    """The version stacks after applying ``ops`` to an empty volume."""
+    stacks: dict[str, list[bytes]] = {}
+    for op in ops:
+        model_apply(stacks, op)
+    return stacks
+
+
+# ----------------------------------------------------------------------
+# oracle context
+# ----------------------------------------------------------------------
+@dataclass
+class OracleContext:
+    """Everything an oracle may consult about one crash point."""
+
+    boundary: int
+    variant: str
+    committed: dict[str, list[bytes]]      # version stacks, oldest first
+    pending: list[AppliedOp]
+
+    _allowed: dict[str, set] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def at(cls, recording: Recording, boundary: int, variant: str) -> "OracleContext":
+        done = recording.committed_ops_at(boundary)
+        committed = model_state(
+            list(recording.scenario.setup)
+            + [a.op for a in recording.applied[:done]]
+        )
+        return cls(
+            boundary=boundary,
+            variant=variant,
+            committed=committed,
+            pending=recording.pending_ops_at(boundary),
+        )
+
+    def allowed_states(self) -> dict[str, set]:
+        """Per name: the set of contents (or :data:`ABSENT`) recovery
+        may legitimately expose.  Committed-only names map to exactly
+        their committed content; names touched by pending ops also
+        admit each intermediate pending state."""
+        if self._allowed:
+            return self._allowed
+        allowed: dict[str, set] = {}
+
+        def top(stacks: dict[str, list[bytes]], name: str):
+            stack = stacks.get(name)
+            return stack[-1] if stack else ABSENT
+
+        for name in self.committed:
+            allowed[name] = {top(self.committed, name)}
+        stacks = {name: list(stack) for name, stack in self.committed.items()}
+        for applied in self.pending:
+            op = applied.op
+            if op.kind == "force":
+                continue
+            allowed.setdefault(op.name, {top(stacks, op.name)})
+            model_apply(stacks, op)
+            allowed[op.name].add(top(stacks, op.name))
+        self._allowed = allowed
+        return allowed
+
+
+@runtime_checkable
+class Oracle(Protocol):
+    """The pluggable oracle surface the engine fans out to."""
+
+    name: str
+
+    def check(self, fs: FSD, ctx: OracleContext) -> list[str]:
+        """Return a problem string per violated invariant (empty = ok)."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# structural oracle
+# ----------------------------------------------------------------------
+class StructuralOracle:
+    """The offline verify sweep, in strict-VAM mode by default.
+
+    After crash recovery the VAM is freshly rebuilt from the name
+    table, so even strict mode must find zero leaked sectors; any
+    report at all is a recovery bug.
+    """
+
+    name = "structural"
+
+    def __init__(self, strict_vam: bool = True):
+        self.strict_vam = strict_vam
+
+    def check(self, fs: FSD, ctx: OracleContext) -> list[str]:
+        """Every verifier problem is a structural violation."""
+        report = verify_volume(fs, strict_vam=self.strict_vam)
+        return list(report.problems)
+
+
+# ----------------------------------------------------------------------
+# semantic oracle
+# ----------------------------------------------------------------------
+class SemanticOracle:
+    """Committed ops fully present; pending ops atomic or absent."""
+
+    name = "semantic"
+
+    def check(self, fs: FSD, ctx: OracleContext) -> list[str]:
+        """Compare the recovered namespace against the allowed states."""
+        problems: list[str] = []
+        allowed = ctx.allowed_states()
+        present = {props.name for props in fs.list()}
+
+        for name in sorted(present - set(allowed)):
+            problems.append(f"unexpected file {name!r} after recovery")
+
+        for name, states in sorted(allowed.items()):
+            if name not in present:
+                if ABSENT not in states:
+                    problems.append(
+                        f"committed file {name!r} lost by recovery"
+                    )
+                continue
+            try:
+                content = fs.read(fs.open(name))
+            except Exception as error:
+                problems.append(f"file {name!r} unreadable: {error}")
+                continue
+            if content not in states:
+                kind = (
+                    "committed content corrupted"
+                    if ABSENT not in states
+                    else "partial/garbled uncommitted state"
+                )
+                expected = sorted(
+                    f"{len(s)}B" for s in states if s is not ABSENT
+                )
+                problems.append(
+                    f"{kind} for {name!r}: recovered {len(content)} bytes, "
+                    f"expected one of {expected or ['absent']}"
+                )
+        return problems
+
+
+def default_oracles(strict_vam: bool = True) -> list[Oracle]:
+    """The standard oracle stack: structural first, then semantic."""
+    return [StructuralOracle(strict_vam=strict_vam), SemanticOracle()]

@@ -1,0 +1,165 @@
+"""Named crashcheck scenarios.
+
+A scenario is a :class:`~repro.harness.scenarios.Scale` (the same
+dataclass the benchmark harness uses, so geometry and per-FS
+parameters are shared vocabulary) plus two op scripts: ``setup`` runs
+and commits before recording starts (it shapes the volume the way
+:func:`repro.harness.scenarios.populate` shapes benchmark volumes),
+``body`` is the recorded region whose every I/O boundary the explorer
+crashes.
+
+Scripts keep each force's batch comfortably under
+``max_record_pages`` so every commit is a single (atomic) log record;
+larger batches split across records, and a crash between the records
+of one force is outside the per-operation atomicity the oracles
+assert (the client never saw that force return, but partial
+application across the split would still trip the semantic oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layout import VolumeParams
+from repro.crashcheck.workload import Op
+from repro.disk.geometry import DiskGeometry
+from repro.harness.scenarios import SMALL, Scale
+from repro.workloads.generators import payload
+
+#: Compact scale for exhaustive sweeps: the same shape as the harness
+#: SMALL scale, but a smaller drive and log so every boundary of a
+#: scenario can be explored in seconds.  The log is deliberately small
+#: (77-sector thirds) so longer scenarios wrap it and exercise the
+#: third-entry writeback protocol under crashes.
+CRASH_SCALE = Scale(
+    name="crashcheck",
+    geometry=DiskGeometry(cylinders=120, heads=8, sectors_per_track=24),
+    fsd_params=VolumeParams(
+        nt_pages=512,
+        log_record_sectors=231,
+        cache_pages=32,
+        max_record_pages=24,
+    ),
+    cfs_params=SMALL.cfs_params,
+    ffs_params=SMALL.ffs_params,
+    populate_files=24,
+    recovery_files=24,
+    recovery_big_files=1,
+    recovery_big_bytes=64 * 1024,
+)
+
+
+@dataclass(frozen=True)
+class CrashScenario:
+    """One named workload for the crash-point explorer."""
+
+    name: str
+    description: str
+    scale: Scale
+    setup: tuple[Op, ...]
+    body: tuple[Op, ...]
+
+
+def _aged_setup(count: int, seed: int = 1987) -> tuple[Op, ...]:
+    """Pre-create ``count`` committed files (the populate() shape)."""
+    return tuple(
+        Op("create", f"aged/file-{index:03d}", payload(200 + 61 * index % 900, seed + index))
+        for index in range(count)
+    )
+
+
+def _quickstart() -> CrashScenario:
+    """The README/examples quickstart walk, scripted: one-byte create,
+    a burst of small creates, a forced commit, more work including a
+    delete, and an un-forced tail that a crash may lose."""
+    body: list[Op] = [
+        Op("create", "crash/warmup", b"?"),
+        Op("create", "crash/one-byte", b"!"),
+    ]
+    for index in range(6):
+        body.append(Op("create", f"crash/file-{index:02d}", b"cedar" * index))
+    body.append(Op("force"))
+    for index in range(4):
+        body.append(Op("create", f"crash/extra-{index}", payload(300 + 70 * index, index)))
+    body.append(Op("delete", "crash/file-03"))
+    body.append(Op("force"))
+    body.append(Op("create", "crash/never-forced", payload(800, 99)))
+    return CrashScenario(
+        name="quickstart",
+        description="the quickstart walk: creates, a delete, forced "
+        "commits, and an un-forced tail",
+        scale=CRASH_SCALE,
+        setup=_aged_setup(20),
+        body=tuple(body),
+    )
+
+
+def _churn() -> CrashScenario:
+    """Version churn: re-creates stacking versions, deletes exposing
+    older versions, and multi-sector data writes whose torn-write
+    variant space is the widest."""
+    body = (
+        Op("create", "churn/one", payload(1800, 1)),
+        Op("create", "churn/two", payload(700, 2)),
+        Op("force"),
+        Op("create", "churn/one", payload(2600, 3)),   # second version
+        Op("delete", "churn/two"),
+        Op("force"),
+        Op("create", "churn/three", payload(512 * 5, 4)),
+        Op("delete", "churn/one"),                     # exposes version 1
+        Op("force"),
+        Op("create", "churn/four", payload(90, 5)),
+        Op("create", "churn/five", payload(1300, 6)),
+        # no final force: an uncommitted tail
+    )
+    return CrashScenario(
+        name="churn",
+        description="version churn with multi-sector writes and "
+        "deletes exposing older versions",
+        scale=CRASH_SCALE,
+        setup=_aged_setup(16),
+        body=body,
+    )
+
+
+def _wrap() -> CrashScenario:
+    """Enough committed rounds to wrap the small log at least once,
+    so crashes land inside third-entry writebacks, anchor advances and
+    skip records."""
+    body: list[Op] = []
+    for round_index in range(14):
+        for index in range(4):
+            body.append(
+                Op(
+                    "create",
+                    f"wrap/r{round_index:02d}-{index}",
+                    payload(180 + 53 * index, round_index),
+                )
+            )
+        if round_index % 3 == 2:
+            body.append(Op("delete", f"wrap/r{round_index - 1:02d}-0"))
+        body.append(Op("force"))
+    body.append(Op("create", "wrap/never-forced", payload(400, 7)))
+    return CrashScenario(
+        name="wrap",
+        description="log-wrapping committed rounds (third-entry "
+        "protocol and anchor advances under crash)",
+        scale=CRASH_SCALE,
+        setup=_aged_setup(12),
+        body=tuple(body),
+    )
+
+
+SCENARIOS: dict[str, CrashScenario] = {
+    scenario.name: scenario
+    for scenario in (_quickstart(), _churn(), _wrap())
+}
+
+
+def get_scenario(name: str) -> CrashScenario:
+    """Look up a scenario by name (raises with the known names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r} (known: {known})") from None

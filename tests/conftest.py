@@ -12,6 +12,16 @@ from repro.core.layout import VolumeParams
 from repro.disk.disk import SimDisk
 from repro.disk.geometry import DiskGeometry
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--crashcheck-full",
+        action="store_true",
+        default=False,
+        help="run the exhaustive crash-point sweeps (minutes, not "
+        "seconds); the default run covers bounded windows only",
+    )
+
+
 TEST_GEOMETRY = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
 TEST_FSD_PARAMS = VolumeParams(
     nt_pages=512, log_record_sectors=300, cache_pages=48

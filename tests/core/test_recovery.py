@@ -148,3 +148,57 @@ class TestMountPaths:
         assert report.replay_ms >= 0
         assert report.log_records_replayed >= 1
         assert report.pages_replayed >= 1
+
+
+class TestRecoveryIdempotence:
+    """Recovery must be a fixed point: recovering an already-recovered
+    volume changes nothing (modulo the boot count in the root pages)
+    and reports exactly the same replay work."""
+
+    def test_second_recovery_is_byte_identical(self):
+        disk = formatted_disk()
+        fs = FSD.mount(disk)
+        for index in range(24):
+            fs.create(f"idem/f{index:02d}", b"q" * (37 * index + 5))
+        fs.delete("idem/f09")
+        fs.force()
+        fs.create("idem/unforced", b"tail work the crash loses")
+        fs.crash()
+
+        recovered = FSD.mount(disk)
+        first_report = recovered.mount_report
+        layout = recovered.layout
+        # Crash the recovered volume before it performs any further
+        # file work (mount itself already wrote its recovery I/O).
+        recovered.crash()
+        roots = {layout.root_a, layout.root_b}
+        image = {
+            address: data
+            for address, data in disk._data.items()
+            if address not in roots
+        }
+        labels = dict(disk._labels)
+        damaged = set(disk.faults.damaged)
+
+        again = FSD.mount(disk)
+        second_report = again.mount_report
+        again.crash()
+
+        assert {
+            address: data
+            for address, data in disk._data.items()
+            if address not in roots
+        } == image
+        assert dict(disk._labels) == labels
+        assert set(disk.faults.damaged) == damaged
+
+        assert second_report.boot_count == first_report.boot_count + 1
+        for counter in (
+            "log_records_replayed",
+            "pages_replayed",
+            "vam_loaded",
+            "vam_rebuild_entries",
+        ):
+            assert getattr(second_report, counter) == getattr(
+                first_report, counter
+            ), counter

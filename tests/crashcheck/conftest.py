@@ -1,0 +1,17 @@
+"""Shared crashcheck fixtures: recordings are expensive enough to share."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crashcheck import Recording, get_scenario, record_scenario
+
+
+@pytest.fixture(scope="session")
+def quickstart_recording() -> Recording:
+    return record_scenario(get_scenario("quickstart"))
+
+
+@pytest.fixture
+def crashcheck_full(request) -> bool:
+    return request.config.getoption("--crashcheck-full")

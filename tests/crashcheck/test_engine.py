@@ -1,0 +1,165 @@
+"""Tests for the crash-point explorer: synthesis, enumeration, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crashcheck import (
+    SCENARIOS,
+    crashed_image,
+    explore,
+    get_scenario,
+    materialize,
+    run_with_armed_crash,
+)
+from repro.crashcheck.engine import (
+    CrashPoint,
+    _select,
+    enumerate_points,
+    variants_for,
+)
+from repro.crashcheck.workload import DiskState, IoRec
+
+
+class TestSynthesis:
+    """Synthesized crash images must match what a live armed
+    :class:`CrashPlan` actually leaves on the platter."""
+
+    @pytest.mark.parametrize("surviving,damage", [(None, 0), (0, 1), (1, 2)])
+    def test_matches_live_armed_crash(
+        self, quickstart_recording, surviving, damage
+    ):
+        recording = quickstart_recording
+        scenario = recording.scenario
+        # Spot-check one early, one middle and one late write boundary.
+        write_boundaries = [
+            boundary
+            for boundary, rec in enumerate(recording.records)
+            if rec.is_write and rec.count > 1
+        ]
+        picks = {
+            write_boundaries[0],
+            write_boundaries[len(write_boundaries) // 2],
+            write_boundaries[-1],
+        }
+        for boundary in sorted(picks):
+            image = crashed_image(recording, boundary, surviving, damage)
+            live = run_with_armed_crash(scenario, boundary, surviving, damage)
+            live_state = DiskState.snapshot(live)
+            assert image.state.data == live_state.data, f"io={boundary}"
+            assert image.state.labels == live_state.labels, f"io={boundary}"
+            assert image.state.damaged == live_state.damaged, f"io={boundary}"
+
+    def test_end_boundary_is_the_uncrashed_final_state(
+        self, quickstart_recording
+    ):
+        recording = quickstart_recording
+        image = crashed_image(recording, recording.io_total)
+        state = recording.base.clone()
+        from repro.crashcheck.engine import apply_full
+
+        for rec in recording.records:
+            apply_full(state, rec)
+        assert image.state.data == state.data
+
+    def test_materialize_roundtrips(self, quickstart_recording):
+        image = crashed_image(quickstart_recording, 3, 0, 1)
+        disk = materialize(image)
+        rebuilt = DiskState.snapshot(disk)
+        assert rebuilt.data == image.state.data
+        assert rebuilt.labels == image.state.labels
+        assert rebuilt.damaged == image.state.damaged
+
+    def test_read_boundary_equals_previous_write_full_persist(
+        self, quickstart_recording
+    ):
+        """The dedup premise: crashing on a read leaves exactly the
+        image of everything before it."""
+        recording = quickstart_recording
+        reads = [
+            boundary
+            for boundary, rec in enumerate(recording.records)
+            if rec.kind in ("read", "label_read")
+        ]
+        if not reads:
+            pytest.skip("no read boundaries in this recording")
+        boundary = reads[0]
+        torn = crashed_image(recording, boundary)
+        completed = crashed_image(recording, boundary, None, 0)
+        assert torn.digest() == completed.digest()
+
+
+class TestEnumeration:
+    def test_write_variant_count(self):
+        rec = IoRec("write", 10, 3, payloads=(b"a", b"b", b"c"))
+        variants = variants_for(rec, 7)
+        # surviving 0..2 x damage {0,1,2} plus full persistence
+        assert len(variants) == 3 * 3 + 1
+        assert {(v.surviving_sectors, v.damage_tail) for v in variants} == {
+            (s, d) for s in range(3) for d in (0, 1, 2)
+        } | {(None, 0)}
+
+    def test_read_has_single_variant(self):
+        assert len(variants_for(IoRec("read", 5, 2), 0)) == 1
+
+    def test_enumerate_includes_end_boundary(self, quickstart_recording):
+        points = enumerate_points(quickstart_recording)
+        assert points[-1].boundary == quickstart_recording.io_total
+
+    def test_select_bounds_and_keeps_extremes(self):
+        points = [CrashPoint(i, None, 0, str(i)) for i in range(100)]
+        subset = _select(points, 10)
+        assert len(subset) == 10
+        assert subset[0] is points[0] and subset[-1] is points[-1]
+        assert _select(points, None) is points
+        assert _select(points, 500) is points
+
+
+class TestSweeps:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_bounded_sweep_is_clean(self, name):
+        summary = explore(name, max_points=36)
+        assert summary.ok, [str(v) for v in summary.violations]
+        assert summary.checked + summary.deduplicated == summary.selected
+        assert summary.selected <= 36
+
+    def test_dedup_skips_identical_images(self, quickstart_recording):
+        summary = explore(
+            get_scenario("quickstart"), recording=quickstart_recording
+        )
+        assert summary.ok, [str(v) for v in summary.violations]
+        assert summary.deduplicated > 0
+        assert summary.checked + summary.deduplicated == summary.candidates
+
+    def test_progress_callback_sees_every_point(self, quickstart_recording):
+        seen = []
+        explore(
+            get_scenario("quickstart"),
+            max_points=12,
+            recording=quickstart_recording,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen[-1] == (len(seen), len(seen))
+        assert [done for done, _ in seen] == list(range(1, len(seen) + 1))
+
+
+class TestBrokenRecoveryIsCaught:
+    def test_semantic_oracle_flags_dropped_log_record(
+        self, monkeypatch, quickstart_recording
+    ):
+        """Acceptance check: a recovery that silently skips redo of the
+        last log record must be caught by the semantic oracle."""
+        import repro.core.recovery as recovery
+
+        monkeypatch.setattr(recovery, "TEST_DROP_LAST_RECORD", True)
+        summary = explore(
+            get_scenario("quickstart"),
+            max_points=80,
+            recording=quickstart_recording,
+        )
+        assert not summary.ok
+        assert any(
+            violation.oracle == "semantic"
+            and "committed" in violation.detail
+            for violation in summary.violations
+        )

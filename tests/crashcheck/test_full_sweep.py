@@ -1,0 +1,22 @@
+"""The exhaustive sweeps: every boundary, every torn-write variant.
+
+These cover the full crash-point space of each scenario (a few
+thousand mounts) and therefore hide behind ``--crashcheck-full``; the
+default run exercises the same machinery through the bounded windows
+in ``test_engine.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crashcheck import SCENARIOS, explore
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_full_sweep_is_clean(name, crashcheck_full):
+    if not crashcheck_full:
+        pytest.skip("pass --crashcheck-full for the exhaustive sweep")
+    summary = explore(name)
+    assert summary.checked + summary.deduplicated == summary.candidates
+    assert summary.ok, [str(v) for v in summary.violations[:20]]

@@ -1,0 +1,172 @@
+"""Tests for the recovery oracles and their namespace model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.crashcheck import (
+    Op,
+    OracleContext,
+    SemanticOracle,
+    StructuralOracle,
+    default_oracles,
+)
+from repro.crashcheck.oracles import ABSENT, model_apply, model_state
+from repro.crashcheck.workload import AppliedOp
+
+
+def ctx_for(
+    committed: list[Op], pending: list[Op] | None = None
+) -> OracleContext:
+    applied = [
+        AppliedOp(op=op, index=index, start_io=0, end_io=0)
+        for index, op in enumerate(pending or [])
+    ]
+    return OracleContext(
+        boundary=0,
+        variant="unit",
+        committed=model_state(committed),
+        pending=applied,
+    )
+
+
+class TestNamespaceModel:
+    def test_create_stacks_versions(self):
+        stacks = model_state(
+            [Op("create", "a", b"v1"), Op("create", "a", b"v2")]
+        )
+        assert stacks["a"] == [b"v1", b"v2"]
+
+    def test_delete_exposes_older_version(self):
+        stacks = model_state(
+            [
+                Op("create", "a", b"v1"),
+                Op("create", "a", b"v2"),
+                Op("delete", "a"),
+            ]
+        )
+        assert stacks["a"] == [b"v1"]
+
+    def test_delete_last_version_removes_name(self):
+        stacks = model_state([Op("create", "a", b"v1"), Op("delete", "a")])
+        assert "a" not in stacks
+
+    def test_keep_trims_old_versions(self):
+        stacks = {}
+        for index in range(4):
+            model_apply(stacks, Op("create", "a", bytes([index]), keep=2))
+        assert stacks["a"] == [b"\x02", b"\x03"]
+
+    def test_force_is_a_namespace_noop(self):
+        assert model_state([Op("create", "a", b"x"), Op("force")]) == {
+            "a": [b"x"]
+        }
+
+
+class TestAllowedStates:
+    def test_committed_name_has_exactly_one_state(self):
+        ctx = ctx_for([Op("create", "a", b"data")])
+        assert ctx.allowed_states()["a"] == {b"data"}
+
+    def test_pending_create_may_be_absent_or_whole(self):
+        ctx = ctx_for([], pending=[Op("create", "a", b"new")])
+        assert ctx.allowed_states()["a"] == {ABSENT, b"new"}
+
+    def test_pending_delete_admits_both_sides(self):
+        ctx = ctx_for(
+            [Op("create", "a", b"old")], pending=[Op("delete", "a")]
+        )
+        assert ctx.allowed_states()["a"] == {b"old", ABSENT}
+
+    def test_pending_recreate_admits_each_intermediate_top(self):
+        ctx = ctx_for(
+            [Op("create", "a", b"v1")],
+            pending=[Op("create", "a", b"v2"), Op("delete", "a")],
+        )
+        # before / after the create / after the delete (back to v1)
+        assert ctx.allowed_states()["a"] == {b"v1", b"v2"}
+
+
+class TestSemanticOracle:
+    def make_fs(self, disk, scenario_ops):
+        from repro.crashcheck.scenarios import CRASH_SCALE
+
+        FSD.format(disk, CRASH_SCALE.fsd_params)
+        fs = FSD.mount(disk)
+        for op in scenario_ops:
+            if op.kind == "create":
+                fs.create(op.name, op.data)
+            elif op.kind == "delete":
+                fs.delete(op.name)
+        fs.force()
+        return fs
+
+    @pytest.fixture
+    def crash_disk(self):
+        from repro.disk.disk import SimDisk
+        from repro.crashcheck.scenarios import CRASH_SCALE
+
+        return SimDisk(geometry=CRASH_SCALE.geometry)
+
+    def test_clean_state_passes(self, crash_disk):
+        ops = [Op("create", "a", b"alpha"), Op("create", "b", b"beta")]
+        fs = self.make_fs(crash_disk, ops)
+        assert SemanticOracle().check(fs, ctx_for(ops)) == []
+
+    def test_lost_committed_file_reported(self, crash_disk):
+        fs = self.make_fs(crash_disk, [Op("create", "a", b"alpha")])
+        ctx = ctx_for(
+            [Op("create", "a", b"alpha"), Op("create", "gone", b"poof")]
+        )
+        problems = SemanticOracle().check(fs, ctx)
+        assert any("'gone' lost by recovery" in p for p in problems)
+
+    def test_unexpected_file_reported(self, crash_disk):
+        fs = self.make_fs(
+            crash_disk, [Op("create", "a", b"x"), Op("create", "ghost", b"!")]
+        )
+        problems = SemanticOracle().check(fs, ctx_for([Op("create", "a", b"x")]))
+        assert any("unexpected file 'ghost'" in p for p in problems)
+
+    def test_corrupted_committed_content_reported(self, crash_disk):
+        fs = self.make_fs(crash_disk, [Op("create", "a", b"actual bytes")])
+        ctx = ctx_for([Op("create", "a", b"expected bytes!!")])
+        problems = SemanticOracle().check(fs, ctx)
+        assert any("committed content corrupted" in p for p in problems)
+
+    def test_partial_uncommitted_state_reported(self, crash_disk):
+        fs = self.make_fs(crash_disk, [Op("create", "a", b"half")])
+        ctx = ctx_for([], pending=[Op("create", "a", b"whole payload")])
+        problems = SemanticOracle().check(fs, ctx)
+        assert any("partial/garbled uncommitted" in p for p in problems)
+
+    def test_absent_pending_create_is_fine(self, crash_disk):
+        fs = self.make_fs(crash_disk, [Op("create", "a", b"x")])
+        ctx = ctx_for(
+            [Op("create", "a", b"x")], pending=[Op("create", "b", b"later")]
+        )
+        assert SemanticOracle().check(fs, ctx) == []
+
+
+class TestStructuralOracle:
+    def test_clean_volume_passes(self, fsd):
+        fsd.create("s/a", b"data")
+        fsd.force()
+        assert StructuralOracle().check(fsd, ctx_for([])) == []
+
+    def test_strict_vam_leak_reported(self, fsd):
+        fsd.create("s/a", b"data")
+        fsd.delete("s/a")  # shadow-freed: leaked until commit
+        problems = StructuralOracle(strict_vam=True).check(fsd, ctx_for([]))
+        assert any("leaked" in p for p in problems)
+        assert StructuralOracle(strict_vam=False).check(fsd, ctx_for([])) == []
+
+
+class TestDefaultOracles:
+    def test_order_and_names(self):
+        oracles = default_oracles()
+        assert [oracle.name for oracle in oracles] == [
+            "structural",
+            "semantic",
+        ]

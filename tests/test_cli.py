@@ -125,3 +125,31 @@ class TestCliEdges:
         out = capsys.readouterr().out
         # ~306 MB (291 MiB) Trident-class volume.
         assert "291 MB" in out
+
+
+class TestCrashcheck:
+    def test_list_scenarios(self, capsys):
+        assert main(["crashcheck", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart" in out and "churn" in out and "wrap" in out
+
+    def test_bounded_sweep_passes(self, capsys):
+        assert (
+            main(["crashcheck", "--scenario", "quickstart", "--max-points", "30"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "all recovery oracles passed" in out
+        assert "30 selected" in out
+
+    def test_exit_nonzero_on_oracle_failure(self, monkeypatch, capsys):
+        import repro.core.recovery as recovery
+
+        monkeypatch.setattr(recovery, "TEST_DROP_LAST_RECORD", True)
+        assert (
+            main(["crashcheck", "--scenario", "quickstart", "--max-points", "60"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+        assert "violation(s)" in out
