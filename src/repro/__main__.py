@@ -8,6 +8,8 @@
     python -m repro info vol.img
     python -m repro verify vol.img
     python -m repro crashcheck [--scenario NAME] [--max-points N]
+    python -m repro stats vol.img [--ops N] [--json]
+    python -m repro trace vol.img [--ops N] [--json] [--out FILE]
 
 Each command loads the image, mounts the volume (recovering it if the
 last session crashed), performs the operation, unmounts cleanly, and
@@ -207,8 +209,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_verify)
 
     from repro.crashcheck.cli import add_subparser as add_crashcheck
+    from repro.obs.cli import add_subparsers as add_obs
 
     add_crashcheck(sub)
+    add_obs(sub)
     return parser
 
 

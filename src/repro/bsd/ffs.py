@@ -32,7 +32,6 @@ from repro.bsd.inode import (
     Inode,
     MODE_DIR,
     MODE_FILE,
-    MODE_FREE,
     NDIRECT,
     PTRS_PER_INDIRECT,
     decode_indirect,

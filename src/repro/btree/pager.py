@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Protocol
 
 from repro.errors import CorruptMetadata
+from repro.obs import NULL_OBS
 
 
 class Pager(Protocol):
@@ -54,10 +55,13 @@ class MemoryPager:
         self._next = 1  # page 0 is the meta page
         self.reads = 0
         self.writes = 0
+        #: observability attach point (no-op unless a test attaches one).
+        self.obs = NULL_OBS
 
     def read(self, page_no: int) -> bytes:
         """Return the page; raises for never-allocated non-meta pages."""
         self.reads += 1
+        self.obs.count("btree.page_reads")
         if page_no != 0 and page_no not in self._pages:
             raise CorruptMetadata(f"read of unallocated page {page_no}")
         return self._pages.get(page_no, b"\x00" * self.page_size)
@@ -69,6 +73,7 @@ class MemoryPager:
                 f"page write of {len(data)} bytes > page size {self.page_size}"
             )
         self.writes += 1
+        self.obs.count("btree.page_writes")
         self._pages[page_no] = data.ljust(self.page_size, b"\x00")
 
     def allocate(self) -> int:

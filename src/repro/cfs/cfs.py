@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 
 from repro.cfs.header import HEADER_SECTORS, decode_header, encode_header
 from repro.cfs.labels import (
-    PAGE_DATA,
     data_labels,
     free_label,
     header_labels,

@@ -29,6 +29,7 @@ from typing import Callable, Iterable
 
 from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, LoggedPage
 from repro.errors import CorruptMetadata
+from repro.obs import NULL_OBS
 
 
 @dataclass
@@ -82,6 +83,8 @@ class MetadataCache:
         self.misses = 0
         self.evictions = 0
         self.home_writes = 0
+        #: observability attach point (``FSD.mount`` rebinds it).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # name-table pages
@@ -92,9 +95,11 @@ class MetadataCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            self.obs.count("cache.hits")
             self._touch(entry)
             return entry.data
         self.misses += 1
+        self.obs.count("cache.misses")
         data = self._nt_reader(page_no)
         entry = CacheEntry(
             kind=PAGE_NAME_TABLE, page_id=page_no, data=data, home_image=data
@@ -199,6 +204,7 @@ class MetadataCache:
     def flush_third(self, third: int) -> None:
         """The paper's writeback: write home every page whose newest
         log copy lives in ``third`` (it is about to be overwritten)."""
+        writes_before = self.home_writes
         nt_batch: list[tuple[int, bytes]] = []
         for entry in self._entries.values():
             if entry.last_logged_third != third or not entry.home_stale:
@@ -219,6 +225,9 @@ class MetadataCache:
             nt_batch.sort()
             self._nt_writer(nt_batch)
             self.home_writes += len(nt_batch)
+        self.obs.count(
+            "cache.dirty_writebacks", self.home_writes - writes_before
+        )
         self._evict_if_needed()
 
     def flush_all_home(self) -> None:
@@ -255,6 +264,7 @@ class MetadataCache:
         for entry in victims[:excess]:
             del self._entries[(entry.kind, entry.page_id)]
             self.evictions += 1
+            self.obs.count("cache.evictions")
 
     def __len__(self) -> int:
         return len(self._entries)

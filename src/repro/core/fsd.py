@@ -44,6 +44,7 @@ from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import WriteAheadLog
 from repro.disk.disk import SimDisk
 from repro.errors import FileNotFound, FsError, NotMounted
+from repro.obs import NULL_OBS
 
 
 @dataclass
@@ -98,6 +99,7 @@ class FSD:
         name_table: FsdNameTable,
         vam: VolumeAllocationMap,
         mount_report: MountReport,
+        obs=NULL_OBS,
     ):
         self.disk = disk
         self.clock = disk.clock
@@ -110,6 +112,7 @@ class FSD:
         self.name_table = name_table
         self.vam = vam
         self.allocator = RunAllocator(vam, layout)
+        self.obs = obs
         self.coordinator = CommitCoordinator(
             self.clock,
             wal,
@@ -117,11 +120,23 @@ class FSD:
             vam,
             layout.params.commit_interval_ms,
             log_vam=layout.params.log_vam,
+            obs=obs,
         )
         self.mount_report = mount_report
         self.ops = FsdOpCounts()
         self._uid_sequence = 0
         self._mounted = True
+        self.attach_observer(obs)
+
+    def attach_observer(self, obs) -> None:
+        """Point every layer of this volume at one observer (pass
+        :data:`~repro.obs.NULL_OBS` to detach)."""
+        self.obs = obs
+        self.wal.obs = obs
+        self.cache.obs = obs
+        self.vam.obs = obs
+        self.coordinator.obs = obs
+        self.name_table.tree.pager.obs = obs
 
     # ==================================================================
     # lifecycle
@@ -164,68 +179,92 @@ class FSD:
         write_root(disk, layout, root)
 
     @classmethod
-    def mount(cls, disk: SimDisk, params: VolumeParams | None = None) -> "FSD":
+    def mount(
+        cls,
+        disk: SimDisk,
+        params: VolumeParams | None = None,
+        obs=None,
+    ) -> "FSD":
         """Mount (and, if needed, recover) the FSD volume on ``disk``.
 
         ``params`` only provides the layout hint for locating the root
         page; authoritative parameters come from the root itself.
+        ``obs`` attaches an :class:`~repro.obs.Observer` across every
+        layer; recovery phases (log scan, redo, VAM load/rebuild) emit
+        nested spans under ``fsd.mount``.
         """
+        obs = obs if obs is not None else NULL_OBS
+        obs.bind_clock(disk.clock)
         start_ms = disk.clock.now_ms
-        report = MountReport()
-        probe_layout = VolumeLayout.compute(
-            disk.geometry, params or VolumeParams()
-        )
-        root = read_root(disk, probe_layout)
-        layout = VolumeLayout.compute(disk.geometry, root.params)
-        new_boot = root.boot_count + 1
-        report.boot_count = new_boot
-
-        wal = WriteAheadLog(disk, layout)
-        wal.boot_count = new_boot
-        replay_log(disk, layout, wal, report)
-
-        home = NameTableHome(disk, layout)
-        cache = MetadataCache(
-            capacity_pages=layout.params.cache_pages,
-            nt_reader=home.read_page,
-            nt_writer=home.write_pages,
-            leader_writer=lambda addr, data: disk.write(addr, [data]),
-            vam_writer=lambda index, data: disk.write(
-                layout.vam_start + 1 + index, [data]
-            ),
-        )
-        pager = NameTablePager(cache, layout, disk.clock)
-        name_table = FsdNameTable.open(pager, disk.clock)
-
-        vam = VolumeAllocationMap(disk.geometry.total_sectors)
-        vam_loaded = False
-        if layout.params.log_vam:
-            # §5.3 extension: the save-area base image plus the VAM
-            # pages just replayed from the log *is* the free map.
-            vam_loaded = vam.load(
-                disk, layout, expect_boot_count=root.boot_count,
-                logged_mode=True,
+        with obs.span("fsd.mount") as mount_span:
+            report = MountReport()
+            probe_layout = VolumeLayout.compute(
+                disk.geometry, params or VolumeParams()
             )
-        if not vam_loaded and root.vam_saved:
-            vam_loaded = vam.load(
-                disk, layout, expect_boot_count=root.boot_count
-            )
-        if not vam_loaded:
-            vam = rebuild_vam(disk, layout, name_table, report)
-        report.vam_loaded = vam_loaded
-        if layout.params.log_vam:
-            # Write this boot's base image; subsequent commits log only
-            # the changed bitmap pages on top of it.
-            vam.save(disk, layout, boot_count=new_boot)
+            root = read_root(disk, probe_layout)
+            layout = VolumeLayout.compute(disk.geometry, root.params)
+            new_boot = root.boot_count + 1
+            report.boot_count = new_boot
 
-        new_root = RootPage(
-            params=root.params,
-            total_sectors=root.total_sectors,
-            boot_count=new_boot,
-            vam_saved=False,
-        )
-        write_root(disk, layout, new_root)
-        report.total_ms = disk.clock.now_ms - start_ms
+            wal = WriteAheadLog(disk, layout)
+            wal.boot_count = new_boot
+            wal.obs = obs
+            replay_log(disk, layout, wal, report, obs=obs)
+
+            home = NameTableHome(disk, layout)
+            cache = MetadataCache(
+                capacity_pages=layout.params.cache_pages,
+                nt_reader=home.read_page,
+                nt_writer=home.write_pages,
+                leader_writer=lambda addr, data: disk.write(addr, [data]),
+                vam_writer=lambda index, data: disk.write(
+                    layout.vam_start + 1 + index, [data]
+                ),
+            )
+            cache.obs = obs
+            pager = NameTablePager(cache, layout, disk.clock)
+            pager.obs = obs
+            name_table = FsdNameTable.open(pager, disk.clock)
+
+            vam = VolumeAllocationMap(disk.geometry.total_sectors)
+            vam.obs = obs
+            vam_loaded = False
+            with obs.span("recovery.vam_load") as vam_span:
+                if layout.params.log_vam:
+                    # §5.3 extension: the save-area base image plus the
+                    # VAM pages just replayed from the log *is* the
+                    # free map.
+                    vam_loaded = vam.load(
+                        disk, layout, expect_boot_count=root.boot_count,
+                        logged_mode=True,
+                    )
+                if not vam_loaded and root.vam_saved:
+                    vam_loaded = vam.load(
+                        disk, layout, expect_boot_count=root.boot_count
+                    )
+                vam_span.set(loaded=vam_loaded)
+            if not vam_loaded:
+                vam = rebuild_vam(disk, layout, name_table, report, obs=obs)
+            report.vam_loaded = vam_loaded
+            if layout.params.log_vam:
+                # Write this boot's base image; subsequent commits log
+                # only the changed bitmap pages on top of it.
+                vam.save(disk, layout, boot_count=new_boot)
+
+            new_root = RootPage(
+                params=root.params,
+                total_sectors=root.total_sectors,
+                boot_count=new_boot,
+                vam_saved=False,
+            )
+            write_root(disk, layout, new_root)
+            report.total_ms = disk.clock.now_ms - start_ms
+            mount_span.set(
+                boot=new_boot,
+                records_replayed=report.log_records_replayed,
+                vam_loaded=vam_loaded,
+            )
+        obs.count("recovery.mounts")
         return cls(
             disk=disk,
             layout=layout,
@@ -235,6 +274,7 @@ class FSD:
             name_table=name_table,
             vam=vam,
             mount_report=report,
+            obs=obs,
         )
 
     def unmount(self) -> None:
@@ -278,141 +318,170 @@ class FSD:
         The paper's one-byte-file script: two free pages from the VAM,
         a cached name-table update, and one combined leader+data write.
         """
-        self._enter()
-        self.ops.creates += 1
-        keep = self.DEFAULT_KEEP if keep is None else keep
-        version = (self.name_table.highest_version(name) or 0) + 1
-        sector_bytes = self.disk.geometry.sector_bytes
-        data_sectors = -(-len(data) // sector_bytes)
-        big = len(data) >= self.params.big_file_threshold_bytes
-        table = self.allocator.allocate(1 + data_sectors, big=big)
-        leader_addr, runs = _split_leader(table)
+        with self.obs.span("fsd.create", name=name, bytes=len(data)):
+            self._enter()
+            self.ops.creates += 1
+            self.obs.count("fsd.creates")
+            self.coordinator.note_update()
+            keep = self.DEFAULT_KEEP if keep is None else keep
+            version = (self.name_table.highest_version(name) or 0) + 1
+            sector_bytes = self.disk.geometry.sector_bytes
+            data_sectors = -(-len(data) // sector_bytes)
+            big = len(data) >= self.params.big_file_threshold_bytes
+            table = self.allocator.allocate(1 + data_sectors, big=big)
+            leader_addr, runs = _split_leader(table)
 
-        self._uid_sequence += 1
-        props = FileProperties(
-            name=name,
-            version=version,
-            uid=make_uid(self.boot_count, self._uid_sequence),
-            kind=kind,
-            byte_size=len(data),
-            create_time_ms=self.clock.now_ms,
-            last_used_ms=self.clock.now_ms,
-            keep=keep,
-            leader_addr=leader_addr,
-            remote_target=remote_target,
-        )
-        self.name_table.insert(props, runs)
-        self.cache.write_leader(
-            leader_addr, encode_leader(props, runs, sector_bytes)
-        )
-        handle = FsdFile(props=props, runs=runs, leader_verified=True)
-        if data:
-            self._write_data(handle, 0, data)
-        else:
-            self._piggyback_leader_alone(handle)
-        if keep > 0:
-            self._trim_versions(name, keep)
-        return handle
+            self._uid_sequence += 1
+            props = FileProperties(
+                name=name,
+                version=version,
+                uid=make_uid(self.boot_count, self._uid_sequence),
+                kind=kind,
+                byte_size=len(data),
+                create_time_ms=self.clock.now_ms,
+                last_used_ms=self.clock.now_ms,
+                keep=keep,
+                leader_addr=leader_addr,
+                remote_target=remote_target,
+            )
+            self.name_table.insert(props, runs)
+            self.cache.write_leader(
+                leader_addr, encode_leader(props, runs, sector_bytes)
+            )
+            handle = FsdFile(props=props, runs=runs, leader_verified=True)
+            if data:
+                self._write_data(handle, 0, data)
+            else:
+                self._piggyback_leader_alone(handle)
+            if keep > 0:
+                self._trim_versions(name, keep)
+            return handle
 
     def open(self, name: str, version: int | None = None) -> FsdFile:
         """Open a file: normally zero disk I/O (paper §5.7)."""
-        self._enter()
-        self.ops.opens += 1
-        props, runs = self._lookup(name, version)
-        if props.kind == FileKind.CACHED:
-            # The paper's canonical group-commit example: opening a
-            # cached remote file updates its last-used-time, a one-page
-            # name-table change batched into the next commit.
-            props = props.with_updates(last_used_ms=self.clock.now_ms)
-            self.name_table.update(props, runs)
-        return FsdFile(props=props, runs=runs)
+        with self.obs.span("fsd.open", name=name):
+            self._enter()
+            self.ops.opens += 1
+            self.obs.count("fsd.opens")
+            props, runs = self._lookup(name, version)
+            if props.kind == FileKind.CACHED:
+                # The paper's canonical group-commit example: opening a
+                # cached remote file updates its last-used-time, a
+                # one-page name-table change batched into the next
+                # commit.
+                props = props.with_updates(last_used_ms=self.clock.now_ms)
+                self.name_table.update(props, runs)
+                self.coordinator.note_update()
+            return FsdFile(props=props, runs=runs)
 
     def read(self, handle: FsdFile, offset: int = 0, length: int | None = None) -> bytes:
         """Read file bytes; the first access piggybacks leader
         verification onto the data transfer."""
-        self._enter()
-        self.ops.reads += 1
-        if length is None:
-            length = handle.props.byte_size - offset
-        if offset < 0 or length < 0 or offset + length > handle.props.byte_size:
-            raise FsError(
-                f"read [{offset}, {offset + length}) outside file of "
-                f"{handle.props.byte_size} bytes"
-            )
-        if length == 0:
-            self._verify_leader_if_needed(handle, piggyback_extent=None)
-            return b""
-        sector_bytes = self.disk.geometry.sector_bytes
-        first_page = offset // sector_bytes
-        last_page = (offset + length - 1) // sector_bytes
-        page_count = last_page - first_page + 1
-        extents = handle.runs.extents_for(first_page, page_count)
-        chunks: list[bytes] = []
-        first = True
-        for extent in extents:
-            piggyback = (
-                extent
-                if first and first_page == 0 and not handle.leader_verified
-                else None
-            )
-            chunks.extend(self._read_extent(handle, extent, piggyback))
-            first = False
-        if not handle.leader_verified:
-            self._verify_leader_if_needed(handle, piggyback_extent=None)
-        blob = b"".join(chunks)
-        skip = offset - first_page * sector_bytes
-        return blob[skip : skip + length]
+        with self.obs.span("fsd.read", name=handle.name):
+            self._enter()
+            self.ops.reads += 1
+            self.obs.count("fsd.reads")
+            if length is None:
+                length = handle.props.byte_size - offset
+            if (
+                offset < 0
+                or length < 0
+                or offset + length > handle.props.byte_size
+            ):
+                raise FsError(
+                    f"read [{offset}, {offset + length}) outside file of "
+                    f"{handle.props.byte_size} bytes"
+                )
+            if length == 0:
+                self._verify_leader_if_needed(handle, piggyback_extent=None)
+                return b""
+            sector_bytes = self.disk.geometry.sector_bytes
+            first_page = offset // sector_bytes
+            last_page = (offset + length - 1) // sector_bytes
+            page_count = last_page - first_page + 1
+            extents = handle.runs.extents_for(first_page, page_count)
+            chunks: list[bytes] = []
+            first = True
+            for extent in extents:
+                piggyback = (
+                    extent
+                    if first and first_page == 0 and not handle.leader_verified
+                    else None
+                )
+                chunks.extend(self._read_extent(handle, extent, piggyback))
+                first = False
+            if not handle.leader_verified:
+                self._verify_leader_if_needed(handle, piggyback_extent=None)
+            blob = b"".join(chunks)
+            skip = offset - first_page * sector_bytes
+            return blob[skip : skip + length]
 
     def write(self, handle: FsdFile, offset: int, data: bytes) -> None:
         """Write (and possibly extend) an existing file."""
-        self._enter()
-        self.ops.writes += 1
-        if offset < 0:
-            raise FsError("negative write offset")
-        self._write_data(handle, offset, data)
+        with self.obs.span("fsd.write", name=handle.name, bytes=len(data)):
+            self._enter()
+            self.ops.writes += 1
+            self.obs.count("fsd.writes")
+            self.coordinator.note_update()
+            if offset < 0:
+                raise FsError("negative write offset")
+            self._write_data(handle, offset, data)
 
     def delete(self, name: str, version: int | None = None) -> FileProperties:
         """Delete a file version.  No synchronous I/O: a name-table
         update plus shadow-bitmap bookkeeping (paper §4)."""
-        self._enter()
-        self.ops.deletes += 1
-        return self._delete_resolved(name, version)
+        with self.obs.span("fsd.delete", name=name):
+            self._enter()
+            self.ops.deletes += 1
+            self.obs.count("fsd.deletes")
+            self.coordinator.note_update()
+            return self._delete_resolved(name, version)
 
     def list(self, prefix: str = "") -> list[FileProperties]:
         """Name + properties of every file, straight from the name
         table — the operation Table 3 shows at 3 I/Os per 100 files."""
-        self._enter()
-        self.ops.lists += 1
-        return [props for props, _ in self.name_table.enumerate(prefix)]
+        with self.obs.span("fsd.list", prefix=prefix):
+            self._enter()
+            self.ops.lists += 1
+            self.obs.count("fsd.lists")
+            return [props for props, _ in self.name_table.enumerate(prefix)]
 
     def rename(self, old_name: str, new_name: str, version: int | None = None) -> FsdFile:
         """Rename a file version; rewrites its leader (the name checksum
         is part of the mutual check)."""
-        self._enter()
-        self.ops.renames += 1
-        props, runs = self._lookup(old_name, version)
-        self.name_table.delete(props.name, props.version)
-        new_version = (self.name_table.highest_version(new_name) or 0) + 1
-        new_props = props.with_updates(name=new_name, version=new_version)
-        self.name_table.insert(new_props, runs)
-        self.cache.write_leader(
-            new_props.leader_addr,
-            encode_leader(new_props, runs, self.disk.geometry.sector_bytes),
-        )
-        return FsdFile(props=new_props, runs=runs)
+        with self.obs.span("fsd.rename", name=old_name, to=new_name):
+            self._enter()
+            self.ops.renames += 1
+            self.obs.count("fsd.renames")
+            self.coordinator.note_update()
+            props, runs = self._lookup(old_name, version)
+            self.name_table.delete(props.name, props.version)
+            new_version = (self.name_table.highest_version(new_name) or 0) + 1
+            new_props = props.with_updates(name=new_name, version=new_version)
+            self.name_table.insert(new_props, runs)
+            self.cache.write_leader(
+                new_props.leader_addr,
+                encode_leader(
+                    new_props, runs, self.disk.geometry.sector_bytes
+                ),
+            )
+            return FsdFile(props=new_props, runs=runs)
 
     def truncate(self, handle: FsdFile, new_byte_size: int) -> None:
         """Contract a file; freed runs go through the shadow bitmap."""
-        self._enter()
-        if new_byte_size > handle.props.byte_size:
-            raise FsError("truncate cannot grow a file (use write)")
-        sector_bytes = self.disk.geometry.sector_bytes
-        keep_sectors = -(-new_byte_size // sector_bytes)
-        freed = handle.runs.truncate_sectors(keep_sectors)
-        self.allocator.free(freed, deferred=True)
-        handle.props = handle.props.with_updates(byte_size=new_byte_size)
-        self.name_table.update(handle.props, handle.runs)
-        self._refresh_leader(handle)
+        with self.obs.span("fsd.truncate", name=handle.name):
+            self._enter()
+            self.obs.count("fsd.truncates")
+            self.coordinator.note_update()
+            if new_byte_size > handle.props.byte_size:
+                raise FsError("truncate cannot grow a file (use write)")
+            sector_bytes = self.disk.geometry.sector_bytes
+            keep_sectors = -(-new_byte_size // sector_bytes)
+            freed = handle.runs.truncate_sectors(keep_sectors)
+            self.allocator.free(freed, deferred=True)
+            handle.props = handle.props.with_updates(byte_size=new_byte_size)
+            self.name_table.update(handle.props, handle.runs)
+            self._refresh_leader(handle)
 
     def set_keep(self, name: str, keep: int) -> None:
         """Change the version-retention count and trim old versions."""

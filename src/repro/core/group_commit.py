@@ -17,6 +17,12 @@ from repro.core.cache import MetadataCache
 from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import WriteAheadLog
 from repro.disk.clock import SimClock
+from repro.obs import NULL_OBS
+
+#: histogram bounds for pages per force and updates absorbed per force.
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+#: histogram bounds for simulated force latency (one log write).
+FORCE_MS_BUCKETS = (2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0)
 
 
 class CommitCoordinator:
@@ -30,6 +36,7 @@ class CommitCoordinator:
         vam: VolumeAllocationMap,
         interval_ms: float,
         log_vam: bool = False,
+        obs=NULL_OBS,
     ):
         self.clock = clock
         self.wal = wal
@@ -37,12 +44,16 @@ class CommitCoordinator:
         self.vam = vam
         self.interval_ms = interval_ms
         self.log_vam = log_vam
+        self.obs = obs
         #: force early once this many pages await logging — "the log is
         #: forced long before [an oversized entry] should occur" (§5.3).
         self.pressure_pages = 2 * wal.layout.params.max_record_pages
         self.forces = 0
         self.pressure_forces = 0
         self.empty_forces = 0
+        #: client updates since the last force — each force "absorbs"
+        #: this many commits into one log write (paper §5.4).
+        self.updates_since_force = 0
         self.last_force_ms = clock.now_ms
         wal.flush_third = cache.flush_third
         self._timer = clock.add_timer(
@@ -59,27 +70,49 @@ class CommitCoordinator:
         Clients may call this directly ("Clients may force the log");
         otherwise the timer does, twice a (virtual) second.
         """
-        if self.log_vam:
-            # §5.3 extension: changed VAM bitmap pages join the batch.
-            # Allocation bits for this batch's creates are already set,
-            # so they commit atomically with the name-table updates;
-            # frees applied after the commit ride the *next* record
-            # (a crash can only leak, never double-allocate).
-            for index, image in self.vam.take_dirty_pages():
-                self.cache.write_vam(index, image)
-        pages = self.cache.pages_needing_log()
-        self.last_force_ms = self.clock.now_ms
-        if not pages:
-            self.empty_forces += 1
+        obs = self.obs
+        with obs.span("commit.force") as span:
+            if self.log_vam:
+                # §5.3 extension: changed VAM bitmap pages join the batch.
+                # Allocation bits for this batch's creates are already set,
+                # so they commit atomically with the name-table updates;
+                # frees applied after the commit ride the *next* record
+                # (a crash can only leak, never double-allocate).
+                for index, image in self.vam.take_dirty_pages():
+                    self.cache.write_vam(index, image)
+            pages = self.cache.pages_needing_log()
+            self.last_force_ms = self.clock.now_ms
+            absorbed, self.updates_since_force = self.updates_since_force, 0
+            if not pages:
+                self.empty_forces += 1
+                obs.count("commit.empty_forces")
+                span.set(pages=0)
+                self._after_commit()
+                return 0
+            self.forces += 1
+            obs.count("commit.forces")
+            obs.observe("commit.batch_pages", len(pages), bounds=BATCH_BUCKETS)
+            obs.observe("commit.ops_absorbed", absorbed, bounds=BATCH_BUCKETS)
+            start_ms = self.clock.now_ms
+            written = 0
+            records = 0
+            for record_number, third, record_pages in self.wal.append_records(pages):
+                self.cache.note_logged(record_pages, third)
+                written += len(record_pages)
+                records += 1
+            obs.observe(
+                "commit.force_ms",
+                self.clock.now_ms - start_ms,
+                bounds=FORCE_MS_BUCKETS,
+            )
+            span.set(pages=written, records=records, absorbed=absorbed)
             self._after_commit()
-            return 0
-        self.forces += 1
-        written = 0
-        for record_number, third, record_pages in self.wal.append_records(pages):
-            self.cache.note_logged(record_pages, third)
-            written += len(record_pages)
-        self._after_commit()
-        return written
+            return written
+
+    def note_update(self) -> None:
+        """An FSD entry point performed a metadata update; the next
+        force will report it as absorbed by that commit."""
+        self.updates_since_force += 1
 
     def _after_commit(self) -> None:
         # Deletes become final: shadow-freed pages join the VAM.
@@ -100,6 +133,7 @@ class CommitCoordinator:
         file system's entry points); returns True if a force ran."""
         if self.cache.pending_log_pages() >= self.pressure_pages:
             self.pressure_forces += 1
+            self.obs.count("commit.pressure_forces")
             self.force()
             return True
         return False
@@ -108,6 +142,7 @@ class CommitCoordinator:
     # timer plumbing
     # ------------------------------------------------------------------
     def _on_timer(self, _clock: SimClock) -> None:
+        self.obs.count("commit.timer_forces")
         self.force()
 
     def shutdown(self) -> None:

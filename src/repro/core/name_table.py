@@ -23,7 +23,6 @@ from repro.core.types import (
     MAX_INLINE_RUNS,
     MAX_RUNS_PER_CHUNK,
     FileProperties,
-    Run,
     RunTable,
     decode_continuation,
     decode_key,
@@ -36,6 +35,7 @@ from repro.core.types import (
 from repro.disk.clock import SimClock
 from repro.disk.disk import SimDisk
 from repro.errors import CorruptMetadata, FileNotFound, VolumeFull
+from repro.obs import NULL_OBS
 
 
 class NameTableHome:
@@ -134,16 +134,20 @@ class NameTablePager:
         self.nt_pages = layout.params.nt_pages
         self.bitmap_pages = -(-self.nt_pages // (8 * self.page_size))
         self._alloc_cursor = 1 + self.bitmap_pages
+        #: observability attach point (``FSD.mount`` rebinds it).
+        self.obs = NULL_OBS
 
     # -- Pager protocol -------------------------------------------------
     def read(self, page_no: int) -> bytes:
         """B-tree pager read: one cached name-table page."""
         self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
+        self.obs.count("btree.page_reads")
         return self.cache.read_nt(page_no)
 
     def write(self, page_no: int, data: bytes) -> None:
         """B-tree pager write: stage the page for the next commit."""
         self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
+        self.obs.count("btree.page_writes")
         self.cache.write_nt(page_no, data)
 
     def allocate(self) -> int:
@@ -157,6 +161,7 @@ class NameTablePager:
             if not self._bit(page_no):
                 self._set_bit(page_no, True)
                 self._alloc_cursor = page_no + 1
+                self.obs.count("btree.page_allocs")
                 return page_no
         raise VolumeFull("file name table is out of pages")
 
@@ -165,6 +170,7 @@ class NameTablePager:
         if not self._bit(page_no):
             raise CorruptMetadata(f"double free of name-table page {page_no}")
         self._set_bit(page_no, False)
+        self.obs.count("btree.page_frees")
 
     # -- bitmap plumbing -------------------------------------------------
     def format_bitmap(self) -> None:

@@ -23,6 +23,7 @@ from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, WriteAheadLog
 from repro.disk.disk import SimDisk
 from repro.errors import CorruptMetadata
+from repro.obs import NULL_OBS
 
 #: Test-only fault hook: when true, replay drops the last scanned log
 #: record, simulating a recovery implementation that misses the tail
@@ -89,31 +90,43 @@ def replay_log(
     layout: VolumeLayout,
     wal: WriteAheadLog,
     report: MountReport,
+    obs=NULL_OBS,
 ) -> None:
     """Scan the log from its anchor and write every page image home."""
     start_ms = disk.clock.now_ms
-    records = wal.scan()
-    if TEST_DROP_LAST_RECORD and records:
-        records = records[:-1]
-    newest: dict[tuple[int, int], bytes] = {}
-    for record in records:
-        for page in record.pages:
-            newest[(page.kind, page.page_id)] = page.data
-    home = NameTableHome(disk, layout)
-    nt_pages = [
-        (page_id, data)
-        for (kind, page_id), data in newest.items()
-        if kind == PAGE_NAME_TABLE
-    ]
-    if nt_pages:
-        home.write_pages(nt_pages)
-    for (kind, page_id), data in newest.items():
-        if kind == PAGE_LEADER:
-            disk.write(page_id, [data])
-        elif kind == PAGE_VAM:
-            # §5.3 extension: bitmap pages go to the VAM save area so
-            # the logged-mode load sees base-plus-replayed state.
-            disk.write(layout.vam_start + 1 + page_id, [data])
+    with obs.span("recovery.replay") as replay_span:
+        with obs.span("recovery.scan"):
+            records = wal.scan()
+        if TEST_DROP_LAST_RECORD and records:
+            records = records[:-1]
+        newest: dict[tuple[int, int], bytes] = {}
+        pages_scanned = 0
+        for record in records:
+            for page in record.pages:
+                pages_scanned += 1
+                newest[(page.kind, page.page_id)] = page.data
+        with obs.span("recovery.redo", pages=len(newest)):
+            home = NameTableHome(disk, layout)
+            nt_pages = [
+                (page_id, data)
+                for (kind, page_id), data in newest.items()
+                if kind == PAGE_NAME_TABLE
+            ]
+            if nt_pages:
+                home.write_pages(nt_pages)
+            for (kind, page_id), data in newest.items():
+                if kind == PAGE_LEADER:
+                    disk.write(page_id, [data])
+                elif kind == PAGE_VAM:
+                    # §5.3 extension: bitmap pages go to the VAM save
+                    # area so the logged-mode load sees
+                    # base-plus-replayed state.
+                    disk.write(layout.vam_start + 1 + page_id, [data])
+        replay_span.set(records=len(records), pages=len(newest))
+    obs.count("recovery.records_replayed", len(records))
+    obs.count("recovery.pages_replayed", len(newest))
+    # Stale images superseded within the scanned window (redo coalesces).
+    obs.count("recovery.pages_skipped", pages_scanned - len(newest))
     report.log_records_replayed = len(records)
     report.pages_replayed = len(newest)
     report.replay_ms = disk.clock.now_ms - start_ms
@@ -127,20 +140,26 @@ def rebuild_vam(
     layout: VolumeLayout,
     name_table: FsdNameTable,
     report: MountReport,
+    obs=NULL_OBS,
 ) -> VolumeAllocationMap:
     """Reconstruct the free map from the name table (paper §5.5): mark
     the metadata extents, then every file's leader and data runs."""
     start_ms = disk.clock.now_ms
-    vam = VolumeAllocationMap(disk.geometry.total_sectors)
-    for run in layout.metadata_runs():
-        vam.mark_allocated(run)
-    entries = 0
-    for props, runs in name_table.enumerate():
-        entries += 1
-        if props.leader_addr:
-            vam.mark_allocated(Run(props.leader_addr, 1))
-        for run in runs.runs:
+    with obs.span("recovery.vam_rebuild") as span:
+        vam = VolumeAllocationMap(disk.geometry.total_sectors)
+        vam.obs = obs
+        for run in layout.metadata_runs():
             vam.mark_allocated(run)
+        entries = 0
+        for props, runs in name_table.enumerate():
+            entries += 1
+            if props.leader_addr:
+                vam.mark_allocated(Run(props.leader_addr, 1))
+            for run in runs.runs:
+                vam.mark_allocated(run)
+        span.set(entries=entries)
+    obs.count("recovery.vam_rebuilds")
+    obs.count("recovery.vam_rebuild_entries", entries)
     report.vam_rebuild_entries = entries
     report.vam_ms = disk.clock.now_ms - start_ms
     return vam

@@ -17,6 +17,7 @@ from repro.core.layout import VolumeLayout
 from repro.core.types import Run
 from repro.disk.disk import SimDisk
 from repro.errors import CorruptMetadata, FsError
+from repro.obs import NULL_OBS
 from repro.serial import Packer, Unpacker, checksum
 
 _VAM_MAGIC = 0x56414D31  # "VAM1"
@@ -45,6 +46,8 @@ class VolumeAllocationMap:
             self._set(sector)
         self.free_count = total_sectors
         self._shadow: list[Run] = []
+        #: observability attach point (``FSD.mount`` rebinds it).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # bit plumbing
@@ -78,6 +81,9 @@ class VolumeAllocationMap:
                 )
             self._set(sector)
         self.free_count -= run.count
+        self.obs.count("vam.allocs")
+        self.obs.count("vam.sectors_allocated", run.count)
+        self.obs.gauge("vam.free_count", self.free_count)
 
     def mark_free(self, run: Run) -> None:
         """Release every sector of ``run`` (double free raises)."""
@@ -86,16 +92,27 @@ class VolumeAllocationMap:
                 raise CorruptMetadata(f"double free of sector {sector}")
             self._clear(sector)
         self.free_count += run.count
+        self.obs.count("vam.frees")
+        self.obs.count("vam.sectors_freed", run.count)
+        self.obs.gauge("vam.free_count", self.free_count)
 
     def shadow_free(self, run: Run) -> None:
         """Record pages of a deleted file; they become free at commit."""
         self._shadow.append(run)
+        self.obs.count("vam.shadow_frees")
+        self.obs.gauge("vam.shadow_sectors", self.shadow_sectors)
 
     def commit_shadow(self) -> None:
         """Apply all shadow-freed runs: the deletes are now committed."""
         shadow, self._shadow = self._shadow, []
+        if shadow:
+            self.obs.count(
+                "vam.shadow_committed_sectors",
+                sum(run.count for run in shadow),
+            )
         for run in shadow:
             self.mark_free(run)
+        self.obs.gauge("vam.shadow_sectors", 0)
 
     @property
     def shadow_sectors(self) -> int:
@@ -212,6 +229,7 @@ class VolumeAllocationMap:
             address += len(sectors)
         # The full image is now home; nothing is pending for logging.
         self._dirty_pages = set()
+        self.obs.count("vam.saves")
 
     def load(
         self,
@@ -267,4 +285,6 @@ class VolumeAllocationMap:
             self.recount_free()
         else:
             self.free_count = free_count
+        self.obs.count("vam.loads")
+        self.obs.gauge("vam.free_count", self.free_count)
         return True

@@ -28,6 +28,7 @@ from typing import Callable
 from repro.core.layout import VolumeLayout
 from repro.disk.disk import SimDisk
 from repro.errors import CorruptMetadata, LogFull
+from repro.obs import NULL_OBS
 from repro.serial import Packer, Unpacker, checksum
 
 _HEADER_MAGIC = 0x4C4F4748  # "LOGH"
@@ -48,6 +49,10 @@ PAGE_VAM = 3
 RECORD_OVERHEAD_SECTORS = 5
 #: sectors in a skip (wrap) record: header, blank, header copy.
 SKIP_RECORD_SECTORS = 3
+
+#: histogram bounds for on-disk record sizes: the paper's 7-sector
+#: one-page record up through the 33-sector 14-page record and beyond.
+RECORD_SECTOR_BUCKETS = (7.0, 9.0, 13.0, 17.0, 25.0, 33.0, 49.0, 83.0)
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,8 @@ class WriteAheadLog:
             )
         #: called with the third index before its records are overwritten
         self.flush_third: Callable[[int], None] | None = None
+        #: observability attach point (``FSD.mount`` rebinds it).
+        self.obs = NULL_OBS
 
         self.write_offset = 0
         self.next_record_number = 1
@@ -212,10 +219,17 @@ class WriteAheadLog:
         self.sectors_logged += size
         self.pages_logged += len(pages)
         self.record_sizes.append(size)
+        self.obs.count("wal.records_appended")
+        self.obs.count("wal.sectors_logged", size)
+        self.obs.count("wal.pages_logged", len(pages))
+        self.obs.observe(
+            "wal.record_sectors", size, bounds=RECORD_SECTOR_BUCKETS
+        )
         return record_number, self.third_of(offset)
 
     def _wrap(self) -> None:
         """Wrap to offset 0, leaving a skip record when one fits."""
+        self.obs.count("wal.wraparounds")
         remaining = self.area_sectors - self.write_offset
         if remaining >= SKIP_RECORD_SECTORS:
             self._cross_thirds(self.write_offset, SKIP_RECORD_SECTORS)
@@ -249,6 +263,7 @@ class WriteAheadLog:
         still holds live record *starts*; if neither other third has
         one (degenerately small logs), it moves to the record about to
         be written."""
+        self.obs.count("wal.third_entries")
         if self.flush_third is not None:
             self.flush_third(third)
         if self.third_of(self.anchor_offset) == third:
@@ -481,5 +496,6 @@ class WriteAheadLog:
     def checkpoint(self) -> None:
         """Advance the anchor to the current append position (used at
         clean unmount, after every page has been written home)."""
+        self.obs.count("wal.checkpoints")
         self._write_anchor(self.write_offset, self.next_record_number)
         self._third_first = [None, None, None]

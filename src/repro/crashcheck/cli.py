@@ -7,12 +7,12 @@ oracle failed at any explored crash point.
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 
 from repro.crashcheck.engine import explore
 from repro.crashcheck.scenarios import SCENARIOS, get_scenario
+from repro.obs import NULL_OBS, Observer
 
 
 def add_subparser(sub) -> None:
@@ -48,7 +48,40 @@ def add_subparser(sub) -> None:
     p.add_argument(
         "--quiet", action="store_true", help="suppress the progress line"
     )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print recovery metrics aggregated across all mounts",
+    )
     p.set_defaults(fn=cmd_crashcheck)
+
+
+def _print_recovery_metrics(obs: Observer) -> None:
+    """Per-sweep recovery totals: what all those remounts replayed."""
+    snap = obs.snapshot()
+    mounts = snap.counter("recovery.mounts")
+    print(f"recovery metrics across {mounts:g} mounts:")
+    for name in (
+        "recovery.records_replayed",
+        "recovery.pages_replayed",
+        "recovery.pages_skipped",
+        "recovery.vam_rebuilds",
+        "recovery.vam_rebuild_entries",
+        "vam.loads",
+    ):
+        print(f"  {name:<30} {snap.counter(name):g}")
+    phases: dict[str, tuple[int, float]] = {}
+    for record in obs.span_records():
+        if not record.name.startswith("recovery."):
+            continue
+        count, total = phases.get(record.name, (0, 0.0))
+        phases[record.name] = (count + 1, total + record.duration_ms)
+    for name in sorted(phases):
+        count, total = phases[name]
+        print(
+            f"  {name:<30} {count} spans, "
+            f"{total:.1f} simulated ms total"
+        )
 
 
 def cmd_crashcheck(args) -> int:
@@ -71,11 +104,15 @@ def cmd_crashcheck(args) -> int:
                 flush=True,
             )
 
+    obs = Observer() if args.metrics else NULL_OBS
     started = time.monotonic()
     summary = explore(
-        scenario, max_points=args.max_points, progress=progress
+        scenario, max_points=args.max_points, progress=progress, obs=obs
     )
     elapsed = time.monotonic() - started
+
+    if args.metrics:
+        _print_recovery_metrics(obs)
 
     for violation in summary.violations:
         print(f"VIOLATION {violation}")

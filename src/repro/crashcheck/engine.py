@@ -50,6 +50,7 @@ from repro.crashcheck.workload import (
 )
 from repro.disk.disk import SimDisk
 from repro.disk.geometry import DiskGeometry
+from repro.obs import NULL_OBS
 
 
 # ----------------------------------------------------------------------
@@ -265,11 +266,16 @@ def check_image(
     ctx: OracleContext,
     oracles: Iterable[Oracle],
     point: CrashPoint,
+    obs=NULL_OBS,
 ) -> list[Violation]:
-    """Mount one crash image through real recovery and run the oracles."""
+    """Mount one crash image through real recovery and run the oracles.
+
+    ``obs`` aggregates recovery metrics/spans across every mount in a
+    sweep (``FSD.mount`` rebinds the observer's clock per image).
+    """
     disk = materialize(image)
     try:
-        fs = FSD.mount(disk)
+        fs = FSD.mount(disk, obs=obs)
     except Exception as error:
         return [
             Violation(point, "mount", f"recovery failed: {error!r}")
@@ -288,6 +294,7 @@ def explore(
     oracles: list[Oracle] | None = None,
     progress: Callable[[int, int], None] | None = None,
     recording: Recording | None = None,
+    obs=NULL_OBS,
 ) -> SweepSummary:
     """Run the crash-point sweep for ``scenario``.
 
@@ -295,7 +302,8 @@ def explore(
     spaced across the variant space); ``None`` explores all of them.
     ``progress(done, selected)`` is called after each candidate.  A
     pre-made ``recording`` may be supplied to amortize the baseline
-    run across sweeps.
+    run across sweeps.  ``obs`` receives the recovery metrics and
+    spans of every mounted crash image (see ``crashcheck --metrics``).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -349,7 +357,7 @@ def explore(
                 seen.add(key)
                 ctx = OracleContext.at(recording, boundary, point.label)
                 summary.violations.extend(
-                    check_image(image, ctx, oracles, point)
+                    check_image(image, ctx, oracles, point, obs=obs)
                 )
                 summary.checked += 1
             done += 1

@@ -24,6 +24,9 @@ class Measurement:
     disk_ms: float
     io: DiskStats
     result: object = None
+    #: obs metrics delta over the window (when ``measure`` got an
+    #: observer); layer totals via ``report.layer_breakdown``.
+    obs_delta: object = None
 
     @property
     def total_ios(self) -> int:
@@ -39,6 +42,7 @@ class Measurement:
             disk_ms=self.disk_ms / count,
             io=self.io,
             result=self.result,
+            obs_delta=self.obs_delta,
         )
 
 
@@ -55,11 +59,19 @@ def small_disk() -> SimDisk:
     return SimDisk(geometry=DiskGeometry(cylinders=200, heads=8, sectors_per_track=48))
 
 
-def measure(disk: SimDisk, fn: Callable[[], object]) -> Measurement:
-    """Run ``fn`` and capture elapsed virtual time and I/O deltas."""
+def measure(
+    disk: SimDisk, fn: Callable[[], object], obs=None
+) -> Measurement:
+    """Run ``fn`` and capture elapsed virtual time and I/O deltas.
+
+    With an :class:`~repro.obs.Observer` in ``obs``, the measurement
+    also carries the metrics delta over the window (the obs analogue of
+    the ``DiskStats`` subtraction happening next to it).
+    """
     clock = disk.clock
     start = clock.snapshot()
     io_start = disk.stats.copy()
+    obs_start = obs.snapshot() if obs is not None else None
     result = fn()
     end = clock.snapshot()
     return Measurement(
@@ -68,6 +80,9 @@ def measure(disk: SimDisk, fn: Callable[[], object]) -> Measurement:
         disk_ms=end["disk_busy_ms"] - start["disk_busy_ms"],
         io=disk.stats - io_start,
         result=result,
+        obs_delta=(
+            obs.snapshot() - obs_start if obs_start is not None else None
+        ),
     )
 
 

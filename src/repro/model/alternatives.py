@@ -25,7 +25,6 @@ from repro.model.primitives import (
 )
 from repro.model.scripts import (
     ModelAssumptions,
-    _fsd_commit_share,
     _io_cpu,
     cfs_open,
     cfs_small_create,

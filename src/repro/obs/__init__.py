@@ -1,0 +1,147 @@
+"""``repro.obs`` — the unified observability layer.
+
+One :class:`Observer` per mounted volume collects three things:
+
+* **metrics** — counters/gauges/histograms in a
+  :class:`~repro.obs.metrics.MetricsRegistry`, named ``layer.metric``,
+* **spans** — nested timed regions (``with obs.span("commit.force")``)
+  stamped off the simulated clock,
+* **exports** — JSONL timelines that merge spans with the disk
+  tracer's per-I/O events (:mod:`repro.obs.export`).
+
+Attachment follows the ``IoTracer`` pattern: every instrumented
+component holds ``self.obs = NULL_OBS`` by default, and the shared
+:data:`NULL_OBS` singleton turns every call into a no-op — no registry
+attached means zero simulated-time and zero behavioural difference.
+``FSD.mount(disk, obs=Observer(disk.clock))`` attaches one observer
+across all of a volume's layers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    Snapshot,
+)
+from repro.obs.spans import NULL_SPAN, ActiveSpan, NullSpan, SpanLog, SpanRecord
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "NULL_OBS",
+    "NULL_SPAN",
+    "ActiveSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "NullSpan",
+    "Snapshot",
+    "SpanLog",
+    "SpanRecord",
+    "DEFAULT_BUCKETS",
+]
+
+
+class Observer:
+    """Metrics + spans for one volume, timestamped off one SimClock."""
+
+    enabled = True
+
+    def __init__(self, clock=None):
+        #: the simulated clock spans read; rebound by ``FSD.mount`` so
+        #: crash-sweep harnesses can reuse one observer across volumes.
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.spans = SpanLog(now=self._now)
+
+    def _now(self) -> float:
+        clock = self.clock
+        return clock.now_ms if clock is not None else 0.0
+
+    def bind_clock(self, clock) -> None:
+        """Point span timestamps at ``clock`` (the mounting volume's)."""
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.metrics.counter(name).add(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its newest reading."""
+        self.metrics.gauge(name).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.metrics.histogram(name, bounds).observe(value)
+
+    def snapshot(self) -> Snapshot:
+        """Immutable copy of every metric (for the delta API)."""
+        return self.metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def span(self, name: str, /, **attrs) -> ActiveSpan:
+        """Open a nested span (a context manager) named ``name``."""
+        return self.spans.start(name, **attrs)
+
+    def span_records(self) -> list[SpanRecord]:
+        """Every finished span, in completion order."""
+        return list(self.spans.records)
+
+
+class NullObserver:
+    """The detached observer: every operation is a no-op.
+
+    Instrumented hot paths call through unconditionally; with this
+    observer attached (the default) the calls read one attribute and
+    return, never touching the simulated clock — op counts and
+    simulated times are bit-identical to uninstrumented code.
+    """
+
+    enabled = False
+
+    clock = None
+
+    def bind_clock(self, clock) -> None:
+        """No-op (the null observer has no clock to bind)."""
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """No-op."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float, bounds=DEFAULT_BUCKETS) -> None:
+        """No-op."""
+
+    def span(self, name: str, /, **attrs) -> NullSpan:
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def snapshot(self) -> Snapshot:
+        """An empty snapshot (nothing is ever recorded)."""
+        return Snapshot()
+
+    def span_records(self) -> list[SpanRecord]:
+        """An empty list (nothing is ever recorded)."""
+        return []
+
+
+#: the shared detached observer every component starts with.
+NULL_OBS = NullObserver()

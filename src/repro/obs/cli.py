@@ -1,0 +1,141 @@
+"""The ``repro stats`` and ``repro trace`` subcommands.
+
+Both mount an image with an :class:`~repro.obs.Observer` attached, run
+the deterministic scripted workload, and report what the instrumented
+layers saw:
+
+* ``stats`` prints every metric grouped by layer (or ``--json`` for
+  one JSONL record per metric),
+* ``trace`` prints the span tree (or ``--json`` for the unified
+  span + disk-I/O JSONL timeline).
+
+Neither command saves the image back by default — they are probes, not
+mutations — pass ``--save`` to keep the workload's effects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.fsd import FSD
+from repro.disk.image import load_disk, save_disk
+from repro.disk.trace import IoTracer
+from repro.obs import Observer
+from repro.obs.export import metric_dicts, timeline, to_jsonl
+from repro.obs.metrics import HistogramSnapshot, Snapshot
+from repro.obs.workload import run_scripted_workload
+
+
+def _run(args, trace_io: bool):
+    """Mount with an observer, run the workload, unmount; returns
+    ``(observer, tracer)``."""
+    disk = load_disk(args.image)
+    obs = Observer(disk.clock)
+    tracer = IoTracer()
+    if trace_io:
+        disk.tracer = tracer
+    fs = FSD.mount(disk, obs=obs)
+    run_scripted_workload(fs, ops=args.ops)
+    fs.unmount()
+    if args.save:
+        save_disk(disk, args.image)
+    return obs, tracer
+
+
+def _fmt_value(value: float) -> str:
+    return f"{value:g}"
+
+
+def _print_stats_table(snapshot: Snapshot) -> None:
+    for layer, metrics in sorted(snapshot.layers().items()):
+        print(f"[{layer}]")
+        for name, value in sorted(metrics.items()):
+            if isinstance(value, HistogramSnapshot):
+                buckets = " ".join(
+                    f"{label}:{count}"
+                    for label, count in value.nonzero_buckets()
+                )
+                print(
+                    f"  {name:<32} count={value.count} "
+                    f"mean={value.mean:.2f}  {buckets}"
+                )
+            else:
+                print(f"  {name:<32} {_fmt_value(value)}")
+        print()
+
+
+def cmd_stats(args) -> int:
+    """Run the scripted workload and report per-layer metrics."""
+    obs, _ = _run(args, trace_io=False)
+    snapshot = obs.snapshot()
+    if args.json:
+        print(to_jsonl(metric_dicts(snapshot)))
+        return 0
+    print(f"metrics after {args.ops} scripted ops on {args.image}:\n")
+    _print_stats_table(snapshot)
+    return 0
+
+
+def _print_span_tree(records) -> None:
+    for record in sorted(records, key=lambda r: (r.start_ms, r.depth)):
+        indent = "  " * record.depth
+        attrs = ""
+        if record.attrs:
+            attrs = "  " + " ".join(
+                f"{key}={value}" for key, value in sorted(record.attrs.items())
+            )
+        print(
+            f"{record.start_ms:10.2f}ms {indent}{record.name} "
+            f"({record.duration_ms:.2f}ms){attrs}"
+        )
+
+
+def cmd_trace(args) -> int:
+    """Run the scripted workload and dump the span/I-O timeline."""
+    obs, tracer = _run(args, trace_io=True)
+    if args.json:
+        text = to_jsonl(timeline(obs.span_records(), tracer.events))
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {len(text.splitlines())} records to {args.out}")
+        else:
+            print(text)
+        return 0
+    spans = obs.span_records()
+    print(
+        f"{len(spans)} spans, {len(tracer.events)} disk I/Os over "
+        f"{args.ops} scripted ops on {args.image}:\n"
+    )
+    _print_span_tree(spans)
+    return 0
+
+
+def add_subparsers(sub) -> None:
+    """Register ``stats`` and ``trace`` on the main argument parser."""
+    p = sub.add_parser(
+        "stats",
+        help="run a scripted workload and print per-layer metrics",
+    )
+    p.add_argument("image")
+    p.add_argument("--ops", type=int, default=100,
+                   help="scripted operations to run (default 100)")
+    p.add_argument("--json", action="store_true",
+                   help="emit one JSONL record per metric")
+    p.add_argument("--save", action="store_true",
+                   help="save the image back after the workload")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a scripted workload and dump the span/IO timeline",
+    )
+    p.add_argument("image")
+    p.add_argument("--ops", type=int, default=25,
+                   help="scripted operations to run (default 25)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the unified JSONL timeline")
+    p.add_argument("--out",
+                   help="with --json, write the timeline to this file")
+    p.add_argument("--save", action="store_true",
+                   help="save the image back after the workload")
+    p.set_defaults(fn=cmd_trace)

@@ -1,0 +1,149 @@
+"""JSONL export: metrics, spans and disk I/O events on one timeline.
+
+Every exported line is one JSON object with a ``type`` field:
+
+* ``{"type": "span", ...}``    — a finished :class:`SpanRecord`,
+* ``{"type": "io", ...}``      — one :class:`IoEvent` from a disk tracer,
+* ``{"type": "counter"|"gauge"|"histogram", ...}`` — one metric.
+
+Because spans and I/O events are both timestamped off the simulated
+clock, sorting by start time yields the single unified timeline the
+paper's methodology implies: each high-level span contains exactly the
+disk operations it caused.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.disk.trace import IoEvent
+from repro.obs.metrics import Snapshot
+from repro.obs.spans import SpanRecord
+
+
+def span_dict(record: SpanRecord) -> dict:
+    """JSON-friendly form of one finished span."""
+    out = {
+        "type": "span",
+        "id": record.span_id,
+        "parent": record.parent_id,
+        "name": record.name,
+        "depth": record.depth,
+        "start_ms": record.start_ms,
+        "end_ms": record.end_ms,
+    }
+    if record.attrs:
+        out["attrs"] = dict(record.attrs)
+    return out
+
+
+def io_dict(event: IoEvent) -> dict:
+    """JSON-friendly form of one disk I/O event."""
+    return {
+        "type": "io",
+        "kind": event.kind,
+        "address": event.address,
+        "sectors": event.sectors,
+        "start_ms": event.start_ms,
+        "end_ms": event.start_ms + event.total_ms,
+        "seek_ms": event.seek_ms,
+        "rotational_ms": event.rotational_ms,
+        "transfer_ms": event.transfer_ms,
+        "cylinder_distance": event.cylinder_distance,
+    }
+
+
+def metric_dicts(snapshot: Snapshot) -> list[dict]:
+    """One JSON-friendly record per metric in ``snapshot``."""
+    out: list[dict] = []
+    for name, value in snapshot.counters.items():
+        out.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot.gauges.items():
+        out.append({"type": "gauge", "name": name, "value": value})
+    for name, hist in snapshot.histograms.items():
+        out.append(
+            {
+                "type": "histogram",
+                "name": name,
+                "bounds": list(hist.bounds),
+                "counts": list(hist.counts),
+                "total": hist.total,
+                "count": hist.count,
+                "mean": hist.mean,
+            }
+        )
+    return out
+
+
+def timeline(
+    spans: Iterable[SpanRecord], io_events: Iterable[IoEvent] = ()
+) -> list[dict]:
+    """Spans and disk events merged into one start-time-ordered list.
+
+    At equal start times spans sort before I/O events and shallower
+    spans before deeper ones, so a parent always precedes everything
+    it contains.
+    """
+    rows: list[tuple[tuple, dict]] = []
+    for record in spans:
+        rows.append(
+            ((record.start_ms, 0, record.depth, record.span_id),
+             span_dict(record))
+        )
+    for index, event in enumerate(io_events):
+        rows.append(((event.start_ms, 1, 0, index), io_dict(event)))
+    rows.sort(key=lambda row: row[0])
+    return [row[1] for row in rows]
+
+
+def to_jsonl(records: Iterable[dict]) -> str:
+    """Render records as one JSON object per line."""
+    return "\n".join(json.dumps(record, sort_keys=True) for record in records)
+
+
+def parse_jsonl(text: str) -> list[dict]:
+    """Inverse of :func:`to_jsonl` (blank lines ignored)."""
+    return [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]
+
+
+def validate_timeline(records: list[dict]) -> list[str]:
+    """Structural checks on an exported timeline; returns problems.
+
+    Valid means: every span's end is at or after its start (simulated
+    time is monotone), every child is contained in its parent's
+    interval, and every parent reference resolves.
+    """
+    problems: list[str] = []
+    spans = {r["id"]: r for r in records if r.get("type") == "span"}
+    for record in spans.values():
+        if record["end_ms"] < record["start_ms"]:
+            problems.append(
+                f"span {record['name']}#{record['id']} ends before it starts"
+            )
+        parent_id = record.get("parent")
+        if parent_id is None:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            problems.append(
+                f"span {record['name']}#{record['id']} has unknown "
+                f"parent {parent_id}"
+            )
+            continue
+        if not (
+            parent["start_ms"] <= record["start_ms"]
+            and record["end_ms"] <= parent["end_ms"]
+        ):
+            problems.append(
+                f"span {record['name']}#{record['id']} escapes parent "
+                f"{parent['name']}#{parent_id}"
+            )
+        if record["depth"] != parent["depth"] + 1:
+            problems.append(
+                f"span {record['name']}#{record['id']} depth "
+                f"{record['depth']} != parent depth + 1"
+            )
+    return problems

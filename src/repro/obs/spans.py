@@ -1,0 +1,143 @@
+"""Lightweight span tracing over the simulated clock.
+
+A span brackets one logical operation (``with obs.span("wal.force",
+records=n):``); spans nest on a per-log stack, every record carries its
+parent id and depth, and all timestamps are ``SimClock.now_ms`` — never
+wall clock, so traces are deterministic and line up exactly with the
+disk's :class:`~repro.disk.trace.IoTracer` events on one timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    depth: int
+    start_ms: float
+    end_ms: float
+    attrs: dict
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+class ActiveSpan:
+    """Context manager for one open span; ``set()`` attaches attributes
+    discovered mid-span (batch sizes, record counts...)."""
+
+    __slots__ = ("_log", "span_id", "parent_id", "name", "depth",
+                 "start_ms", "attrs")
+
+    def __init__(
+        self,
+        log: "SpanLog",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        depth: int,
+        start_ms: float,
+        attrs: dict,
+    ):
+        self._log = log
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.depth = depth
+        self.start_ms = start_ms
+        self.attrs = attrs
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) span attributes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._log.finish(self)
+
+
+class NullSpan:
+    """Shared no-op span for the detached (NULL observer) path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        """No-op."""
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+def _zero_ms() -> float:
+    """Default clock for an unbound span log."""
+    return 0.0
+
+
+@dataclass
+class SpanLog:
+    """Collects finished spans; maintains the open-span stack."""
+
+    now: Callable[[], float] = _zero_ms
+    records: list[SpanRecord] = field(default_factory=list)
+    _stack: list[ActiveSpan] = field(default_factory=list)
+    _next_id: int = 1
+
+    def start(self, name: str, /, **attrs) -> ActiveSpan:
+        """Open a span nested under the current top of the stack."""
+        parent = self._stack[-1] if self._stack else None
+        span = ActiveSpan(
+            log=self,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent else None,
+            name=name,
+            depth=len(self._stack),
+            start_ms=self.now(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def finish(self, span: ActiveSpan) -> None:
+        """Close ``span`` (and anything opened inside it)."""
+        # Exceptions can unwind several spans at once; close everything
+        # above (and including) the finishing span so nesting stays sound.
+        while self._stack:
+            top = self._stack.pop()
+            self.records.append(
+                SpanRecord(
+                    span_id=top.span_id,
+                    parent_id=top.parent_id,
+                    name=top.name,
+                    depth=top.depth,
+                    start_ms=top.start_ms,
+                    end_ms=self.now(),
+                    attrs=dict(top.attrs),
+                )
+            )
+            if top is span:
+                break
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        self.records.clear()

@@ -1,0 +1,59 @@
+"""Deterministic scripted workload for the stats/trace CLI.
+
+The ``repro stats`` and ``repro trace`` subcommands need a repeatable
+op mix that exercises every instrumented layer: creates and writes (WAL
++ group commit + VAM + B-tree), opens/reads (cache + leader checks),
+renames and deletes (shadow bitmap), lists (B-tree scans), plus
+explicit forces so commit metrics appear even on short runs.  The
+script is a fixed rotation — no randomness — so two runs over the same
+image produce identical metrics and timelines.
+"""
+
+from __future__ import annotations
+
+from repro.core.fsd import FSD
+
+#: payload sized to span a few sectors so reads/writes hit the data path.
+_PAYLOAD = b"observability-workload-".ljust(1536, b".")
+
+
+def run_scripted_workload(fs: FSD, ops: int = 100) -> int:
+    """Run ``ops`` deterministic operations against ``fs``.
+
+    The rotation touches, in order: create, open, read, write (extend),
+    list, rename, delete — then repeats over a growing/shrinking pool
+    of ``obs/NNN`` files.  Ends with one explicit force so the final
+    partial batch is committed and counted.  Returns the number of
+    operations performed.
+    """
+    performed = 0
+    live: list[str] = []
+    serial = 0
+    while performed < ops:
+        step = performed % 7
+        if step == 0 or not live:
+            name = f"obs/{serial:03d}"
+            serial += 1
+            fs.create(name, _PAYLOAD)
+            live.append(name)
+        elif step == 1:
+            fs.open(live[-1])
+        elif step == 2:
+            handle = fs.open(live[-1])
+            fs.read(handle)
+        elif step == 3:
+            handle = fs.open(live[-1])
+            fs.write(handle, handle.byte_size, _PAYLOAD[:512])
+        elif step == 4:
+            fs.list("obs/")
+        elif step == 5:
+            old = live.pop(0)
+            renamed = f"obs/r{serial:03d}"
+            serial += 1
+            fs.rename(old, renamed)
+            live.append(renamed)
+        else:
+            fs.delete(live.pop(0))
+        performed += 1
+    fs.force()
+    return performed

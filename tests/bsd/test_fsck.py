@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bsd.ffs import FFS
 from repro.bsd.fsck import fsck
 from repro.disk.disk import SimDisk

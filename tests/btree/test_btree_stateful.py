@@ -6,7 +6,6 @@ from __future__ import annotations
 
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     invariant,
     rule,

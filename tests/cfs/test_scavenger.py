@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.cfs.cfs import CFS
 from repro.cfs.scavenger import scavenge
 from repro.disk.disk import SimDisk

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.fsd import FSD
 from repro.core.types import FileKind
 from repro.errors import FileNotFound, FsError, NotMounted, VolumeFull
 from repro.workloads.generators import payload

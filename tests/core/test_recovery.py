@@ -8,8 +8,6 @@ import pytest
 from repro.core.fsd import FSD
 from repro.core.layout import RootPage, VolumeLayout, VolumeParams
 from repro.core.recovery import read_root, write_root
-from repro.core.types import Run
-from repro.core.vam import VolumeAllocationMap
 from repro.disk.disk import SimDisk
 from repro.disk.geometry import DiskGeometry
 from repro.errors import CorruptMetadata

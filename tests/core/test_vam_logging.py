@@ -10,11 +10,8 @@ never double-allocates; at worst it leaks the final batch's frees.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.fsd import FSD
 from repro.core.layout import VolumeParams
-from repro.core.types import Run
 from repro.disk.disk import SimDisk
 from repro.disk.geometry import DiskGeometry
 from repro.errors import SimulatedCrash

@@ -11,7 +11,6 @@ from repro.core.wal import (
     PAGE_LEADER,
     PAGE_NAME_TABLE,
     RECORD_OVERHEAD_SECTORS,
-    SKIP_RECORD_SECTORS,
     WriteAheadLog,
     record_sectors,
 )

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.fsd import FSD
 from repro.crashcheck import DiskRecorder, Op, get_scenario, record_scenario
 from repro.crashcheck.workload import DiskState
 from repro.disk.disk import SimDisk

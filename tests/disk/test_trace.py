@@ -55,6 +55,19 @@ class TestTracing:
         assert far.classify_seek() == "seek"
         assert none.classify_seek() == "none"
 
+    def test_seek_classification_threshold_boundary(self):
+        """The default short-seek threshold (4 cylinders) is inclusive."""
+        at = IoEvent("read", 0, 1, 4, 1.0, 1.0, 1.0, 0.0)
+        past = IoEvent("read", 0, 1, 5, 1.0, 1.0, 1.0, 0.0)
+        assert at.classify_seek() == "short seek"
+        assert past.classify_seek() == "seek"
+
+    def test_seek_classification_custom_threshold(self):
+        event = IoEvent("read", 0, 1, 10, 1.0, 1.0, 1.0, 0.0)
+        assert event.classify_seek(short_threshold=10) == "short seek"
+        assert event.classify_seek(short_threshold=9) == "seek"
+        assert event.classify_seek(short_threshold=0) == "seek"
+
     def test_script_rendering(self, traced):
         disk, tracer = traced
         disk.read(GEO.sectors_per_cylinder * 20, 2)
@@ -88,6 +101,35 @@ class TestTracing:
         disk.read(0, 1)
         text = str(tracer.events[0])
         assert "read" in text and "x1" in text
+
+    def test_str_all_kinds_and_fields(self):
+        """Every event kind renders its timing decomposition."""
+        for kind in ("read", "write", "label_read", "label_write"):
+            event = IoEvent(kind, 1234, 7, 3, 12.5, 8.25, 0.5, 987.65)
+            text = str(event)
+            assert kind in text
+            assert "@1234" in text
+            assert "x7" in text
+            assert "seek= 12.5" in text
+            assert "rot=  8.2" in text
+            assert "xfer=  0.5" in text
+            assert "987.65 ms" in text
+
+    def test_timeline_export_includes_io_events(self, traced):
+        """Satellite check: tracer events merge into the obs JSONL
+        timeline with their full timing decomposition."""
+        from repro.obs.export import io_dict, timeline
+
+        disk, tracer = traced
+        disk.write(10, [b"a", b"b"])
+        disk.read(10, 2)
+        records = timeline([], tracer.events)
+        assert [r["kind"] for r in records] == ["write", "read"]
+        first = io_dict(tracer.events[0])
+        assert first["type"] == "io"
+        assert first["end_ms"] == pytest.approx(
+            tracer.events[0].start_ms + tracer.events[0].total_ms
+        )
 
 
 class TestTraceMatchesModelShape:

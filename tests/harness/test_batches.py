@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro.harness.batches import (
     BATCH_FILES,
-    BatchResult,
     measure_batches,
     measure_makedo,
 )

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-
-from repro.harness.report import Row, Table, ratio, shape_holds
+from repro.harness.report import Table, ratio, shape_holds
 
 
 class TestTable:

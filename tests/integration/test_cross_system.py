@@ -8,8 +8,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.harness.scenarios import SMALL, cfs_volume, ffs_volume, fsd_volume
 from repro.workloads.generators import OperationMix, payload
 

@@ -1,0 +1,106 @@
+"""The ``repro stats`` / ``repro trace`` subcommands and
+``crashcheck --metrics``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.export import parse_jsonl, validate_timeline
+
+
+@pytest.fixture
+def image(tmp_path) -> str:
+    path = str(tmp_path / "vol.img")
+    assert main(["mkfs", path]) == 0
+    return path
+
+
+class TestStats:
+    def test_reports_five_plus_layers_nonzero(self, image, capsys):
+        capsys.readouterr()
+        assert main(["stats", image]) == 0
+        out = capsys.readouterr().out
+        for layer in ("wal", "commit", "cache", "btree", "vam", "fsd"):
+            assert f"[{layer}]" in out
+
+    def test_json_mode_emits_parseable_metrics(self, image, capsys):
+        capsys.readouterr()
+        assert main(["stats", image, "--json", "--ops", "30"]) == 0
+        records = parse_jsonl(capsys.readouterr().out)
+        assert records
+        by_name = {r["name"]: r for r in records}
+        assert by_name["fsd.creates"]["value"] > 0
+        assert by_name["wal.records_appended"]["type"] == "counter"
+        layers = {
+            name.split(".", 1)[0]
+            for name, record in by_name.items()
+            if record["type"] == "counter" and record["value"] > 0
+        }
+        assert len(layers) >= 5
+
+    def test_probe_does_not_save_image(self, image, capsys):
+        from pathlib import Path
+
+        before = Path(image).read_bytes()
+        assert main(["stats", image, "--ops", "10"]) == 0
+        assert Path(image).read_bytes() == before
+        assert main(["stats", image, "--ops", "10", "--save"]) == 0
+        assert Path(image).read_bytes() != before
+
+
+class TestTrace:
+    def test_text_tree_shows_nested_ops(self, image, capsys):
+        capsys.readouterr()
+        assert main(["trace", image, "--ops", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "fsd.mount" in out
+        assert "fsd.create" in out
+        assert "commit.force" in out
+
+    def test_json_timeline_validates(self, image, capsys):
+        capsys.readouterr()
+        assert main(["trace", image, "--ops", "8", "--json"]) == 0
+        records = parse_jsonl(capsys.readouterr().out)
+        assert validate_timeline(records) == []
+        types = {r["type"] for r in records}
+        assert types == {"span", "io"}
+        starts = [r["start_ms"] for r in records]
+        assert starts == sorted(starts)
+
+    def test_json_out_file(self, image, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", image, "--ops", "5", "--json", "--out", str(out_path)]
+        ) == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+            if line.strip()
+        ]
+        assert validate_timeline(records) == []
+
+
+class TestCrashcheckMetrics:
+    def test_metrics_flag_prints_recovery_totals(self, capsys):
+        assert (
+            main(
+                [
+                    "crashcheck",
+                    "--scenario",
+                    "quickstart",
+                    "--max-points",
+                    "12",
+                    "--quiet",
+                    "--metrics",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovery metrics across" in out
+        assert "recovery.records_replayed" in out
+        assert "recovery.vam_rebuilds" in out
+        assert "recovery.replay" in out and "spans" in out

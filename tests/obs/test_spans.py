@@ -1,0 +1,147 @@
+"""Span nesting, exception safety, and the JSONL timeline export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.trace import IoEvent
+from repro.obs import Observer
+from repro.obs.export import (
+    parse_jsonl,
+    timeline,
+    to_jsonl,
+    validate_timeline,
+)
+from repro.obs.spans import SpanLog
+
+
+class FakeClock:
+    """Manually stepped stand-in for SimClock.now_ms."""
+
+    def __init__(self):
+        self.now_ms = 0.0
+
+    def tick(self, ms: float = 1.0) -> None:
+        self.now_ms += ms
+
+
+@pytest.fixture
+def obs() -> tuple[Observer, FakeClock]:
+    clock = FakeClock()
+    return Observer(clock), clock
+
+
+class TestNesting:
+    def test_parent_child_ids_and_depth(self, obs):
+        observer, clock = obs
+        with observer.span("outer"):
+            clock.tick()
+            with observer.span("inner"):
+                clock.tick()
+        inner, outer = observer.span_records()
+        assert inner.name == "inner"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.start_ms <= inner.start_ms
+        assert inner.end_ms <= outer.end_ms
+
+    def test_sibling_spans_share_parent(self, obs):
+        observer, clock = obs
+        with observer.span("p"):
+            with observer.span("a"):
+                clock.tick()
+            with observer.span("b"):
+                clock.tick()
+        a, b, p = observer.span_records()
+        assert a.parent_id == p.span_id
+        assert b.parent_id == p.span_id
+        assert a.span_id != b.span_id
+
+    def test_attrs_set_mid_span(self, obs):
+        observer, _ = obs
+        with observer.span("op", fixed=1) as span:
+            span.set(discovered=2)
+        (record,) = observer.span_records()
+        assert record.attrs == {"fixed": 1, "discovered": 2}
+
+    def test_exception_unwinds_open_children(self, obs):
+        observer, _ = obs
+        log: SpanLog = observer.spans
+        with pytest.raises(RuntimeError):
+            with observer.span("outer"):
+                observer.spans.start("leaked")  # never explicitly closed
+                raise RuntimeError("boom")
+        assert log.open_depth == 0
+        names = [r.name for r in observer.span_records()]
+        assert names == ["leaked", "outer"]
+
+    def test_unbound_observer_stamps_zero(self):
+        observer = Observer()
+        with observer.span("x"):
+            pass
+        (record,) = observer.span_records()
+        assert record.start_ms == 0.0 and record.end_ms == 0.0
+
+
+class TestTimelineExport:
+    def _spans(self):
+        observer = Observer(clock := FakeClock())
+        with observer.span("mount"):
+            clock.tick(5)
+            with observer.span("replay", records=2):
+                clock.tick(10)
+        return observer.span_records()
+
+    def test_jsonl_round_trip(self):
+        records = timeline(self._spans())
+        parsed = parse_jsonl(to_jsonl(records))
+        assert parsed == records
+
+    def test_timeline_merges_io_events(self):
+        io = IoEvent("read", 7, 2, 0, 0.0, 1.0, 0.5, 6.0)
+        records = timeline(self._spans(), [io])
+        kinds = [r["type"] for r in records]
+        assert kinds == ["span", "span", "io"]
+        assert records[-1]["address"] == 7
+        assert records[-1]["end_ms"] == pytest.approx(7.5)
+
+    def test_parent_precedes_child_at_equal_start(self):
+        observer = Observer(FakeClock())
+        with observer.span("outer"):
+            with observer.span("inner"):
+                pass
+        records = timeline(observer.span_records())
+        assert [r["name"] for r in records] == ["outer", "inner"]
+
+    def test_validate_accepts_wellformed(self):
+        assert validate_timeline(timeline(self._spans())) == []
+
+    def test_validate_catches_escaping_child(self):
+        records = [
+            {"type": "span", "id": 1, "parent": None, "name": "p",
+             "depth": 0, "start_ms": 0.0, "end_ms": 5.0},
+            {"type": "span", "id": 2, "parent": 1, "name": "c",
+             "depth": 1, "start_ms": 1.0, "end_ms": 9.0},
+        ]
+        problems = validate_timeline(records)
+        assert any("escapes" in p for p in problems)
+
+    def test_validate_catches_bad_depth_and_parent(self):
+        records = [
+            {"type": "span", "id": 1, "parent": None, "name": "p",
+             "depth": 0, "start_ms": 0.0, "end_ms": 5.0},
+            {"type": "span", "id": 2, "parent": 1, "name": "c",
+             "depth": 2, "start_ms": 1.0, "end_ms": 2.0},
+            {"type": "span", "id": 3, "parent": 99, "name": "orphan",
+             "depth": 1, "start_ms": 1.0, "end_ms": 2.0},
+        ]
+        problems = validate_timeline(records)
+        assert any("depth" in p for p in problems)
+        assert any("unknown" in p for p in problems)
+
+    def test_validate_catches_reversed_interval(self):
+        records = [
+            {"type": "span", "id": 1, "parent": None, "name": "x",
+             "depth": 0, "start_ms": 5.0, "end_ms": 1.0},
+        ]
+        assert validate_timeline(records)

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.harness.scenarios import SMALL, fsd_volume
 from repro.workloads.generators import (
     BulkUpdateWorkload,
