@@ -38,9 +38,9 @@ SMALL_PARAMS = VolumeParams(
 )
 
 
-def _mount(path: str) -> tuple[SimDisk, FSD]:
+def _mount(path: str, sched: str = "fifo") -> tuple[SimDisk, FSD]:
     disk = load_disk(path)
-    fs = FSD.mount(disk)
+    fs = FSD.mount(disk, sched=sched)
     report = fs.mount_report
     if report.log_records_replayed or report.vam_rebuild_entries:
         print(
@@ -81,7 +81,7 @@ def cmd_mkfs(args) -> int:
 
 def cmd_put(args) -> int:
     data = Path(args.local).read_bytes()
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     handle = fs.create(args.name, data)
     print(
         f"wrote {args.name}!{handle.version} "
@@ -92,7 +92,7 @@ def cmd_put(args) -> int:
 
 
 def cmd_get(args) -> int:
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     handle = fs.open(args.name)
     data = fs.read(handle)
     if args.local:
@@ -105,7 +105,7 @@ def cmd_get(args) -> int:
 
 
 def cmd_ls(args) -> int:
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     entries = fs.list(args.prefix or "")
     for props in entries:
         print(
@@ -118,7 +118,7 @@ def cmd_ls(args) -> int:
 
 
 def cmd_rm(args) -> int:
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     props = fs.delete(args.name)
     print(f"deleted {props.name}!{props.version}")
     _finish(disk, fs, args.image)
@@ -126,7 +126,7 @@ def cmd_rm(args) -> int:
 
 
 def cmd_info(args) -> int:
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     geo = disk.geometry
     print(f"geometry : {geo.cylinders} cyl x {geo.heads} heads x "
           f"{geo.sectors_per_track} sectors ({geo.total_bytes // 2**20} MB)")
@@ -143,7 +143,7 @@ def cmd_info(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    disk, fs = _mount(args.image)
+    disk, fs = _mount(args.image, sched=args.sched)
     report = verify_volume(fs)
     print(
         f"checked {report.files_checked} files, "
@@ -169,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _sched_arg(p) -> None:
+        p.add_argument(
+            "--sched", choices=["fifo", "scan", "deadline"],
+            default="fifo",
+            help="I/O scheduler policy for the mount (default: fifo)",
+        )
+
     p = sub.add_parser("mkfs", help="format a new volume image")
     p.add_argument("image")
     p.add_argument("--size", choices=["small", "t300"], default="small")
@@ -182,30 +189,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("--crash", action="store_true",
                    help="simulate a crash instead of unmounting")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_put)
 
     p = sub.add_parser("get", help="copy a file out of the volume")
     p.add_argument("image")
     p.add_argument("name")
     p.add_argument("local", nargs="?")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_get)
 
     p = sub.add_parser("ls", help="list files")
     p.add_argument("image")
     p.add_argument("prefix", nargs="?")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_ls)
 
     p = sub.add_parser("rm", help="delete a file")
     p.add_argument("image")
     p.add_argument("name")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_rm)
 
     p = sub.add_parser("info", help="volume information")
     p.add_argument("image")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("verify", help="offline integrity check")
     p.add_argument("image")
+    _sched_arg(p)
     p.set_defaults(fn=cmd_verify)
 
     from repro.crashcheck.cli import add_subparser as add_crashcheck

@@ -16,6 +16,14 @@ uncommitted image home would break the atomicity the log provides
 (a multi-page B-tree split could reach disk half-done).  Pages with
 any pending obligation are pinned; only fully clean pages are evicted.
 
+The cache itself never touches the disk: writeback goes through the
+injected ``nt_writer``/``leader_writer``/``vam_writer`` callables,
+which a mounted volume points at the shared
+:class:`~repro.disk.sched.IoScheduler`.  Under a queueing policy the
+writebacks are *submitted* — elevator-sorted and coalesced at the next
+barrier (the log force or anchor write that makes them safe) — while
+under ``fifo`` they dispatch immediately in program order.
+
 Cached name-table pages are conceptually read-only between updates —
 the paper keeps them read-protected to catch wild stores.  Here the
 analogous guard is that the cache hands out ``bytes`` (immutable) and

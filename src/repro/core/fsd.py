@@ -43,6 +43,7 @@ from repro.core.types import (
 from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import WriteAheadLog
 from repro.disk.disk import SimDisk
+from repro.disk.sched import IoScheduler, as_scheduler
 from repro.errors import FileNotFound, FsError, NotMounted
 from repro.obs import NULL_OBS
 
@@ -100,8 +101,10 @@ class FSD:
         vam: VolumeAllocationMap,
         mount_report: MountReport,
         obs=NULL_OBS,
+        io: IoScheduler | None = None,
     ):
         self.disk = disk
+        self.io = io if io is not None else as_scheduler(disk)
         self.clock = disk.clock
         self.layout = layout
         self.params = layout.params
@@ -132,6 +135,7 @@ class FSD:
         """Point every layer of this volume at one observer (pass
         :data:`~repro.obs.NULL_OBS` to detach)."""
         self.obs = obs
+        self.io.obs = obs
         self.wal.obs = obs
         self.cache.obs = obs
         self.vam.obs = obs
@@ -147,16 +151,17 @@ class FSD:
         call :meth:`mount` afterwards)."""
         params = params or VolumeParams()
         layout = VolumeLayout.compute(disk.geometry, params)
-        wal = WriteAheadLog(disk, layout)
+        io = as_scheduler(disk)
+        wal = WriteAheadLog(disk, layout, io=io)
         wal.boot_count = 0
         wal.format()
 
-        home = NameTableHome(disk, layout)
+        home = NameTableHome(io, layout)
         cache = MetadataCache(
             capacity_pages=params.cache_pages,
             nt_reader=home.read_page,
             nt_writer=home.write_pages,
-            leader_writer=lambda addr, data: disk.write(addr, [data]),
+            leader_writer=lambda addr, data: io.submit_write(addr, [data]),
         )
         pager = NameTablePager(cache, layout, disk.clock)
         FsdNameTable.format(pager, disk.clock)
@@ -168,7 +173,7 @@ class FSD:
         vam = VolumeAllocationMap(disk.geometry.total_sectors)
         for run in layout.metadata_runs():
             vam.mark_allocated(run)
-        vam.save(disk, layout, boot_count=0)
+        vam.save(io, layout, boot_count=0)
 
         root = RootPage(
             params=params,
@@ -176,7 +181,7 @@ class FSD:
             boot_count=0,
             vam_saved=True,
         )
-        write_root(disk, layout, root)
+        write_root(io, layout, root)
 
     @classmethod
     def mount(
@@ -184,6 +189,7 @@ class FSD:
         disk: SimDisk,
         params: VolumeParams | None = None,
         obs=None,
+        sched: str = "fifo",
     ) -> "FSD":
         """Mount (and, if needed, recover) the FSD volume on ``disk``.
 
@@ -191,33 +197,39 @@ class FSD:
         page; authoritative parameters come from the root itself.
         ``obs`` attaches an :class:`~repro.obs.Observer` across every
         layer; recovery phases (log scan, redo, VAM load/rebuild) emit
-        nested spans under ``fsd.mount``.
+        nested spans under ``fsd.mount``.  ``sched`` selects the I/O
+        scheduler policy (``fifo``/``scan``/``deadline``); it is a
+        mount-time choice, not a volume parameter, so the same volume
+        can be remounted under a different policy.
         """
         obs = obs if obs is not None else NULL_OBS
         obs.bind_clock(disk.clock)
+        io = as_scheduler(disk, policy=sched, obs=obs)
         start_ms = disk.clock.now_ms
         with obs.span("fsd.mount") as mount_span:
             report = MountReport()
             probe_layout = VolumeLayout.compute(
                 disk.geometry, params or VolumeParams()
             )
-            root = read_root(disk, probe_layout)
+            root = read_root(io, probe_layout)
             layout = VolumeLayout.compute(disk.geometry, root.params)
             new_boot = root.boot_count + 1
             report.boot_count = new_boot
 
-            wal = WriteAheadLog(disk, layout)
+            wal = WriteAheadLog(disk, layout, io=io)
             wal.boot_count = new_boot
             wal.obs = obs
             replay_log(disk, layout, wal, report, obs=obs)
 
-            home = NameTableHome(disk, layout)
+            home = NameTableHome(io, layout)
             cache = MetadataCache(
                 capacity_pages=layout.params.cache_pages,
                 nt_reader=home.read_page,
                 nt_writer=home.write_pages,
-                leader_writer=lambda addr, data: disk.write(addr, [data]),
-                vam_writer=lambda index, data: disk.write(
+                leader_writer=lambda addr, data: io.submit_write(
+                    addr, [data]
+                ),
+                vam_writer=lambda index, data: io.submit_write(
                     layout.vam_start + 1 + index, [data]
                 ),
             )
@@ -235,12 +247,12 @@ class FSD:
                     # VAM pages just replayed from the log *is* the
                     # free map.
                     vam_loaded = vam.load(
-                        disk, layout, expect_boot_count=root.boot_count,
+                        io, layout, expect_boot_count=root.boot_count,
                         logged_mode=True,
                     )
                 if not vam_loaded and root.vam_saved:
                     vam_loaded = vam.load(
-                        disk, layout, expect_boot_count=root.boot_count
+                        io, layout, expect_boot_count=root.boot_count
                     )
                 vam_span.set(loaded=vam_loaded)
             if not vam_loaded:
@@ -249,7 +261,7 @@ class FSD:
             if layout.params.log_vam:
                 # Write this boot's base image; subsequent commits log
                 # only the changed bitmap pages on top of it.
-                vam.save(disk, layout, boot_count=new_boot)
+                vam.save(io, layout, boot_count=new_boot)
 
             new_root = RootPage(
                 params=root.params,
@@ -257,7 +269,7 @@ class FSD:
                 boot_count=new_boot,
                 vam_saved=False,
             )
-            write_root(disk, layout, new_root)
+            write_root(io, layout, new_root)
             report.total_ms = disk.clock.now_ms - start_ms
             mount_span.set(
                 boot=new_boot,
@@ -275,6 +287,7 @@ class FSD:
             vam=vam,
             mount_report=report,
             obs=obs,
+            io=io,
         )
 
     def unmount(self) -> None:
@@ -284,20 +297,21 @@ class FSD:
         self.coordinator.force()
         self.cache.flush_all_home()
         self.wal.checkpoint()
-        self.vam.save(self.disk, self.layout, self.boot_count)
+        self.vam.save(self.io, self.layout, self.boot_count)
         self.root = RootPage(
             params=self.root.params,
             total_sectors=self.root.total_sectors,
             boot_count=self.boot_count,
             vam_saved=True,
         )
-        write_root(self.disk, self.layout, self.root)
+        write_root(self.io, self.layout, self.root)
         self.coordinator.shutdown()
         self._mounted = False
 
     def crash(self) -> None:
         """Simulated crash: all volatile state vanishes; the disk keeps
         whatever it had.  Mount again to recover."""
+        self.io.discard()
         self.cache.discard_all()
         self.coordinator.shutdown()
         self._mounted = False
@@ -612,7 +626,7 @@ class FSD:
         if page * sector_bytes >= old_size:
             return b"\x00" * sector_bytes
         address = handle.runs.sector_of_page(page)
-        return self.disk.read(address, 1)[0]
+        return self.io.read(address, 1)[0]
 
     def _write_extent(
         self,
@@ -634,14 +648,14 @@ class FSD:
             pending = self.cache.leader_pending_piggyback(leader_addr)
             if pending is not None:
                 chunk = sectors[: max_io - 1]
-                self.disk.write(
+                self.io.write(
                     leader_addr, [pending, *chunk], cpu_overlap=True
                 )
                 self.cache.note_leader_home(leader_addr)
                 cursor = len(chunk)
         while cursor < len(sectors):
             chunk = sectors[cursor : cursor + max_io]
-            self.disk.write(start + cursor, chunk, cpu_overlap=True)
+            self.io.write(start + cursor, chunk, cpu_overlap=True)
             cursor += len(chunk)
 
     def _read_extent(
@@ -661,7 +675,7 @@ class FSD:
             is None
         ):
             count = min(remaining, max_io - 1)
-            sectors = self.disk.read(
+            sectors = self.io.read(
                 handle.props.leader_addr, count + 1, cpu_overlap=True
             )
             self._check_leader_bytes(handle, sectors[0])
@@ -675,7 +689,7 @@ class FSD:
             self._verify_leader_if_needed(handle, piggyback_extent=None)
         while remaining > 0:
             count = min(remaining, max_io)
-            out.extend(self.disk.read(start, count, cpu_overlap=True))
+            out.extend(self.io.read(start, count, cpu_overlap=True))
             start += count
             remaining -= count
         return out
@@ -709,7 +723,7 @@ class FSD:
         if cached is not None:
             data = cached
         else:
-            data = self.disk.read(address, 1)[0]
+            data = self.io.read(address, 1)[0]
             self.ops.leader_separate_reads += 1
         self._check_leader_bytes(handle, data)
 

@@ -2,11 +2,16 @@
 
 "A set of updates are grouped together in one log write to amortize
 the cost of the log write disk I/O over several updates...  FSD forces
-its log twice a second."  The coordinator owns the half-second timer,
-batches every page dirtied since the last force into as few log
-records as possible, and — because pages freed by a delete are not
-really free until the delete commits — applies the shadow bitmap to
-the VAM after each successful force.
+its log twice a second."  The coordinator owns the group-commit
+*deadline*: the first update after a force must be durable within one
+commit interval, and the half-second timer is the alarm that fires at
+that deadline.  A force batches every page dirtied since the last one
+into as few log records as possible, submits them to the volume's I/O
+scheduler stamped with the deadline they must meet (the deadline
+policy dispatches them ahead of opportunistic writebacks), and ends
+with a scheduler barrier — the durability point.  Because pages freed
+by a delete are not really free until the delete commits, the shadow
+bitmap is applied to the VAM only after that barrier.
 """
 
 from __future__ import annotations
@@ -45,6 +50,8 @@ class CommitCoordinator:
         self.interval_ms = interval_ms
         self.log_vam = log_vam
         self.obs = obs
+        #: the shared I/O scheduler (the WAL's); force() barriers it.
+        self.io = wal.io
         #: force early once this many pages await logging — "the log is
         #: forced long before [an oversized entry] should occur" (§5.3).
         self.pressure_pages = 2 * wal.layout.params.max_record_pages
@@ -55,6 +62,9 @@ class CommitCoordinator:
         #: this many commits into one log write (paper §5.4).
         self.updates_since_force = 0
         self.last_force_ms = clock.now_ms
+        #: when the oldest unforced update must be durable (the
+        #: group-commit deadline the submitted log writes carry).
+        self.deadline_ms = clock.now_ms + interval_ms
         wal.flush_third = cache.flush_third
         self._timer = clock.add_timer(
             interval_ms, self._on_timer, name="group-commit"
@@ -81,7 +91,9 @@ class CommitCoordinator:
                 for index, image in self.vam.take_dirty_pages():
                     self.cache.write_vam(index, image)
             pages = self.cache.pages_needing_log()
+            deadline = self.deadline_ms
             self.last_force_ms = self.clock.now_ms
+            self.deadline_ms = self.clock.now_ms + self.interval_ms
             absorbed, self.updates_since_force = self.updates_since_force, 0
             if not pages:
                 self.empty_forces += 1
@@ -96,10 +108,15 @@ class CommitCoordinator:
             start_ms = self.clock.now_ms
             written = 0
             records = 0
-            for record_number, third, record_pages in self.wal.append_records(pages):
+            for record_number, third, record_pages in self.wal.append_records(
+                pages, deadline_ms=deadline
+            ):
                 self.cache.note_logged(record_pages, third)
                 written += len(record_pages)
                 records += 1
+            # Durability point: every record of this commit is on the
+            # platter before the updates it carries become final.
+            self.io.barrier()
             obs.observe(
                 "commit.force_ms",
                 self.clock.now_ms - start_ms,
@@ -112,6 +129,12 @@ class CommitCoordinator:
     def note_update(self) -> None:
         """An FSD entry point performed a metadata update; the next
         force will report it as absorbed by that commit."""
+        if self.updates_since_force == 0:
+            # First update of the batch starts the commit-deadline
+            # countdown (never later than the periodic force).
+            self.deadline_ms = min(
+                self.deadline_ms, self.clock.now_ms + self.interval_ms
+            )
         self.updates_since_force += 1
 
     def _after_commit(self) -> None:

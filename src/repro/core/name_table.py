@@ -34,6 +34,7 @@ from repro.core.types import (
 )
 from repro.disk.clock import SimClock
 from repro.disk.disk import SimDisk
+from repro.disk.sched import as_scheduler
 from repro.errors import CorruptMetadata, FileNotFound, VolumeFull
 from repro.obs import NULL_OBS
 
@@ -48,7 +49,9 @@ class NameTableHome:
     """
 
     def __init__(self, disk: SimDisk, layout: VolumeLayout):
-        self.disk = disk
+        #: home-copy I/O goes through the volume's shared scheduler (a
+        #: raw disk gets a pass-through fifo wrapper).
+        self.io = as_scheduler(disk)
         self.layout = layout
         self.single_copy = layout.params.single_nt_copy
         self.repairs = 0
@@ -62,14 +65,14 @@ class NameTableHome:
         """
         addr_a, addr_b = self.layout.nt_page_addresses(page_no)
         if self.single_copy:
-            data = self.disk.read_maybe(addr_a, 1)[0]
+            data = self.io.read_maybe(addr_a, 1)[0]
             if data is None:
                 raise CorruptMetadata(
                     f"name-table page {page_no} damaged and unreplicated"
                 )
             return data
-        copy_a = self.disk.read_maybe(addr_a, 1)[0]
-        copy_b = self.disk.read_maybe(addr_b, 1)[0]
+        copy_a = self.io.read_maybe(addr_a, 1)[0]
+        copy_b = self.io.read_maybe(addr_b, 1)[0]
         if copy_a is not None and copy_b is not None:
             if copy_a != copy_b:
                 raise CorruptMetadata(
@@ -82,20 +85,27 @@ class NameTableHome:
                 f"name-table page {page_no}: both copies damaged"
             )
         bad_addr = addr_a if copy_a is None else addr_b
-        self.disk.write(bad_addr, [survivor])
+        self.io.write(bad_addr, [survivor])
         self.repairs += 1
         return survivor
 
     def write_pages(self, pages: list[tuple[int, bytes]]) -> None:
         """Write pages home, to both copies, batching contiguous page
-        numbers into single multi-sector I/Os per copy."""
+        numbers into single multi-sector I/Os per copy.
+
+        The per-copy writes are *submitted*, not dispatched: under the
+        elevator policies all A-copy groups land in one arm sweep and
+        all B-copy groups in the next, instead of ping-ponging between
+        the two extents once per group.  Callers with an ordering
+        obligation (the WAL anchor advance, recovery) barrier the
+        scheduler afterwards."""
         for group in _contiguous_groups(pages):
             first_page = group[0][0]
             sectors = [data for _, data in group]
             addr_a, addr_b = self.layout.nt_page_addresses(first_page)
-            self.disk.write(addr_a, sectors)
+            self.io.submit_write(addr_a, sectors)
             if not self.single_copy:
-                self.disk.write(addr_b, sectors)
+                self.io.submit_write(addr_b, sectors)
 
 
 def _contiguous_groups(

@@ -22,6 +22,7 @@ from repro.core.types import Run
 from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, WriteAheadLog
 from repro.disk.disk import SimDisk
+from repro.disk.sched import as_scheduler
 from repro.errors import CorruptMetadata
 from repro.obs import NULL_OBS
 
@@ -53,9 +54,10 @@ class MountReport:
 def read_root(disk: SimDisk, layout: VolumeLayout) -> RootPage:
     """Read the volume root, tolerating damage to either copy and
     repairing the bad one from the survivor."""
+    io = as_scheduler(disk)
     survivors: list[tuple[int, RootPage]] = []
     for address in (layout.root_a, layout.root_b):
-        sector = disk.read_maybe(address, 1)[0]
+        sector = io.read_maybe(address, 1)[0]
         if sector is None:
             continue
         try:
@@ -67,7 +69,7 @@ def read_root(disk: SimDisk, layout: VolumeLayout) -> RootPage:
     if len(survivors) == 1:
         address, root = survivors[0]
         other = layout.root_b if address == layout.root_a else layout.root_a
-        disk.write(other, [root.encode(disk.geometry.sector_bytes)])
+        io.write(other, [root.encode(io.geometry.sector_bytes)])
         return root
     root_a, root_b = survivors[0][1], survivors[1][1]
     # The two copies are written A-then-B; after a crash between the
@@ -76,10 +78,16 @@ def read_root(disk: SimDisk, layout: VolumeLayout) -> RootPage:
 
 
 def write_root(disk: SimDisk, layout: VolumeLayout, root: RootPage) -> None:
-    """Write both replicas of the volume root page."""
-    encoded = root.encode(disk.geometry.sector_bytes)
-    disk.write(layout.root_a, [encoded])
-    disk.write(layout.root_b, [encoded])
+    """Write both replicas of the volume root page.
+
+    The copies must land A-then-B (recovery prefers A on a tie), so
+    each goes out as a sync write: a full barrier that flushes any
+    queued writes first and never reorders.
+    """
+    io = as_scheduler(disk)
+    encoded = root.encode(io.geometry.sector_bytes)
+    io.write(layout.root_a, [encoded])
+    io.write(layout.root_b, [encoded])
 
 
 # ----------------------------------------------------------------------
@@ -106,7 +114,8 @@ def replay_log(
                 pages_scanned += 1
                 newest[(page.kind, page.page_id)] = page.data
         with obs.span("recovery.redo", pages=len(newest)):
-            home = NameTableHome(disk, layout)
+            io = wal.io
+            home = NameTableHome(io, layout)
             nt_pages = [
                 (page_id, data)
                 for (kind, page_id), data in newest.items()
@@ -116,12 +125,17 @@ def replay_log(
                 home.write_pages(nt_pages)
             for (kind, page_id), data in newest.items():
                 if kind == PAGE_LEADER:
-                    disk.write(page_id, [data])
+                    io.submit_write(page_id, [data])
                 elif kind == PAGE_VAM:
                     # §5.3 extension: bitmap pages go to the VAM save
                     # area so the logged-mode load sees
                     # base-plus-replayed state.
-                    disk.write(layout.vam_start + 1 + page_id, [data])
+                    io.submit_write(
+                        layout.vam_start + 1 + page_id, [data]
+                    )
+            # Redo must be home before the mount proceeds to rebuild
+            # or load the VAM against the recovered images.
+            io.barrier()
         replay_span.set(records=len(records), pages=len(newest))
     obs.count("recovery.records_replayed", len(records))
     obs.count("recovery.pages_replayed", len(newest))

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.core.layout import VolumeLayout
 from repro.core.types import Run
 from repro.disk.disk import SimDisk
+from repro.disk.sched import as_scheduler
 from repro.errors import CorruptMetadata, FsError
 from repro.obs import NULL_OBS
 from repro.serial import Packer, Unpacker, checksum
@@ -206,16 +207,24 @@ class VolumeAllocationMap:
     # ------------------------------------------------------------------
     def save(self, disk: SimDisk, layout: VolumeLayout, boot_count: int) -> None:
         """Write the bitmap to the VAM save area (one header sector plus
-        the raw bitmap), chunked into large sequential writes."""
+        the raw bitmap), submitted as one batch to the I/O scheduler.
+
+        Under a coalescing policy the adjacent chunks merge into the
+        fewest I/Os the coalesce limit allows; the closing barrier
+        makes the save durable before the caller marks the root.
+        """
         if self._shadow:
             raise FsError("cannot save a VAM with uncommitted shadow frees")
-        sector_bytes = disk.geometry.sector_bytes
+        io = as_scheduler(disk)
+        sector_bytes = io.geometry.sector_bytes
         header = Packer(capacity=sector_bytes)
         header.u32(_VAM_MAGIC)
         header.u32(boot_count)
         header.u64(self.free_count)
         header.u32(checksum(bytes(self._bits)))
-        disk.write(layout.vam_start, [header.bytes(pad_to=sector_bytes)])
+        io.submit_write(
+            layout.vam_start, [header.bytes(pad_to=sector_bytes)]
+        )
         payload = bytes(self._bits)
         max_chunk = layout.params.max_io_sectors * sector_bytes
         address = layout.vam_start + 1
@@ -225,8 +234,9 @@ class VolumeAllocationMap:
                 chunk[i : i + sector_bytes]
                 for i in range(0, len(chunk), sector_bytes)
             ]
-            disk.write(address, sectors)
+            io.submit_write(address, sectors)
             address += len(sectors)
+        io.barrier()
         # The full image is now home; nothing is pending for logging.
         self._dirty_pages = set()
         self.obs.count("vam.saves")
@@ -247,7 +257,8 @@ class VolumeAllocationMap:
         no longer applies — instead the free count is recomputed and
         per-sector damage flags guard integrity.
         """
-        header_sectors = disk.read_maybe(layout.vam_start, 1)
+        io = as_scheduler(disk)
+        header_sectors = io.read_maybe(layout.vam_start, 1)
         if header_sectors[0] is None:
             return False
         try:
@@ -267,7 +278,7 @@ class VolumeAllocationMap:
         per_io = layout.params.max_io_sectors
         for offset in range(0, bitmap_sectors, per_io):
             count = min(per_io, bitmap_sectors - offset)
-            sectors = disk.read_maybe(address + offset, count)
+            sectors = io.read_maybe(address + offset, count)
             if any(sector is None for sector in sectors):
                 return False
             for sector in sectors:
@@ -279,8 +290,8 @@ class VolumeAllocationMap:
         self._shadow = []
         self._dirty_pages = set()
         if logged_mode:
-            disk.clock.advance_cpu(
-                disk.clock.cpu.entry_interpret_ms * self.page_count
+            io.clock.advance_cpu(
+                io.clock.cpu.entry_interpret_ms * self.page_count
             )
             self.recount_free()
         else:

@@ -122,7 +122,7 @@ def _check_files(fs: FSD, report: VerifyReport) -> None:
                 data = (
                     cached
                     if cached is not None
-                    else fs.disk.read(props.leader_addr, 1)[0]
+                    else fs.io.read(props.leader_addr, 1)[0]
                 )
                 verify_leader(data, props, runs)
                 report.leaders_verified += 1

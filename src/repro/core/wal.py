@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.core.layout import VolumeLayout
 from repro.disk.disk import SimDisk
+from repro.disk.sched import as_scheduler
 from repro.errors import CorruptMetadata, LogFull
 from repro.obs import NULL_OBS
 from repro.serial import Packer, Unpacker, checksum
@@ -84,7 +85,10 @@ def record_sectors(page_count: int) -> int:
 class WriteAheadLog:
     """The circular redo log of one FSD volume."""
 
-    def __init__(self, disk: SimDisk, layout: VolumeLayout):
+    def __init__(self, disk: SimDisk, layout: VolumeLayout, io=None):
+        #: all log I/O goes through the volume's shared scheduler; a
+        #: raw disk is wrapped in a pass-through fifo scheduler.
+        self.io = io if io is not None else as_scheduler(disk)
         self.disk = disk
         self.layout = layout
         self.sector_bytes = disk.geometry.sector_bytes
@@ -147,13 +151,15 @@ class WriteAheadLog:
     def _write_anchor(self, offset: int, record_number: int) -> None:
         page = self._encode_anchor(offset, record_number)
         blank = b""
-        self.disk.write(self.layout.log_start, [page, blank, page])
+        # A synchronous write is a barrier: the anchor cannot advance
+        # past home writes (or records) still sitting in the queue.
+        self.io.write(self.layout.log_start, [page, blank, page])
         self.anchor_offset = offset
         self.anchor_record_number = record_number
 
     def read_anchor(self) -> tuple[int, int]:
         """Read the anchor, tolerating damage to either copy."""
-        sectors = self.disk.read_maybe(self.layout.log_start, 3)
+        sectors = self.io.read_maybe(self.layout.log_start, 3)
         for candidate in (sectors[0], sectors[2]):
             if candidate is None:
                 continue
@@ -174,29 +180,37 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # appending
     # ------------------------------------------------------------------
-    def append(self, pages: list[LoggedPage]) -> int:
+    def append(self, pages: list[LoggedPage], deadline_ms=None) -> int:
         """Write one or more records carrying ``pages``; returns sectors
         written.  Splits batches larger than the per-record page cap."""
-        records = self.append_records(pages)
+        records = self.append_records(pages, deadline_ms=deadline_ms)
         return sum(record_sectors(len(chunk)) for _, _, chunk in records)
 
     def append_records(
-        self, pages: list[LoggedPage]
+        self, pages: list[LoggedPage], deadline_ms=None
     ) -> list[tuple[int, int, list[LoggedPage]]]:
         """Write ``pages`` as one or more records; returns
         ``(record_number, start_third, pages)`` per record so the cache
-        can track which third holds each page's newest log copy."""
+        can track which third holds each page's newest log copy.
+
+        ``deadline_ms`` rides on the submitted writes: the group-commit
+        deadline this batch must meet (the deadline scheduling policy
+        services it ahead of opportunistic writebacks).  The caller
+        owns the durability barrier (``io.barrier()``).
+        """
         if not pages:
             return []
         cap = self.layout.params.max_record_pages
         out: list[tuple[int, int, list[LoggedPage]]] = []
         for start in range(0, len(pages), cap):
             chunk = pages[start : start + cap]
-            record_number, third = self._append_record(chunk)
+            record_number, third = self._append_record(chunk, deadline_ms)
             out.append((record_number, third, chunk))
         return out
 
-    def _append_record(self, pages: list[LoggedPage]) -> tuple[int, int]:
+    def _append_record(
+        self, pages: list[LoggedPage], deadline_ms=None
+    ) -> tuple[int, int]:
         pages = [self._normalize(page) for page in pages]
         size = record_sectors(len(pages))
         if size > self.third_sectors:
@@ -211,7 +225,14 @@ class WriteAheadLog:
         record_number = self.next_record_number
         self._note_record_start(offset, record_number)
         sectors = self._encode_record(record_number, pages)
-        self.disk.write(self._disk_addr(offset), sectors)
+        self.io.submit_write(
+            self._disk_addr(offset),
+            sectors,
+            deadline_ms=(
+                deadline_ms if deadline_ms is not None
+                else self.io.clock.now_ms
+            ),
+        )
         self.write_offset = offset + size
         self.current_third = self.third_of(self.write_offset - 1)
         self.next_record_number += 1
@@ -236,8 +257,10 @@ class WriteAheadLog:
             record_number = self.next_record_number
             self._note_record_start(self.write_offset, record_number)
             header = self._encode_header(RECORD_SKIP, record_number, [])
-            self.disk.write(
-                self._disk_addr(self.write_offset), [header, b"", header]
+            self.io.submit_write(
+                self._disk_addr(self.write_offset),
+                [header, b"", header],
+                deadline_ms=self.io.clock.now_ms,
             )
             self.next_record_number += 1
             self.records_written += 1
@@ -397,7 +420,7 @@ class WriteAheadLog:
     def _read_header_pair(
         self, offset: int, expected: int
     ) -> tuple[int, list[tuple[int, int, int]], int] | None:
-        sectors = self.disk.read_maybe(self._disk_addr(offset), 3)
+        sectors = self.io.read_maybe(self._disk_addr(offset), 3)
         for candidate in (sectors[0], sectors[2]):
             parsed = self._parse_header(candidate, expected)
             if parsed is not None:
@@ -439,7 +462,7 @@ class WriteAheadLog:
         size = record_sectors(count)
         if offset + size > self.area_sectors:
             return None
-        sectors = self.disk.read_maybe(self._disk_addr(offset), size)
+        sectors = self.io.read_maybe(self._disk_addr(offset), size)
         end_a = sectors[3 + count]
         end_b = sectors[3 + 2 * count + 1]
         if not any(

@@ -12,7 +12,8 @@ import time
 
 from repro.crashcheck.engine import explore
 from repro.crashcheck.scenarios import SCENARIOS, get_scenario
-from repro.obs import NULL_OBS, Observer
+from repro.obs import Observer
+from repro.obs.instrument import instrument
 
 
 def add_subparser(sub) -> None:
@@ -104,7 +105,7 @@ def cmd_crashcheck(args) -> int:
                 flush=True,
             )
 
-    obs = Observer() if args.metrics else NULL_OBS
+    obs = instrument(metrics=args.metrics).obs
     started = time.monotonic()
     summary = explore(
         scenario, max_points=args.max_points, progress=progress, obs=obs

@@ -75,11 +75,18 @@ FULL = Scale(
 # ----------------------------------------------------------------------
 # volume factories
 # ----------------------------------------------------------------------
-def fsd_volume(scale: Scale = SMALL) -> tuple[SimDisk, FSD, FsdAdapter]:
-    """A freshly formatted, mounted FSD volume at ``scale``."""
+def fsd_volume(
+    scale: Scale = SMALL, sched: str = "fifo"
+) -> tuple[SimDisk, FSD, FsdAdapter]:
+    """A freshly formatted, mounted FSD volume at ``scale``.
+
+    ``sched`` selects the I/O scheduler policy for the mount
+    (``fifo``/``scan``/``deadline``); benchmarks use it to compare
+    dispatch orders on identical volumes.
+    """
     disk = SimDisk(geometry=scale.geometry)
     FSD.format(disk, scale.fsd_params)
-    fs = FSD.mount(disk)
+    fs = FSD.mount(disk, sched=sched)
     return disk, fs, FsdAdapter(fs)
 
 

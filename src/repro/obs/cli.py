@@ -19,9 +19,8 @@ from pathlib import Path
 
 from repro.core.fsd import FSD
 from repro.disk.image import load_disk, save_disk
-from repro.disk.trace import IoTracer
-from repro.obs import Observer
 from repro.obs.export import metric_dicts, timeline, to_jsonl
+from repro.obs.instrument import instrument
 from repro.obs.metrics import HistogramSnapshot, Snapshot
 from repro.obs.workload import run_scripted_workload
 
@@ -30,11 +29,8 @@ def _run(args, trace_io: bool):
     """Mount with an observer, run the workload, unmount; returns
     ``(observer, tracer)``."""
     disk = load_disk(args.image)
-    obs = Observer(disk.clock)
-    tracer = IoTracer()
-    if trace_io:
-        disk.tracer = tracer
-    fs = FSD.mount(disk, obs=obs)
+    obs, tracer = instrument(disk, trace=trace_io)
+    fs = FSD.mount(disk, obs=obs, sched=args.sched)
     run_scripted_workload(fs, ops=args.ops)
     fs.unmount()
     if args.save:
@@ -123,6 +119,9 @@ def add_subparsers(sub) -> None:
                    help="emit one JSONL record per metric")
     p.add_argument("--save", action="store_true",
                    help="save the image back after the workload")
+    p.add_argument("--sched", choices=["fifo", "scan", "deadline"],
+                   default="fifo",
+                   help="I/O scheduler policy for the mount")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
@@ -138,4 +137,7 @@ def add_subparsers(sub) -> None:
                    help="with --json, write the timeline to this file")
     p.add_argument("--save", action="store_true",
                    help="save the image back after the workload")
+    p.add_argument("--sched", choices=["fifo", "scan", "deadline"],
+                   default="fifo",
+                   help="I/O scheduler policy for the mount")
     p.set_defaults(fn=cmd_trace)

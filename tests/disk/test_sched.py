@@ -1,0 +1,277 @@
+"""Unit tests for the I/O scheduler (repro.disk.sched)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.sched import (
+    DEFAULT_COALESCE_LIMIT,
+    DeadlinePolicy,
+    FifoPolicy,
+    IoRequest,
+    IoScheduler,
+    ScanPolicy,
+    as_scheduler,
+    make_policy,
+)
+from repro.errors import SimulatedCrash
+from repro.obs import Observer
+
+GEO = DiskGeometry(cylinders=100, heads=4, sectors_per_track=16)
+
+
+def sector(byte: int, geo: DiskGeometry = GEO) -> bytes:
+    return bytes([byte]) * geo.sector_bytes
+
+
+def request(address: int, count: int = 1, **kwargs) -> IoRequest:
+    return IoRequest(
+        tag=address, address=address,
+        sectors=[sector(address % 251)] * count, **kwargs,
+    )
+
+
+class TestPolicies:
+    def test_make_policy_resolves_names(self):
+        assert isinstance(make_policy("fifo"), FifoPolicy)
+        assert isinstance(make_policy("scan"), ScanPolicy)
+        assert isinstance(make_policy("deadline"), DeadlinePolicy)
+        with pytest.raises(ValueError):
+            make_policy("cfq")
+
+    def test_make_policy_passes_instances(self):
+        policy = ScanPolicy()
+        assert make_policy(policy) is policy
+
+    def test_fifo_keeps_submission_order(self):
+        batch = [request(500), request(20), request(300)]
+        ordered = FifoPolicy().order(batch, 0, GEO, 0.0)
+        assert [r.address for r in ordered] == [500, 20, 300]
+
+    def test_scan_sweeps_up_then_down(self):
+        # Head at cylinder of sector 320 (cylinder 5 with 64/cyl).
+        head = GEO.cylinder_of(320)
+        batch = [request(a) for a in (600, 100, 320, 5000, 64)]
+        ordered = ScanPolicy().order(batch, head, GEO, 0.0)
+        assert [r.address for r in ordered] == [320, 600, 5000, 100, 64]
+
+    def test_deadline_expired_jump_the_elevator(self):
+        head = GEO.cylinder_of(0)
+        batch = [
+            request(600),
+            request(5000, deadline_ms=10.0),
+            request(64, deadline_ms=5.0),
+            request(100),
+        ]
+        ordered = DeadlinePolicy().order(batch, head, GEO, now_ms=20.0)
+        # Expired deadlines first (by deadline), rest in elevator order.
+        assert [r.address for r in ordered] == [64, 5000, 100, 600]
+
+    def test_deadline_unexpired_ride_the_elevator(self):
+        head = GEO.cylinder_of(0)
+        batch = [request(600, deadline_ms=999.0), request(100)]
+        ordered = DeadlinePolicy().order(batch, head, GEO, now_ms=0.0)
+        assert [r.address for r in ordered] == [100, 600]
+
+
+class TestFifoPassThrough:
+    """fifo must be byte- and time-identical to direct disk calls."""
+
+    def test_identical_stats_and_time(self):
+        workload = [(10, 3), (500, 2), (10, 1), (2000, 4)]
+
+        direct = SimDisk(geometry=GEO)
+        for address, count in workload:
+            direct.write(address, [sector(7)] * count)
+        direct.read(10, 2)
+
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="fifo")
+        for address, count in workload:
+            io.submit_write(address, [sector(7)] * count)
+        io.read(10, 2)
+
+        assert disk.stats.__dict__ == direct.stats.__dict__
+        assert disk.clock.now_ms == direct.clock.now_ms
+        assert io.queue_depth == 0
+
+    def test_as_scheduler_wraps_and_passes_through(self):
+        disk = SimDisk(geometry=GEO)
+        io = as_scheduler(disk)
+        assert isinstance(io, IoScheduler)
+        assert as_scheduler(io) is io
+        assert io.geometry is disk.geometry
+        assert io.clock is disk.clock
+        assert io.stats is disk.stats
+        assert io.faults is disk.faults
+
+
+class TestQueueing:
+    def test_submit_queues_until_flush(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1)])
+        io.submit_write(50, [sector(2)])
+        assert io.queue_depth == 2
+        assert disk.stats.writes == 0
+        issued = io.flush()
+        assert issued == 2
+        assert io.queue_depth == 0
+        assert disk.read(100, 1)[0] == sector(1)
+        assert disk.read(50, 1)[0] == sector(2)
+
+    def test_flush_orders_by_policy(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        order: list[int] = []
+        real_write = disk.write
+
+        def spy(address, sectors, **kwargs):
+            order.append(address)
+            return real_write(address, sectors, **kwargs)
+
+        disk.write = spy  # type: ignore[method-assign]
+        for address in (5000, 100, 2000):
+            io.submit_write(address, [sector(3)])
+        io.flush()
+        assert order == sorted(order)
+
+    def test_sync_write_is_a_barrier(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        order: list[int] = []
+        real_write = disk.write
+
+        def spy(address, sectors, **kwargs):
+            order.append(address)
+            return real_write(address, sectors, **kwargs)
+
+        disk.write = spy  # type: ignore[method-assign]
+        io.submit_write(5000, [sector(1)])
+        io.write(7, [sector(2)])  # barrier: queue first, then this
+        assert order == [5000, 7]
+
+    def test_read_flushes_only_on_overlap(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1)] * 2)
+        io.read(500, 1)  # disjoint: queue stays
+        assert io.queue_depth == 1
+        assert io.read(101, 1)[0] == sector(1)  # overlap: flushed
+        assert io.queue_depth == 0
+        assert io.sched_stats.read_flushes == 1
+
+    def test_overlapping_writes_never_reorder(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        # Two writes to the same sector, last-submitted must win even
+        # though the elevator would happily swap equal addresses.
+        io.submit_write(4000, [sector(1)])
+        io.submit_write(10, [sector(9)])
+        io.submit_write(4000, [sector(2)])
+        io.flush()
+        assert disk.read(4000, 1)[0] == sector(2)
+
+    def test_discard_drops_queued_writes(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1)])
+        io.submit_write(200, [sector(2)])
+        assert io.discard() == 2
+        assert io.queue_depth == 0
+        assert disk.stats.writes == 0
+
+    def test_crash_mid_flush_drops_the_rest(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1)])
+        io.submit_write(6000, [sector(2)])
+        disk.faults.arm_crash(after_ios=0)  # first dispatch crashes
+        with pytest.raises(SimulatedCrash):
+            io.flush()
+        assert io.queue_depth == 0  # the machine is gone, queue too
+
+
+class TestCoalescing:
+    def test_adjacent_writes_merge(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1), sector(2)])
+        io.submit_write(102, [sector(3)])
+        issued = io.flush()
+        assert issued == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.sectors_written == 3
+        assert disk.read(100, 3) == [sector(1), sector(2), sector(3)]
+        assert io.sched_stats.coalesced == 1
+
+    def test_coalesce_respects_limit(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan", coalesce_limit=3)
+        io.submit_write(100, [sector(1)] * 2)
+        io.submit_write(102, [sector(2)] * 2)  # would make 4 > limit
+        assert io.flush() == 2
+
+    def test_non_adjacent_do_not_merge(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        io.submit_write(100, [sector(1)])
+        io.submit_write(102, [sector(2)])  # gap at 101
+        assert io.flush() == 2
+
+    def test_default_limit_fits_two_max_transfers(self):
+        assert DEFAULT_COALESCE_LIMIT == 240
+
+    def test_torn_write_inside_coalesced_batch(self):
+        """A crash mid-dispatch of a coalesced write follows the weak-
+        atomic model: the surviving prefix persists, the boundary is
+        damaged, everything after (including other merged requests)
+        never happened."""
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="scan")
+        disk.write(100, [sector(0xAA)] * 4)  # old values
+        io.submit_write(100, [sector(1), sector(2)])
+        io.submit_write(102, [sector(3), sector(4)])  # merges: one 4-sector IO
+        disk.faults.arm_crash(after_ios=0, surviving_sectors=1, damage_tail=1)
+        with pytest.raises(SimulatedCrash):
+            io.flush()
+        after = disk.read_maybe(100, 4)
+        assert after[0] == sector(1)       # survived
+        assert after[1] is None            # damaged boundary
+        assert after[2] == sector(0xAA)    # merged tail never transferred
+        assert after[3] == sector(0xAA)
+
+    def test_fifo_never_coalesces(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="fifo")
+        io.submit_write(100, [sector(1)])
+        io.submit_write(101, [sector(2)])
+        assert disk.stats.writes == 2
+        assert io.sched_stats.coalesced == 0
+
+
+class TestInstrumentation:
+    def test_obs_counters_and_gauge(self):
+        disk = SimDisk(geometry=GEO)
+        obs = Observer(disk.clock)
+        io = IoScheduler(disk, policy="scan", obs=obs)
+        io.submit_write(100, [sector(1)])
+        io.submit_write(101, [sector(2)])
+        io.flush()
+        snap = obs.snapshot()
+        assert snap.counter("sched.submitted") == 2
+        assert snap.counter("sched.dispatched") == 2
+        assert snap.counter("sched.coalesced_writes") == 1
+        assert snap.counter("sched.flushes") == 1
+        assert io.sched_stats.max_queue_depth == 2
+
+    def test_dispatch_histogram_is_per_policy(self):
+        disk = SimDisk(geometry=GEO)
+        obs = Observer(disk.clock)
+        io = IoScheduler(disk, policy="deadline", obs=obs)
+        io.submit_write(100, [sector(1)])
+        io.flush()
+        layers = obs.snapshot().layers()["sched"]
+        assert "sched.dispatch_deadline" in layers
