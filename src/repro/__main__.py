@@ -10,6 +10,8 @@
     python -m repro crashcheck [--scenario NAME] [--max-points N]
     python -m repro stats vol.img [--ops N] [--json]
     python -m repro trace vol.img [--ops N] [--json] [--out FILE]
+    python -m repro salvage vol.img rebuilt.img
+    python -m repro soak [--seed N] [--runs N] [--json FILE]
 
 Each command loads the image, mounts the volume (recovering it if the
 last session crashed), performs the operation, unmounts cleanly, and
@@ -162,6 +164,50 @@ def cmd_verify(args) -> int:
     return status
 
 
+def cmd_salvage(args) -> int:
+    from repro.core.salvage import salvage_volume
+
+    source = load_disk(args.image)
+    destination, report = salvage_volume(source)
+    written = save_disk(destination, args.out)
+    print(report.summary())
+    for label, reason in report.lost:
+        print(f"LOST: {label}: {reason}")
+    print(f"salvaged volume saved to {args.out} ({written} image bytes)")
+    return 0 if not report.lost else 1
+
+
+def cmd_soak(args) -> int:
+    import json
+
+    from repro.crashcheck.soak import SoakConfig, run_campaign
+
+    config = SoakConfig(
+        seed=args.seed,
+        runs=args.runs,
+        ops_per_run=args.ops,
+        faults_per_run=args.faults,
+    )
+
+    def progress(done, total, result) -> None:
+        faults = sum(result.faults.values())
+        print(
+            f"run {done:>3}/{total}: {result.verdict:<9} "
+            f"({result.ops} ops, {faults} faults, "
+            f"{result.crashes} crashes, "
+            f"{result.files_verified} files verified)"
+        )
+
+    report = run_campaign(config, progress=progress if not args.quiet else None)
+    print(report.summary())
+    for finding in report.silent_corruptions:
+        print(f"SILENT CORRUPTION: {finding}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_json(), indent=2))
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -220,6 +266,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("image")
     _sched_arg(p)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "salvage",
+        help="rebuild a damaged volume into a fresh image (offline)",
+    )
+    p.add_argument("image", help="damaged source image (read-only)")
+    p.add_argument("out", help="destination image for the rebuilt volume")
+    p.set_defaults(fn=cmd_salvage)
+
+    p = sub.add_parser(
+        "soak", help="seeded multi-fault soak campaign with recovery oracle"
+    )
+    p.add_argument("--seed", type=int, default=1987)
+    p.add_argument("--runs", type=int, default=12)
+    p.add_argument("--ops", type=int, default=30,
+                   help="operations per run (default: 30)")
+    p.add_argument("--faults", type=int, default=18,
+                   help="faults injected per run (default: 18)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the campaign report as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress lines")
+    p.set_defaults(fn=cmd_soak)
 
     from repro.crashcheck.cli import add_subparser as add_crashcheck
     from repro.obs.cli import add_subparsers as add_obs

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Protocol
 
-from repro.errors import CorruptMetadata
+from repro.errors import CorruptMetadata, DegradedVolumeError
 from repro.obs import NULL_OBS
 
 
@@ -31,7 +31,15 @@ class Pager(Protocol):
     page_size: int
 
     def read(self, page_no: int) -> bytes:
-        """Return the page (zeroes for a never-written meta page)."""
+        """Return the page (zeroes for a never-written meta page).
+
+        May raise :class:`~repro.errors.CorruptMetadata` — including
+        its :class:`~repro.errors.DegradedVolumeError` subclass when a
+        backing store's read-escalation ladder (retry, duplicate-copy
+        repair, mirror fallback) is exhausted.  The B-tree propagates
+        it; it never partially applies a mutation whose page reads
+        failed.
+        """
         ...
 
     def write(self, page_no: int, data: bytes) -> None:
@@ -58,13 +66,21 @@ class MemoryPager:
         self._next = 1  # page 0 is the meta page
         self.reads = 0
         self.writes = 0
+        self._poisoned: set[int] = set()
         #: observability attach point (no-op unless a test attaches one).
         self.obs = NULL_OBS
+
+    def poison(self, page_no: int) -> None:
+        """Make ``page_no`` unreadable (tests: a page whose backing
+        store exhausted the escalation ladder)."""
+        self._poisoned.add(page_no)
 
     def read(self, page_no: int) -> bytes:
         """Return the page; raises for never-allocated non-meta pages."""
         self.reads += 1
         self.obs.count("btree.page_reads")
+        if page_no in self._poisoned:
+            raise DegradedVolumeError(f"memory pager page {page_no} dead")
         if page_no != 0 and page_no not in self._pages:
             raise CorruptMetadata(f"read of unallocated page {page_no}")
         return self._pages.get(page_no, b"\x00" * self.page_size)

@@ -254,6 +254,31 @@ class MetadataCache:
         """A crash: volatile state vanishes."""
         self._entries.clear()
 
+    def rollback_uncommitted(self) -> int:
+        """Degraded-mode switch: abandon every update not yet logged.
+
+        A mutation that died mid-flight (e.g. a B-tree split whose page
+        read exhausted the escalation ladder) may have left half its
+        pages modified in cache; committing that half later would
+        persist exactly the inconsistency logging exists to prevent.
+        Pages revert to their last *logged* image (what a crash-restart
+        would reconstruct); never-logged fresh pages are dropped.
+        Returns the number of pages rolled back.
+        """
+        rolled_back = 0
+        for key in list(self._entries):
+            entry = self._entries[key]
+            if not entry.needs_log:
+                continue
+            rolled_back += 1
+            if entry.logged_image is None:
+                del self._entries[key]
+            else:
+                entry.data = entry.logged_image
+                entry.needs_log = False
+        self.obs.count("cache.rollbacks", rolled_back)
+        return rolled_back
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

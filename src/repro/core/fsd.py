@@ -44,7 +44,13 @@ from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import WriteAheadLog
 from repro.disk.disk import SimDisk
 from repro.disk.sched import IoScheduler, as_scheduler
-from repro.errors import FileNotFound, FsError, NotMounted
+from repro.errors import (
+    DamagedSectorError,
+    DegradedVolumeError,
+    FileNotFound,
+    FsError,
+    NotMounted,
+)
 from repro.obs import NULL_OBS
 
 
@@ -102,6 +108,7 @@ class FSD:
         mount_report: MountReport,
         obs=NULL_OBS,
         io: IoScheduler | None = None,
+        nt_home: NameTableHome | None = None,
     ):
         self.disk = disk
         self.io = io if io is not None else as_scheduler(disk)
@@ -129,6 +136,12 @@ class FSD:
         self.ops = FsdOpCounts()
         self._uid_sequence = 0
         self._mounted = True
+        #: non-None once the escalation ladder has been exhausted: the
+        #: volume only serves reads until salvaged.
+        self.degraded_reason: str | None = None
+        self.nt_home = nt_home
+        if nt_home is not None:
+            nt_home.on_degraded = self._note_degraded
         self.attach_observer(obs)
 
     def attach_observer(self, obs) -> None:
@@ -141,6 +154,12 @@ class FSD:
         self.vam.obs = obs
         self.coordinator.obs = obs
         self.name_table.tree.pager.obs = obs
+        if self.nt_home is not None:
+            self.nt_home.obs = obs
+        if hasattr(self.disk, "obs"):
+            # MirroredDisk carries its own attach point (plain SimDisk
+            # does not): the mirror-fallback rung reports through it.
+            self.disk.obs = obs
 
     # ==================================================================
     # lifecycle
@@ -277,7 +296,7 @@ class FSD:
                 vam_loaded=vam_loaded,
             )
         obs.count("recovery.mounts")
-        return cls(
+        fs = cls(
             disk=disk,
             layout=layout,
             root=new_root,
@@ -288,11 +307,29 @@ class FSD:
             mount_report=report,
             obs=obs,
             io=io,
+            nt_home=home,
         )
+        if report.log_records_lost:
+            # Committed records sit beyond a damage hole the scan could
+            # not cross: their updates are gone.  Reads of unaffected
+            # files still work; mutations would compound the loss.
+            fs._note_degraded(
+                "committed log records lost to mid-log media damage"
+            )
+        return fs
 
     def unmount(self) -> None:
         """Controlled shutdown: commit, write everything home, save the
-        VAM, and mark the root clean."""
+        VAM, and mark the root clean.
+
+        A degraded volume refuses the *clean* part: marking the root
+        clean would vouch for metadata the ladder could not read, so
+        the unmount is demoted to a crash and the next mount re-runs
+        recovery (or the operator salvages).
+        """
+        if self.degraded_reason is not None:
+            self.crash()
+            return
         self._enter()
         self.coordinator.force()
         self.cache.flush_all_home()
@@ -333,7 +370,7 @@ class FSD:
         a cached name-table update, and one combined leader+data write.
         """
         with self.obs.span("fsd.create", name=name, bytes=len(data)):
-            self._enter()
+            self._enter(write=True)
             self.ops.creates += 1
             self.obs.count("fsd.creates")
             self.coordinator.note_update()
@@ -433,7 +470,7 @@ class FSD:
     def write(self, handle: FsdFile, offset: int, data: bytes) -> None:
         """Write (and possibly extend) an existing file."""
         with self.obs.span("fsd.write", name=handle.name, bytes=len(data)):
-            self._enter()
+            self._enter(write=True)
             self.ops.writes += 1
             self.obs.count("fsd.writes")
             self.coordinator.note_update()
@@ -445,7 +482,7 @@ class FSD:
         """Delete a file version.  No synchronous I/O: a name-table
         update plus shadow-bitmap bookkeeping (paper §4)."""
         with self.obs.span("fsd.delete", name=name):
-            self._enter()
+            self._enter(write=True)
             self.ops.deletes += 1
             self.obs.count("fsd.deletes")
             self.coordinator.note_update()
@@ -464,7 +501,7 @@ class FSD:
         """Rename a file version; rewrites its leader (the name checksum
         is part of the mutual check)."""
         with self.obs.span("fsd.rename", name=old_name, to=new_name):
-            self._enter()
+            self._enter(write=True)
             self.ops.renames += 1
             self.obs.count("fsd.renames")
             self.coordinator.note_update()
@@ -484,7 +521,7 @@ class FSD:
     def truncate(self, handle: FsdFile, new_byte_size: int) -> None:
         """Contract a file; freed runs go through the shadow bitmap."""
         with self.obs.span("fsd.truncate", name=handle.name):
-            self._enter()
+            self._enter(write=True)
             self.obs.count("fsd.truncates")
             self.coordinator.note_update()
             if new_byte_size > handle.props.byte_size:
@@ -499,7 +536,7 @@ class FSD:
 
     def set_keep(self, name: str, keep: int) -> None:
         """Change the version-retention count and trim old versions."""
-        self._enter()
+        self._enter(write=True)
         props, runs = self._lookup(name, None)
         self.name_table.update(props.with_updates(keep=keep), runs)
         if keep > 0:
@@ -507,7 +544,7 @@ class FSD:
 
     def force(self) -> int:
         """Client-requested commit ("Clients may force the log")."""
-        self._enter()
+        self._enter(write=True)
         return self.coordinator.force()
 
     def exists(self, name: str, version: int | None = None) -> bool:
@@ -527,11 +564,30 @@ class FSD:
     # ==================================================================
     # internals
     # ==================================================================
-    def _enter(self) -> None:
+    def _enter(self, write: bool = False) -> None:
         if not self._mounted:
             raise NotMounted("volume is not mounted")
+        if write and self.degraded_reason is not None:
+            raise DegradedVolumeError(self.degraded_reason)
         self.clock.fire_due_timers()
         self.coordinator.check_pressure()
+
+    def _note_degraded(self, reason: str) -> None:
+        """Final rung of the escalation ladder: go read-only.
+
+        Any mutation in flight is abandoned — its unlogged cache pages
+        roll back to their last logged images, so the half-applied
+        update can never reach the log or the home copies.
+        """
+        if self.degraded_reason is not None:
+            return
+        self.degraded_reason = reason
+        self.cache.rollback_uncommitted()
+        self.obs.count("ladder.degraded_marks")
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not None
 
     def _lookup(
         self, name: str, version: int | None
@@ -568,6 +624,30 @@ class FSD:
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
+    def _ladder_read(
+        self, address: int, count: int, cpu_overlap: bool = False
+    ) -> list[bytes]:
+        """Data-path read with the ladder's retry rung.
+
+        A transient fault costs the retry about one revolution and
+        succeeds; persistent damage raises :class:`DamagedSectorError`
+        honestly (data pages have no duplicate copy to fall back on —
+        that rung only exists for metadata — though a mirrored disk
+        recovers transparently below this layer).
+        """
+        try:
+            return self.io.read(address, count, cpu_overlap=cpu_overlap)
+        except DamagedSectorError:
+            self.obs.count("ladder.retries")
+            sectors = self.io.read_maybe(
+                address, count, cpu_overlap=cpu_overlap
+            )
+            for index, sector in enumerate(sectors):
+                if sector is None:
+                    raise DamagedSectorError(address + index) from None
+            self.obs.count("ladder.retry_successes")
+            return sectors
+
     def _write_data(self, handle: FsdFile, offset: int, data: bytes) -> None:
         sector_bytes = self.disk.geometry.sector_bytes
         end = offset + len(data)
@@ -604,6 +684,10 @@ class FSD:
         if end > handle.props.byte_size:
             handle.props = handle.props.with_updates(byte_size=end)
             self.name_table.update(handle.props, handle.runs)
+            # Keep the leader's recorded byte size current even when no
+            # run changed: the salvager recovers orphan files (name
+            # table lost) at exactly the length the leader remembers.
+            self._refresh_leader(handle)
 
     def _ensure_capacity(self, handle: FsdFile, byte_size: int) -> None:
         sector_bytes = self.disk.geometry.sector_bytes
@@ -626,7 +710,7 @@ class FSD:
         if page * sector_bytes >= old_size:
             return b"\x00" * sector_bytes
         address = handle.runs.sector_of_page(page)
-        return self.io.read(address, 1)[0]
+        return self._ladder_read(address, 1)[0]
 
     def _write_extent(
         self,
@@ -675,7 +759,7 @@ class FSD:
             is None
         ):
             count = min(remaining, max_io - 1)
-            sectors = self.io.read(
+            sectors = self._ladder_read(
                 handle.props.leader_addr, count + 1, cpu_overlap=True
             )
             self._check_leader_bytes(handle, sectors[0])
@@ -689,7 +773,7 @@ class FSD:
             self._verify_leader_if_needed(handle, piggyback_extent=None)
         while remaining > 0:
             count = min(remaining, max_io)
-            out.extend(self.io.read(start, count, cpu_overlap=True))
+            out.extend(self._ladder_read(start, count, cpu_overlap=True))
             start += count
             remaining -= count
         return out
@@ -723,7 +807,7 @@ class FSD:
         if cached is not None:
             data = cached
         else:
-            data = self.io.read(address, 1)[0]
+            data = self._ladder_read(address, 1)[0]
             self.ops.leader_separate_reads += 1
         self._check_leader_bytes(handle, data)
 

@@ -10,17 +10,30 @@ that replaced CFS' hardware labels.
 Leader verification is piggybacked: the first data access to a file is
 almost always page 0, and the leader is its physical predecessor, so
 reading the leader "usually costs only the transfer time for a page".
+
+Format v2 makes the leader *self-describing*: besides the mutual-check
+fields it records the file's full name, properties and run table
+(§5.9's point that the leader is what a scavenger would reconstruct
+from).  A whole-body checksum lets a full-volume sweep distinguish a
+real leader from data-page bytes that happen to start with the magic.
 """
 
 from __future__ import annotations
 
-from repro.core.types import FileProperties, RunTable
+from dataclasses import dataclass
+
+from repro.core.types import FileKind, FileProperties, Run, RunTable
 from repro.errors import CorruptMetadata
 from repro.serial import Packer, Unpacker, checksum
 
 _LEADER_MAGIC = 0x4C454144  # "LEAD"
-#: runs included verbatim in the leader ("preamble of run table").
+_LEADER_FORMAT = 2
+#: runs cross-checked verbatim against the name table ("preamble of
+#: run table"); the full table is covered by the digest.
 PREAMBLE_RUNS = 4
+#: runs stored verbatim in the leader (for salvage); run tables longer
+#: than this are only partially recoverable from the leader alone.
+MAX_LEADER_RUNS = 64
 
 
 def _run_table_digest(runs: RunTable) -> int:
@@ -35,18 +48,104 @@ def encode_leader(
     props: FileProperties, runs: RunTable, sector_bytes: int
 ) -> bytes:
     """Build the leader sector for a file."""
+    body = Packer()
+    body.u64(props.uid)
+    body.u16(props.version)
+    body.u8(props.kind.value)
+    body.u8(props.keep)
+    body.u64(props.byte_size)
+    body.f64(props.create_time_ms)
+    body.string(props.name, max_len=64)
+    body.u16(len(runs.runs))
+    stored = runs.runs[:MAX_LEADER_RUNS]
+    body.u8(len(stored))
+    for run in stored:
+        body.u32(run.start)
+        body.u16(run.count)
+    body.u32(_run_table_digest(runs))
+    payload = body.bytes()
+
     packer = Packer(capacity=sector_bytes)
     packer.u32(_LEADER_MAGIC)
-    packer.u64(props.uid)
-    packer.u16(props.version)
-    packer.u32(checksum(props.name.encode("utf-8")))
-    preamble = runs.runs[:PREAMBLE_RUNS]
-    packer.u8(len(preamble))
-    for run in preamble:
-        packer.u32(run.start)
-        packer.u16(run.count)
-    packer.u32(_run_table_digest(runs))
+    packer.u8(_LEADER_FORMAT)
+    packer.u16(len(payload))
+    packer.u32(checksum(payload))
+    packer.raw(payload)
     return packer.bytes(pad_to=sector_bytes)
+
+
+@dataclass
+class SalvagedLeader:
+    """Everything a leader sector says about its file — the salvager's
+    raw material when the name table is gone."""
+
+    name: str
+    version: int
+    uid: int
+    kind: FileKind
+    keep: int
+    byte_size: int
+    create_time_ms: float
+    total_runs: int
+    runs: RunTable
+    run_digest: int
+
+    @property
+    def complete_runs(self) -> bool:
+        """True when the leader stores the whole run table verbatim."""
+        return len(self.runs.runs) == self.total_runs
+
+
+def decode_leader(data: bytes) -> SalvagedLeader:
+    """Parse a leader sector on its own terms (no name-table entry to
+    check against) — the salvage path.  Raises
+    :class:`CorruptMetadata` unless the sector is a checksummed,
+    well-formed leader.
+    """
+    reader = Unpacker(data)
+    if reader.u32() != _LEADER_MAGIC:
+        raise CorruptMetadata("not a leader sector: bad magic")
+    if reader.u8() != _LEADER_FORMAT:
+        raise CorruptMetadata("leader sector: unknown format version")
+    body_len = reader.u16()
+    body_sum = reader.u32()
+    body = reader.raw(body_len)
+    if checksum(body) != body_sum:
+        raise CorruptMetadata("leader sector: body checksum mismatch")
+    reader = Unpacker(body)
+    uid = reader.u64()
+    version = reader.u16()
+    kind_value = reader.u8()
+    keep = reader.u8()
+    byte_size = reader.u64()
+    create_time_ms = reader.f64()
+    name = reader.string()
+    total_runs = reader.u16()
+    stored_count = reader.u8()
+    runs = RunTable()
+    for _ in range(stored_count):
+        start = reader.u32()
+        count = reader.u16()
+        runs.append(Run(start, count))
+    digest = reader.u32()
+    try:
+        kind = FileKind(kind_value)
+    except ValueError:
+        raise CorruptMetadata(
+            f"leader sector: unknown file kind {kind_value}"
+        ) from None
+    return SalvagedLeader(
+        name=name,
+        version=version,
+        uid=uid,
+        kind=kind,
+        keep=keep,
+        byte_size=byte_size,
+        create_time_ms=create_time_ms,
+        total_runs=total_runs,
+        runs=runs,
+        run_digest=digest,
+    )
 
 
 def verify_leader(
@@ -55,40 +154,45 @@ def verify_leader(
     """Cross-check a leader sector against the name-table entry.
 
     Raises :class:`CorruptMetadata` on any mismatch — the FSD analogue
-    of a CFS label check failure.
+    of a CFS label check failure.  Identity (uid, version, name) and
+    the run table are checked strictly; mutable properties carried for
+    salvage (keep, byte size, times) are not part of the mutual check.
     """
-    reader = Unpacker(data)
-    if reader.u32() != _LEADER_MAGIC:
+    try:
+        leader = decode_leader(data)
+    except CorruptMetadata as error:
         raise CorruptMetadata(
-            f"leader of {props.name}!{props.version}: bad magic"
-        )
-    uid = reader.u64()
-    if uid != props.uid:
+            f"leader of {props.name}!{props.version}: {error}"
+        ) from None
+    if leader.uid != props.uid:
         raise CorruptMetadata(
-            f"leader of {props.name}!{props.version}: uid {uid:#x} != "
-            f"name table {props.uid:#x}"
+            f"leader of {props.name}!{props.version}: uid "
+            f"{leader.uid:#x} != name table {props.uid:#x}"
         )
-    version = reader.u16()
-    if version != props.version:
+    if leader.version != props.version:
         raise CorruptMetadata(
-            f"leader of {props.name}: version {version} != {props.version}"
+            f"leader of {props.name}: version {leader.version} != "
+            f"{props.version}"
         )
-    name_sum = reader.u32()
-    if name_sum != checksum(props.name.encode("utf-8")):
-        raise CorruptMetadata(f"leader of {props.name}: name checksum")
-    preamble_count = reader.u8()
-    for index in range(preamble_count):
-        start = reader.u32()
-        count = reader.u16()
+    if leader.name != props.name:
+        raise CorruptMetadata(
+            f"leader name checksum owner {leader.name!r} != "
+            f"name table {props.name!r}"
+        )
+    if leader.total_runs != len(runs.runs):
+        raise CorruptMetadata(
+            f"leader of {props.name}: {leader.total_runs} runs != "
+            f"name table {len(runs.runs)}"
+        )
+    for index, run in enumerate(leader.runs.runs[:PREAMBLE_RUNS]):
         if index < len(runs.runs):
-            run = runs.runs[index]
-            if (start, count) != (run.start, run.count):
+            other = runs.runs[index]
+            if (run.start, run.count) != (other.start, other.count):
                 raise CorruptMetadata(
                     f"leader of {props.name}: run preamble mismatch at "
                     f"run {index}"
                 )
-    digest = reader.u32()
-    if digest != _run_table_digest(runs):
+    if leader.run_digest != _run_table_digest(runs):
         raise CorruptMetadata(
             f"leader of {props.name}: run table checksum mismatch"
         )

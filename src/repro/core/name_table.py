@@ -35,7 +35,12 @@ from repro.core.types import (
 from repro.disk.clock import SimClock
 from repro.disk.disk import SimDisk
 from repro.disk.sched import as_scheduler
-from repro.errors import CorruptMetadata, FileNotFound, VolumeFull
+from repro.errors import (
+    CorruptMetadata,
+    DegradedVolumeError,
+    FileNotFound,
+    VolumeFull,
+)
 from repro.obs import NULL_OBS
 
 
@@ -46,6 +51,13 @@ class NameTableHome:
     ablation) only copy A exists: reads cost one I/O, writes one, and
     a damaged sector is unrecoverable — exactly the trade the paper's
     model weighed and rejected.
+
+    Reads climb the escalation ladder: a failed sector read is retried
+    once (a transient fault costs about a revolution and succeeds), a
+    single dead copy is rebuilt from its twin, and only when *both*
+    copies are genuinely gone does the read raise
+    :class:`DegradedVolumeError` — after telling the volume, via
+    ``on_degraded``, to stop accepting mutations.
     """
 
     def __init__(self, disk: SimDisk, layout: VolumeLayout):
@@ -55,38 +67,68 @@ class NameTableHome:
         self.layout = layout
         self.single_copy = layout.params.single_nt_copy
         self.repairs = 0
+        self.retries = 0
+        #: called with a reason string when a read exhausts the ladder
+        #: (``FSD.mount`` points this at the volume's degraded switch).
+        self.on_degraded = None
+        #: observability attach point (``FSD.mount`` rebinds it).
+        self.obs = NULL_OBS
+
+    def _read_copy(self, address: int) -> bytes | None:
+        """One ladder-aware sector read: retry a failed read once.
+
+        The retry is a real second I/O — the platter has moved on, so
+        it naturally costs about one revolution of simulated time.
+        """
+        data = self.io.read_maybe(address, 1)[0]
+        if data is not None:
+            return data
+        self.retries += 1
+        self.obs.count("ladder.retries")
+        data = self.io.read_maybe(address, 1)[0]
+        if data is not None:
+            self.obs.count("ladder.retry_successes")
+        return data
+
+    def _degrade(self, reason: str) -> DegradedVolumeError:
+        self.obs.count("ladder.nt_read_failures")
+        if self.on_degraded is not None:
+            self.on_degraded(reason)
+        return DegradedVolumeError(reason)
 
     def read_page(self, page_no: int) -> bytes:
         """Read both copies and cross-check (the paper's double read).
 
         One damaged copy is corrected from the other and repaired in
         place; two differing healthy copies mean corruption beyond the
-        failure model (e.g. a wild write) and raise.
+        failure model (e.g. a wild write) and degrade the volume, as
+        does the loss of both copies.
         """
         addr_a, addr_b = self.layout.nt_page_addresses(page_no)
         if self.single_copy:
-            data = self.io.read_maybe(addr_a, 1)[0]
+            data = self._read_copy(addr_a)
             if data is None:
-                raise CorruptMetadata(
+                raise self._degrade(
                     f"name-table page {page_no} damaged and unreplicated"
                 )
             return data
-        copy_a = self.io.read_maybe(addr_a, 1)[0]
-        copy_b = self.io.read_maybe(addr_b, 1)[0]
+        copy_a = self._read_copy(addr_a)
+        copy_b = self._read_copy(addr_b)
         if copy_a is not None and copy_b is not None:
             if copy_a != copy_b:
-                raise CorruptMetadata(
+                raise self._degrade(
                     f"name-table page {page_no}: copies differ"
                 )
             return copy_a
         survivor = copy_a if copy_a is not None else copy_b
         if survivor is None:
-            raise CorruptMetadata(
+            raise self._degrade(
                 f"name-table page {page_no}: both copies damaged"
             )
         bad_addr = addr_a if copy_a is None else addr_b
         self.io.write(bad_addr, [survivor])
         self.repairs += 1
+        self.obs.count("ladder.copy_repairs")
         return survivor
 
     def write_pages(self, pages: list[tuple[int, bytes]]) -> None:

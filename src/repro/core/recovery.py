@@ -23,7 +23,7 @@ from repro.core.vam import VolumeAllocationMap
 from repro.core.wal import PAGE_LEADER, PAGE_NAME_TABLE, PAGE_VAM, WriteAheadLog
 from repro.disk.disk import SimDisk
 from repro.disk.sched import as_scheduler
-from repro.errors import CorruptMetadata
+from repro.errors import CorruptMetadata, DegradedVolumeError
 from repro.obs import NULL_OBS
 
 #: Test-only fault hook: when true, replay drops the last scanned log
@@ -46,6 +46,15 @@ class MountReport:
     replay_ms: float = 0.0
     vam_ms: float = 0.0
     total_ms: float = 0.0
+    #: the log scan stopped at detectably damaged sectors — under the
+    #: single-fault model that is only the crash's own torn tail, but a
+    #: multi-fault history may have cost a committed tail record, so
+    #: recovery cannot *prove* completeness.  Honest-degradation flag.
+    log_damage: bool = False
+    #: record pieces newer than the scan's stopping point were found
+    #: beyond a damage hole: committed records were definitely lost and
+    #: the volume is mounted degraded read-only.
+    log_records_lost: bool = False
 
 
 # ----------------------------------------------------------------------
@@ -65,7 +74,7 @@ def read_root(disk: SimDisk, layout: VolumeLayout) -> RootPage:
         except CorruptMetadata:
             continue
     if not survivors:
-        raise CorruptMetadata("both volume root copies unreadable")
+        raise DegradedVolumeError("both volume root copies unreadable")
     if len(survivors) == 1:
         address, root = survivors[0]
         other = layout.root_b if address == layout.root_a else layout.root_a
@@ -100,7 +109,16 @@ def replay_log(
     report: MountReport,
     obs=NULL_OBS,
 ) -> None:
-    """Scan the log from its anchor and write every page image home."""
+    """Scan the log from its anchor and write every page image home.
+
+    Name-table and VAM pages live in fixed extents, so their redo is
+    unconditional.  Leader pages are different: their sectors return to
+    the allocator when a file is deleted and may since have been
+    reallocated as plain *data* — blindly redoing a stale leader image
+    would overwrite committed file contents.  Each leader image is
+    therefore checked against the logged name-table state before it is
+    written home (:func:`_redo_live_leaders`).
+    """
     start_ms = disk.clock.now_ms
     with obs.span("recovery.replay") as replay_span:
         with obs.span("recovery.scan"):
@@ -116,17 +134,18 @@ def replay_log(
         with obs.span("recovery.redo", pages=len(newest)):
             io = wal.io
             home = NameTableHome(io, layout)
-            nt_pages = [
-                (page_id, data)
+            nt_images = {
+                page_id: data
                 for (kind, page_id), data in newest.items()
                 if kind == PAGE_NAME_TABLE
-            ]
-            if nt_pages:
-                home.write_pages(nt_pages)
+            }
+            stale_leaders = _redo_live_leaders(
+                io, home, layout, newest, nt_images
+            )
+            if nt_images:
+                home.write_pages(sorted(nt_images.items()))
             for (kind, page_id), data in newest.items():
-                if kind == PAGE_LEADER:
-                    io.submit_write(page_id, [data])
-                elif kind == PAGE_VAM:
+                if kind == PAGE_VAM:
                     # §5.3 extension: bitmap pages go to the VAM save
                     # area so the logged-mode load sees
                     # base-plus-replayed state.
@@ -137,13 +156,104 @@ def replay_log(
             # or load the VAM against the recovered images.
             io.barrier()
         replay_span.set(records=len(records), pages=len(newest))
+    report.log_damage = wal.scan_damage
+    report.log_records_lost = wal.lost_records_detected
     obs.count("recovery.records_replayed", len(records))
     obs.count("recovery.pages_replayed", len(newest))
     # Stale images superseded within the scanned window (redo coalesces).
     obs.count("recovery.pages_skipped", pages_scanned - len(newest))
+    if stale_leaders:
+        obs.count("recovery.stale_leaders_skipped", stale_leaders)
     report.log_records_replayed = len(records)
     report.pages_replayed = len(newest)
     report.replay_ms = disk.clock.now_ms - start_ms
+
+
+def _redo_live_leaders(
+    io,
+    home: NameTableHome,
+    layout: VolumeLayout,
+    newest: dict[tuple[int, int], bytes],
+    nt_images: dict[int, bytes],
+) -> int:
+    """Submit home writes for replayed leader images that are still
+    live; return the number of stale images skipped.
+
+    A leader is live iff the *final* name-table state still maps its
+    (name, version) to its address and uid.  That state is derivable
+    from the log alone: the commit that logged a leader logged the
+    name-table leaf holding its entry in the same record, and every
+    later move, split, or delete of that entry relogged the affected
+    leaves — so searching the newest logged image of each leaf that is
+    still allocated (per the logged bitmap; the home bitmap covers
+    pages untouched in the window) finds the entry exactly when the
+    file survived.  Pure CPU over pages already scanned: no extra
+    I/O beyond at most one home bitmap read.
+    """
+    from repro.btree.node import LEAF, Node
+    from repro.core.leader import decode_leader
+    from repro.core.types import decode_key, decode_main_entry
+
+    pending = {
+        page_id: data
+        for (kind, page_id), data in newest.items()
+        if kind == PAGE_LEADER
+    }
+    if not pending:
+        return 0
+    page_size = layout.geometry.sector_bytes
+    bitmap_pages = -(-layout.params.nt_pages // (8 * page_size))
+    home_bitmaps: dict[int, bytes] = {}
+
+    def allocated(page_no: int) -> bool:
+        bitmap_page = 1 + page_no // (8 * page_size)
+        image = nt_images.get(bitmap_page)
+        if image is None:
+            image = home_bitmaps.get(bitmap_page)
+        if image is None:
+            image = home.read_page(bitmap_page)
+            home_bitmaps[bitmap_page] = image
+        byte_index = (page_no % (8 * page_size)) // 8
+        return bool(image[byte_index] & (1 << (page_no % 8)))
+
+    live: dict[tuple[str, int], tuple[int, int]] = {}
+    for page_no, data in nt_images.items():
+        if page_no <= bitmap_pages or not allocated(page_no):
+            continue
+        try:
+            node = Node.from_bytes(data)
+        except CorruptMetadata:
+            continue
+        if node.kind != LEAF:
+            continue
+        for key, value in zip(node.keys, node.values):
+            try:
+                name, version, chunk = decode_key(key)
+            except (CorruptMetadata, UnicodeDecodeError):
+                continue
+            if chunk != 0:
+                continue
+            try:
+                props, _, _ = decode_main_entry(name, version, value)
+            except (CorruptMetadata, ValueError):
+                continue
+            live[(name, version)] = (props.leader_addr, props.uid)
+
+    stale = 0
+    for address, data in sorted(pending.items()):
+        try:
+            image = decode_leader(data)
+        except CorruptMetadata:
+            image = None
+        if (
+            image is not None
+            and live.get((image.name, image.version))
+            == (address, image.uid)
+        ):
+            io.submit_write(address, [data])
+        else:
+            stale += 1
+    return stale
 
 
 # ----------------------------------------------------------------------

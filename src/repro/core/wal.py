@@ -117,6 +117,15 @@ class WriteAheadLog:
         self.sectors_logged = 0
         self.pages_logged = 0
         self.record_sizes: list[int] = []
+        #: set by :meth:`scan`: the scan stopped at a record whose
+        #: sectors were detectably damaged (media fault, not just the
+        #: usual stale-bytes end of log).
+        self.scan_damage = False
+        #: set by :meth:`scan`: valid record pieces *newer* than the
+        #: stopping point exist beyond it — committed records were lost
+        #: to mid-log damage (impossible under the single-fault model).
+        self.lost_records_detected = False
+        self._reads_damaged = False
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -376,16 +385,21 @@ class WriteAheadLog:
         )
         records: list[LogRecord] = []
         self._third_first = [None, None, None]
+        self.scan_damage = False
+        self.lost_records_detected = False
         offset = anchor_offset
         expected = anchor_record
         scanned = 0
+        suspicious = False
         while scanned < self.area_sectors:
             if self.area_sectors - offset < SKIP_RECORD_SECTORS:
                 scanned += self.area_sectors - offset
                 offset = 0
                 continue
+            self._reads_damaged = False
             head = self._read_header_pair(offset, expected)
             if head is None:
+                suspicious = self._reads_damaged
                 break
             kind, page_meta, boot_count = head
             if kind == RECORD_SKIP:
@@ -394,10 +408,12 @@ class WriteAheadLog:
                 offset = 0
                 expected += 1
                 continue
+            self._reads_damaged = False
             record = self._read_record_body(
                 offset, expected, boot_count, page_meta
             )
             if record is None:
+                suspicious = self._reads_damaged
                 break
             self._note_record_start(offset, expected)
             records.append(record)
@@ -415,12 +431,53 @@ class WriteAheadLog:
             )
         else:
             self.current_third = 0
+        if suspicious:
+            # The scan stopped *because of* damaged sectors, not the
+            # usual stale bytes.  Under the single-fault model that is
+            # only ever the torn tail record of the crash itself; probe
+            # for record pieces strictly newer than the stopping point,
+            # which would prove committed records beyond a damage hole.
+            self.scan_damage = True
+            self.obs.count("wal.scan_damage_stops")
+            if self._probe_lost_records(expected):
+                self.lost_records_detected = True
+                self.obs.count("wal.lost_records_detected")
         return records
+
+    def _probe_lost_records(self, expected: int) -> bool:
+        """Sweep the record area for header/end pages numbered strictly
+        above ``expected``.  Record numbers only ever grow, and the
+        stopping record's own pieces carry exactly ``expected``, so any
+        newer piece means a committed record sits beyond a damage hole
+        the scan could not cross.
+        """
+        chunk = 128
+        for start in range(0, self.area_sectors, chunk):
+            count = min(chunk, self.area_sectors - start)
+            sectors = self.io.read_maybe(self._disk_addr(start), count)
+            for data in sectors:
+                if data is None:
+                    continue
+                try:
+                    reader = Unpacker(data)
+                    magic = reader.u32()
+                    if magic == _HEADER_MAGIC:
+                        reader.u8()  # kind
+                        if reader.u64() > expected:
+                            return True
+                    elif magic == _END_MAGIC:
+                        if reader.u64() > expected:
+                            return True
+                except CorruptMetadata:
+                    continue
+        return False
 
     def _read_header_pair(
         self, offset: int, expected: int
     ) -> tuple[int, list[tuple[int, int, int]], int] | None:
         sectors = self.io.read_maybe(self._disk_addr(offset), 3)
+        if sectors[0] is None or sectors[2] is None:
+            self._reads_damaged = True
         for candidate in (sectors[0], sectors[2]):
             parsed = self._parse_header(candidate, expected)
             if parsed is not None:
@@ -463,6 +520,8 @@ class WriteAheadLog:
         if offset + size > self.area_sectors:
             return None
         sectors = self.io.read_maybe(self._disk_addr(offset), size)
+        if any(sector is None for sector in sectors):
+            self._reads_damaged = True
         end_a = sectors[3 + count]
         end_b = sectors[3 + 2 * count + 1]
         if not any(

@@ -204,7 +204,7 @@ class SimDisk:
                     raise LabelCheckError(
                         sector_address, expect_labels[offset], stored
                     )
-            if self.faults.is_damaged(sector_address):
+            if self.faults.read_fails(sector_address):
                 out.append(None)
             else:
                 out.append(self._data.get(sector_address, self._zero()))

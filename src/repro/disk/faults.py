@@ -10,6 +10,14 @@ detectably damaged, or both are detectably damaged.  The injector can:
   in-flight write exactly per the weak-atomic model,
 * perform a "wild write" (memory smash scribbling on a sector without
   marking it damaged — only software cross-checks can catch it).
+
+Beyond the paper's single-fault model, the injector also distinguishes
+*transient* faults (a read fails a bounded number of times, then the
+sector reads fine — dust, marginal servo; the ladder's retry rung
+absorbs these) and *latent* faults (the sector is already bad but
+nobody knows until the next read surfaces it as permanent damage —
+this is what makes multi-fault windows real: a latent fault planted
+long ago can surface while recovering from a fresh one).
 """
 
 from __future__ import annotations
@@ -42,9 +50,17 @@ class FaultInjector:
     """Mutable fault state consulted by :class:`~repro.disk.disk.SimDisk`."""
 
     damaged: set[int] = field(default_factory=set)
+    #: transient faults: address -> remaining reads that will fail.
+    transient: dict[int, int] = field(default_factory=dict)
+    #: latent faults: bad already, surfaced (-> ``damaged``) on next read.
+    latent: set[int] = field(default_factory=set)
     crash_plan: CrashPlan | None = None
     injected_media_faults: int = 0
+    injected_transient_faults: int = 0
+    injected_latent_faults: int = 0
     injected_wild_writes: int = 0
+    transient_reads_failed: int = 0
+    latent_surfaced: int = 0
     crashes_fired: int = 0
 
     # ------------------------------------------------------------------
@@ -60,13 +76,54 @@ class FaultInjector:
             self.damaged.add(address + offset)
         self.injected_media_faults += 1
 
+    def damage_transient(self, address: int, failures: int = 1) -> None:
+        """The next ``failures`` reads of ``address`` fail; later reads
+        succeed (the retry rung of the escalation ladder absorbs these)."""
+        if failures < 1:
+            raise ValueError("a transient fault must fail at least one read")
+        self.transient[address] = failures
+        self.injected_transient_faults += 1
+
+    def damage_latent(self, address: int) -> None:
+        """Mark ``address`` latently bad: it becomes permanent damage
+        the moment it is next read (until then nothing knows)."""
+        self.latent.add(address)
+        self.injected_latent_faults += 1
+
     def repair(self, address: int) -> None:
-        """A successful rewrite of a damaged sector repairs it."""
+        """A successful rewrite of a damaged sector repairs it —
+        permanent, transient and latent faults alike."""
         self.damaged.discard(address)
+        self.transient.pop(address, None)
+        self.latent.discard(address)
 
     def is_damaged(self, address: int) -> bool:
-        """True when ``address`` is detectably damaged."""
+        """True when ``address`` is detectably damaged (permanently)."""
         return address in self.damaged
+
+    def read_fails(self, address: int) -> bool:
+        """Consult (and advance) fault state for one sector read.
+
+        Latent faults surface into permanent damage; transient faults
+        consume one failing read.  Returns True when the read must
+        report the sector damaged.
+        """
+        if address in self.latent:
+            self.latent.discard(address)
+            self.damaged.add(address)
+            self.latent_surfaced += 1
+            return True
+        if address in self.damaged:
+            return True
+        remaining = self.transient.get(address)
+        if remaining is not None:
+            self.transient_reads_failed += 1
+            if remaining <= 1:
+                del self.transient[address]
+            else:
+                self.transient[address] = remaining - 1
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # crashes

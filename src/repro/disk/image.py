@@ -9,11 +9,17 @@ powering the machine back on.
 
 Image format (zlib-compressed after the magic):
 
-    magic  "FSDIMG1\\n"
+    magic  "FSDIMG2\\n"
     u32 cylinders, u32 heads, u32 sectors_per_track, u32 sector_bytes
     u32 data_count,   then data_count  x (u32 addr, sector payload)
     u32 label_count,  then label_count x (u32 addr, 16-byte label)
     u32 damage_count, then damage_count x u32 addr
+    u32 transient_count, then transient_count x (u32 addr, u16 remaining)
+    u32 latent_count, then latent_count x u32 addr
+
+Version 1 images (no transient/latent sections) still load: fault
+state beyond ``damaged`` simply starts empty, which is exactly what a
+v1 image meant.
 """
 
 from __future__ import annotations
@@ -26,7 +32,8 @@ from repro.disk.geometry import DiskGeometry
 from repro.errors import DiskError
 from repro.serial import Packer, Unpacker
 
-_MAGIC = b"FSDIMG1\n"
+_MAGIC = b"FSDIMG2\n"
+_MAGIC_V1 = b"FSDIMG1\n"
 
 
 def save_disk(disk: SimDisk, path: str | Path) -> int:
@@ -63,6 +70,15 @@ def save_disk(disk: SimDisk, path: str | Path) -> int:
     body.u32(len(damaged))
     for address in damaged:
         body.u32(address)
+    transient = sorted(disk.faults.transient.items())
+    body.u32(len(transient))
+    for address, remaining in transient:
+        body.u32(address)
+        body.u16(remaining)
+    latent = sorted(disk.faults.latent)
+    body.u32(len(latent))
+    for address in latent:
+        body.u32(address)
 
     blob = _MAGIC + zlib.compress(body.bytes(), level=6)
     Path(path).write_bytes(blob)
@@ -72,7 +88,11 @@ def save_disk(disk: SimDisk, path: str | Path) -> int:
 def load_disk(path: str | Path) -> SimDisk:
     """Load a disk image saved by :func:`save_disk`."""
     blob = Path(path).read_bytes()
-    if not blob.startswith(_MAGIC):
+    if blob.startswith(_MAGIC):
+        version = 2
+    elif blob.startswith(_MAGIC_V1):
+        version = 1
+    else:
         raise DiskError(f"{path}: not a repro disk image")
     reader = Unpacker(zlib.decompress(blob[len(_MAGIC):]))
     geometry = DiskGeometry(
@@ -90,4 +110,10 @@ def load_disk(path: str | Path) -> SimDisk:
         disk._labels[address] = reader.raw(LABEL_BYTES)
     for _ in range(reader.u32()):
         disk.faults.damaged.add(reader.u32())
+    if version >= 2:
+        for _ in range(reader.u32()):
+            address = reader.u32()
+            disk.faults.transient[address] = reader.u16()
+        for _ in range(reader.u32()):
+            disk.faults.latent.add(reader.u32())
     return disk

@@ -26,6 +26,7 @@ from __future__ import annotations
 from repro.disk.disk import SimDisk
 from repro.disk.faults import FaultInjector
 from repro.errors import DiskError
+from repro.obs import NULL_OBS
 
 
 class MirroredDisk(SimDisk):
@@ -39,6 +40,8 @@ class MirroredDisk(SimDisk):
         self._unit_a_dead = False
         self._unit_b_dead = False
         self.mirror_recoveries = 0
+        #: observability attach point (``FSD.attach_observer`` rebinds it).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # failure control
@@ -56,6 +59,9 @@ class MirroredDisk(SimDisk):
             self._unit_b_dead = True
         else:
             raise ValueError(f"unknown unit {unit!r}")
+        self.obs.count("mirror.massive_failures")
+        self.obs.gauge("mirror.unit_a_dead", int(self._unit_a_dead))
+        self.obs.gauge("mirror.unit_b_dead", int(self._unit_b_dead))
 
     def resilver(self) -> int:
         """Rebuild the dead unit from the survivor (a full-disk copy
@@ -81,6 +87,10 @@ class MirroredDisk(SimDisk):
             self.mirror_faults.damaged.clear()
         self._unit_a_dead = False
         self._unit_b_dead = False
+        self.obs.count("mirror.resilvers")
+        self.obs.count("mirror.resilver_sectors", copied)
+        self.obs.gauge("mirror.unit_a_dead", 0)
+        self.obs.gauge("mirror.unit_b_dead", 0)
         return copied
 
     @property
@@ -146,10 +156,12 @@ class MirroredDisk(SimDisk):
             self._position(address)
             self._transfer(address, count)
             self.mirror_recoveries += 1
+            self.obs.count("mirror.recoveries")
             for offset, sector in enumerate(out):
                 if sector is not None and sectors[offset] is None:
                     self._data[address + offset] = sector
                     self.faults.repair(address + offset)
+                    self.obs.count("mirror.repairs")
         # A dead primary costs nothing extra: the read was simply
         # served by the mirror unit's identical positioning pass.
         return out

@@ -80,6 +80,26 @@ class CorruptMetadata(FsError):
     comparison, B-tree invariant) found inconsistent metadata."""
 
 
+class DegradedVolumeError(CorruptMetadata):
+    """Every rung of the read-path escalation ladder failed.
+
+    Retry (transient fault), duplicate-copy repair and mirror fallback
+    all came up empty: the data is genuinely gone from the media.  The
+    volume is marked degraded read-only; the operator's escape hatch is
+    the offline salvager (``python -m repro salvage IMAGE OUT``).
+
+    Subclasses :class:`CorruptMetadata` so existing cross-check
+    handlers still classify it as detected (never silent) corruption.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(
+            f"{reason}; volume degraded to read-only "
+            "(run `python -m repro salvage` to rebuild)"
+        )
+        self.reason = reason
+
+
 class LogFull(FsError):
     """A single log record would not fit in the log file.
 

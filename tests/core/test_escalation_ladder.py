@@ -1,0 +1,171 @@
+"""The read-path fault escalation ladder, rung by rung.
+
+transient retry -> duplicate-copy repair -> (mirror fallback, covered
+in tests/disk/test_mirror.py) -> degraded read-only.  Plus the replay
+hazard the ladder's bookkeeping exposed: stale leader images in the
+log must not be redone over reallocated sectors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeLayout, VolumeParams
+from repro.core.name_table import NameTableHome
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.errors import DegradedVolumeError
+from repro.obs import Observer
+
+GEO = DiskGeometry(cylinders=120, heads=8, sectors_per_track=24)
+PARAMS = VolumeParams(nt_pages=512, log_record_sectors=300, cache_pages=48)
+
+
+@pytest.fixture
+def world():
+    disk = SimDisk(geometry=GEO)
+    layout = VolumeLayout.compute(GEO, PARAMS)
+    home = NameTableHome(disk, layout)
+    return disk, layout, home
+
+
+def page(byte: int) -> bytes:
+    return bytes([byte]) * GEO.sector_bytes
+
+
+class TestRetryRung:
+    def test_transient_fault_on_both_copies_absorbed(self, world):
+        """Dust on both copies: each read fails once, each retry
+        succeeds — the ladder never escalates past its first rung."""
+        disk, layout, home = world
+        home.write_pages([(3, page(0x77))])
+        addr_a, addr_b = layout.nt_page_addresses(3)
+        disk.faults.damage_transient(addr_a)
+        disk.faults.damage_transient(addr_b)
+        assert home.read_page(3) == page(0x77)
+        assert home.retries == 2
+        assert home.repairs == 0
+
+    def test_retry_costs_real_simulated_time(self, world):
+        disk, layout, home = world
+        home.write_pages([(3, page(0x01))])
+        addr_a, _ = layout.nt_page_addresses(3)
+        before = disk.clock.now_ms
+        home.read_page(3)
+        clean_cost = disk.clock.now_ms - before
+        disk.faults.damage_transient(addr_a)
+        before = disk.clock.now_ms
+        home.read_page(3)
+        assert disk.clock.now_ms - before > clean_cost
+
+    def test_retry_counters_emitted(self, world):
+        disk, layout, home = world
+        obs = Observer()
+        home.obs = obs
+        home.write_pages([(4, page(0x02))])
+        addr_a, _ = layout.nt_page_addresses(4)
+        disk.faults.damage_transient(addr_a)
+        home.read_page(4)
+        counters = obs.snapshot().counters
+        assert counters["ladder.retries"] == 1
+        assert counters["ladder.retry_successes"] == 1
+
+
+class TestRepairRung:
+    def test_latent_fault_surfaces_then_repaired_from_twin(self, world):
+        """A latent flaw planted long ago surfaces as permanent damage
+        on read; the twin copy rebuilds it in place."""
+        disk, layout, home = world
+        home.write_pages([(5, page(0x33))])
+        addr_a, _ = layout.nt_page_addresses(5)
+        disk.faults.damage_latent(addr_a)
+        assert home.read_page(5) == page(0x33)
+        assert home.repairs == 1
+        assert disk.faults.latent_surfaced == 1
+        # Repaired for good: the next read costs no ladder work.
+        assert home.read_page(5) == page(0x33)
+        assert home.repairs == 1
+
+
+class TestDegradedRung:
+    def test_both_copies_dead_raises_degraded_not_garbage(self, world):
+        """Exhausting the ladder must raise ``DegradedVolumeError`` —
+        never return bytes that were not the page's contents."""
+        disk, layout, home = world
+        home.write_pages([(6, page(0x44))])
+        addr_a, addr_b = layout.nt_page_addresses(6)
+        disk.faults.damage(addr_a)
+        disk.faults.damage(addr_b)
+        reasons: list[str] = []
+        home.on_degraded = reasons.append
+        with pytest.raises(DegradedVolumeError, match="both copies"):
+            home.read_page(6)
+        assert reasons and "6" in reasons[0]
+
+    def test_fsd_flips_read_only_when_ladder_exhausts(self):
+        """End to end: a mounted volume whose name-table pages all die
+        serves the failure as ``DegradedVolumeError`` and then refuses
+        mutations — degraded read-only, not silent corruption."""
+        disk = SimDisk(geometry=GEO)
+        FSD.format(disk, PARAMS)
+        fs = FSD.mount(disk)
+        fs.create("deg/file", b"before the fault")
+        fs.force()
+        layout = VolumeLayout.compute(GEO, PARAMS)
+        for p in range(PARAMS.nt_pages):
+            for addr in layout.nt_page_addresses(p):
+                disk.faults.damaged.add(addr)
+        fs.cache.discard_all()  # force the next read back to home
+
+        with pytest.raises(DegradedVolumeError):
+            fs.open("deg/file")
+        assert fs.degraded
+        with pytest.raises(DegradedVolumeError):
+            fs.create("deg/new", b"refused")
+
+
+class TestStaleLeaderReplay:
+    def test_deleted_files_leader_not_redone(self):
+        """Regression: the log holds a leader image for a file deleted
+        before the crash.  Its sector may have been reallocated as
+        plain data, so replay must skip it — the recovered name table
+        vetoes addresses it no longer claims."""
+        disk = SimDisk(geometry=GEO)
+        FSD.format(disk, PARAMS)
+        fs = FSD.mount(disk)
+        fs.create("stale/victim", b"doomed")
+        fs.force()
+        fs.delete("stale/victim")
+        fs.force()
+        fs.crash()
+
+        obs = Observer()
+        recovered = FSD.mount(disk, obs=obs)
+        counters = obs.snapshot().counters
+        assert counters.get("recovery.stale_leaders_skipped", 0) >= 1
+        assert recovered.list() == []
+
+    def test_reused_sector_contents_survive_replay(self):
+        """The concrete corruption the skip prevents: delete a file,
+        let a new file's data land on the freed sectors, crash —
+        replay must leave the new file's bytes alone."""
+        disk = SimDisk(geometry=GEO)
+        FSD.format(disk, PARAMS)
+        fs = FSD.mount(disk)
+        fs.create("reuse/old", b"x" * 900)
+        fs.force()
+        fs.delete("reuse/old")
+        fs.force()
+        # Fill the freed sectors (first-fit reuses them promptly).
+        contents = {}
+        for index in range(6):
+            name = f"reuse/new{index}"
+            contents[name] = bytes([0x60 + index]) * 700
+            fs.create(name, contents[name])
+        fs.force()
+        fs.crash()
+
+        recovered = FSD.mount(disk)
+        for name, data in contents.items():
+            assert recovered.read(recovered.open(name)) == data

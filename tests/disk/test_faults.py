@@ -34,6 +34,52 @@ class TestDamage:
         FaultInjector().repair(99)  # no error
 
 
+class TestTransientFaults:
+    def test_fails_bounded_reads_then_recovers(self):
+        injector = FaultInjector()
+        injector.damage_transient(5, failures=2)
+        assert injector.read_fails(5)
+        assert injector.read_fails(5)
+        assert not injector.read_fails(5)
+        assert injector.transient_reads_failed == 2
+        assert injector.injected_transient_faults == 1
+
+    def test_never_becomes_permanent(self):
+        injector = FaultInjector()
+        injector.damage_transient(5)
+        injector.read_fails(5)
+        assert not injector.is_damaged(5)
+
+    def test_zero_failures_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjector().damage_transient(5, failures=0)
+
+    def test_repair_clears_transient(self):
+        injector = FaultInjector()
+        injector.damage_transient(5, failures=9)
+        injector.repair(5)
+        assert not injector.read_fails(5)
+
+
+class TestLatentFaults:
+    def test_surfaces_as_permanent_on_first_read(self):
+        """Nobody knows the sector is bad until a read trips over it —
+        then it is permanent damage, not a retryable blip."""
+        injector = FaultInjector()
+        injector.damage_latent(7)
+        assert not injector.is_damaged(7)  # still invisible
+        assert injector.read_fails(7)  # the read surfaces it
+        assert injector.is_damaged(7)
+        assert injector.latent_surfaced == 1
+        assert injector.read_fails(7)  # and it stays bad
+
+    def test_repair_clears_unsurfaced_latent(self):
+        injector = FaultInjector()
+        injector.damage_latent(7)
+        injector.repair(7)
+        assert not injector.read_fails(7)
+
+
 class TestCrashPlans:
     def test_damage_tail_bounds(self):
         with pytest.raises(ValueError):

@@ -85,3 +85,65 @@ class TestRoundtrip:
         mirror = MirroredDisk(geometry=GEO)
         with pytest.raises(DiskError, match="shadow"):
             save_disk(mirror, tmp_path / "mirror.img")
+
+
+class TestFaultStateRoundtrip:
+    def test_transient_and_latent_faults_persist(self, tmp_path):
+        """The full fault model survives an image round-trip: a latent
+        flaw planted before a save must still surface after a load."""
+        disk = SimDisk(geometry=GEO)
+        disk.write(5, [b"x"])
+        disk.faults.damage(7)
+        disk.faults.damage_transient(9, failures=3)
+        disk.faults.damage_latent(11)
+        save_disk(disk, tmp_path / "disk.img")
+
+        loaded = load_disk(tmp_path / "disk.img")
+        assert loaded.faults.is_damaged(7)
+        assert loaded.faults.transient == {9: 3}
+        assert loaded.faults.latent == {11}
+        # Behavior, not just state: the transient fails then clears...
+        for _ in range(3):
+            assert loaded.read_maybe(9, 1)[0] is None
+        assert loaded.read_maybe(9, 1)[0] is not None
+        # ...and the latent surfaces as permanent damage on first read.
+        assert loaded.read_maybe(11, 1)[0] is None
+        assert loaded.faults.is_damaged(11)
+
+    def test_transient_remaining_count_preserved(self, tmp_path):
+        """A half-consumed transient fault keeps its remaining count."""
+        disk = SimDisk(geometry=GEO)
+        disk.faults.damage_transient(4, failures=2)
+        assert disk.read_maybe(4, 1)[0] is None  # consume one failure
+        save_disk(disk, tmp_path / "disk.img")
+        loaded = load_disk(tmp_path / "disk.img")
+        assert loaded.faults.transient == {4: 1}
+        assert loaded.read_maybe(4, 1)[0] is None
+        assert loaded.read_maybe(4, 1)[0] is not None
+
+    def test_v1_image_still_loads(self, tmp_path):
+        """A version-1 image (no transient/latent sections) loads with
+        that fault state empty — exactly what a v1 image meant."""
+        import zlib
+
+        from repro.serial import Packer
+
+        body = Packer()
+        body.u32(GEO.cylinders)
+        body.u32(GEO.heads)
+        body.u32(GEO.sectors_per_track)
+        body.u32(GEO.sector_bytes)
+        body.u32(1)  # one data sector
+        body.u32(3)
+        body.raw(b"v1-data".ljust(GEO.sector_bytes, b"\x00"))
+        body.u32(0)  # no labels
+        body.u32(1)  # one damaged sector
+        body.u32(8)
+        path = tmp_path / "old.img"
+        path.write_bytes(b"FSDIMG1\n" + zlib.compress(body.bytes()))
+
+        loaded = load_disk(path)
+        assert loaded.peek(3).startswith(b"v1-data")
+        assert loaded.faults.is_damaged(8)
+        assert loaded.faults.transient == {}
+        assert loaded.faults.latent == set()

@@ -120,6 +120,34 @@ class TestFsdOnMirror:
             assert recovered.read(recovered.open(name)) == data
 
 
+class TestMirrorObservability:
+    def test_recovery_and_repair_counted(self, mirror):
+        from repro.obs import Observer
+
+        obs = Observer()
+        mirror.obs = obs
+        mirror.write(10, [b"shadowed"])
+        mirror.faults.damage(10)
+        mirror.read(10)
+        counters = obs.snapshot().counters
+        assert counters["mirror.recoveries"] == 1
+        assert counters["mirror.repairs"] == 1
+
+    def test_massive_failure_and_resilver_counted(self, mirror):
+        from repro.obs import Observer
+
+        obs = Observer()
+        mirror.obs = obs
+        mirror.write(10, [b"x"])
+        mirror.massive_failure("a")
+        copied = mirror.resilver()
+        snap = obs.snapshot()
+        assert snap.counters["mirror.massive_failures"] == 1
+        assert snap.counters["mirror.resilvers"] == 1
+        assert snap.counters["mirror.resilver_sectors"] == copied
+        assert snap.gauges["mirror.unit_a_dead"] == 0
+
+
 class TestLabelsOnMirror:
     def test_label_writes_shadowed(self, mirror):
         mirror.write_labels(10, [b"L1", b"L2"])
