@@ -1,0 +1,174 @@
+"""Data-page cache + read-ahead benchmark — the read-path speedup.
+
+Runs the MakeDo build (the paper's software-build workload, whose
+compiler streams sources one 512-byte page at a time) with the data
+cache off and on, under the fifo scheduler, and writes the comparison
+to ``BENCH_data_cache.json``.  The cache-off arm must reproduce the
+seed ``BENCH_sched.json`` makedo/fifo numbers bit-for-bit — the cache
+is strictly additive — and the cache-on arm must cut elapsed time by
+at least 30%.
+
+Environment knobs (used by the CI bench-smoke job to run tiny):
+
+* ``BENCH_DATA_CACHE_OUT``      — output path (default
+  ``BENCH_data_cache.json`` in the repo root),
+* ``BENCH_DATA_CACHE_SCALE``    — ``full`` (default) or ``small``,
+* ``BENCH_DATA_CACHE_MODULES``  — modules in the MakeDo build,
+* ``BENCH_DATA_CACHE_PAGES``    — capacity of the cache-on arm,
+* ``BENCH_DATA_CACHE_BASELINE`` — committed baseline JSON; when set,
+  the cache-off elapsed time may not regress more than 2% against it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.data_cache import DEFAULT_DATA_CACHE_PAGES
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.harness.adapters import FsdAdapter
+from repro.harness.batches import measure_makedo
+from repro.harness.report import Table
+from repro.harness.scenarios import FULL, SMALL
+from repro.obs.instrument import instrument
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCALE = SMALL if os.environ.get("BENCH_DATA_CACHE_SCALE") == "small" else FULL
+MAKEDO_MODULES = int(os.environ.get("BENCH_DATA_CACHE_MODULES", "30"))
+CACHE_PAGES = int(
+    os.environ.get("BENCH_DATA_CACHE_PAGES", str(DEFAULT_DATA_CACHE_PAGES))
+)
+OUT_PATH = Path(
+    os.environ.get(
+        "BENCH_DATA_CACHE_OUT", REPO_ROOT / "BENCH_data_cache.json"
+    )
+)
+BASELINE_PATH = os.environ.get("BENCH_DATA_CACHE_BASELINE")
+SEED_SCHED_PATH = REPO_ROOT / "BENCH_sched.json"
+
+#: the tentpole target: cache-on elapsed <= 70% of cache-off elapsed.
+TARGET_RATIO = 0.70
+#: the CI gate: cache-off elapsed within 2% of the committed baseline.
+REGRESSION_TOLERANCE = 0.02
+
+
+def makedo(data_cache_pages: int) -> dict:
+    """The MakeDo build on a fresh fifo-scheduled volume."""
+    disk = SimDisk(geometry=SCALE.geometry)
+    FSD.format(disk, SCALE.fsd_params)
+    kit = instrument(disk)
+    fs = FSD.mount(
+        disk, obs=kit.obs, sched="fifo", data_cache_pages=data_cache_pages
+    )
+    ios, elapsed = measure_makedo(
+        disk, FsdAdapter(fs), modules=MAKEDO_MODULES
+    )
+    fs.unmount()
+    st = disk.stats
+    dc = fs.data_cache
+    return {
+        "total_ios": st.total_ios,
+        "writes": st.writes,
+        "reads": st.reads,
+        "seek_ms": round(st.seek_ms, 3),
+        "rotational_ms": round(st.rotational_ms, 3),
+        "transfer_ms": round(st.transfer_ms, 3),
+        "elapsed_ms": round(disk.clock.now_ms, 3),
+        "makedo_ios": ios,
+        "makedo_ms": round(elapsed, 3),
+        "sched": {
+            "submitted": fs.io.sched_stats.submitted,
+            "dispatched": fs.io.sched_stats.dispatched,
+            "read_merged": fs.io.sched_stats.read_merged,
+        },
+        "cache": {
+            "capacity_pages": data_cache_pages,
+            "hits": dc.hits,
+            "misses": dc.misses,
+            "hit_ratio": round(dc.hit_ratio, 4),
+            "evictions": dc.evictions,
+            "readahead_issued": dc.readahead_issued,
+            "readahead_used": dc.readahead_used,
+            "readahead_accuracy": round(dc.readahead_accuracy, 4),
+        },
+    }
+
+
+def test_data_cache(once):
+    def run():
+        return {"off": makedo(0), "on": makedo(CACHE_PAGES)}
+
+    results = once(run)
+    off, on = results["off"], results["on"]
+
+    document = {
+        "benchmark": "data_cache",
+        "scale": SCALE.name,
+        "makedo_modules": MAKEDO_MODULES,
+        "cache_pages": CACHE_PAGES,
+        "target_ratio": TARGET_RATIO,
+        "workloads": {"makedo": results},
+    }
+    OUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    ratio = on["makedo_ms"] / off["makedo_ms"]
+    table = Table("Data-page cache + read-ahead (MakeDo, fifo)")
+    for label, m in (("cache off", off), ("cache on", on)):
+        table.add(
+            label,
+            f"{m['makedo_ios']} IOs, {m['makedo_ms']:.0f} ms",
+            f"reads {m['reads']}, rot {m['rotational_ms']:.0f} ms",
+            f"hit ratio {m['cache']['hit_ratio']:.0%}, "
+            f"RA used {m['cache']['readahead_used']}"
+            f"/{m['cache']['readahead_issued']}",
+        )
+    table.add(
+        "speedup",
+        f"target <= {TARGET_RATIO}",
+        f"elapsed ratio {ratio:.3f}",
+    )
+    table.print()
+    print(f"wrote {OUT_PATH}")
+
+    # -- the tentpole target: >= 30% elapsed-time reduction ------------
+    assert ratio <= TARGET_RATIO, (
+        f"cache-on makedo took {on['makedo_ms']} ms vs "
+        f"{off['makedo_ms']} ms off (ratio {ratio:.3f})"
+    )
+    # The win must come from fewer rotational waits, not accounting.
+    assert on["reads"] < off["reads"]
+    assert on["rotational_ms"] < off["rotational_ms"]
+    assert on["cache"]["readahead_used"] > 0
+
+    # -- bit-compat: cache off must reproduce the seed numbers ---------
+    assert off["cache"]["hits"] == 0 and off["cache"]["misses"] == 0
+    if SEED_SCHED_PATH.exists():
+        seed = json.loads(SEED_SCHED_PATH.read_text())
+        if (
+            seed.get("scale") == SCALE.name
+            and seed.get("makedo_modules") == MAKEDO_MODULES
+        ):
+            expected = seed["workloads"]["makedo"]["fifo"]
+            for key in (
+                "total_ios", "writes", "reads", "seek_ms",
+                "rotational_ms", "transfer_ms", "elapsed_ms",
+                "makedo_ios", "makedo_ms",
+            ):
+                assert off[key] == expected[key], (
+                    f"cache-off {key} drifted from the seed: "
+                    f"{off[key]} != {expected[key]}"
+                )
+
+    # -- CI gate: cache-off elapsed within 2% of committed baseline ----
+    if BASELINE_PATH:
+        baseline = json.loads(Path(BASELINE_PATH).read_text())
+        base_off = baseline["workloads"]["makedo"]["off"]
+        limit = base_off["elapsed_ms"] * (1 + REGRESSION_TOLERANCE)
+        assert off["elapsed_ms"] <= limit, (
+            f"cache-off elapsed {off['elapsed_ms']} ms regressed more "
+            f"than {REGRESSION_TOLERANCE:.0%} over the baseline "
+            f"{base_off['elapsed_ms']} ms"
+        )

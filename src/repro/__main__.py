@@ -26,6 +26,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.core.data_cache import DEFAULT_READAHEAD_PAGES
 from repro.core.fsd import FSD
 from repro.core.layout import VolumeParams
 from repro.core.verify import verify_volume
@@ -40,9 +41,14 @@ SMALL_PARAMS = VolumeParams(
 )
 
 
-def _mount(path: str, sched: str = "fifo") -> tuple[SimDisk, FSD]:
+def _mount(path: str, args=None) -> tuple[SimDisk, FSD]:
     disk = load_disk(path)
-    fs = FSD.mount(disk, sched=sched)
+    fs = FSD.mount(
+        disk,
+        sched=getattr(args, "sched", "fifo"),
+        data_cache_pages=getattr(args, "data_cache_pages", 0),
+        readahead_pages=getattr(args, "readahead", DEFAULT_READAHEAD_PAGES),
+    )
     report = fs.mount_report
     if report.log_records_replayed or report.vam_rebuild_entries:
         print(
@@ -83,7 +89,7 @@ def cmd_mkfs(args) -> int:
 
 def cmd_put(args) -> int:
     data = Path(args.local).read_bytes()
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     handle = fs.create(args.name, data)
     print(
         f"wrote {args.name}!{handle.version} "
@@ -94,7 +100,7 @@ def cmd_put(args) -> int:
 
 
 def cmd_get(args) -> int:
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     handle = fs.open(args.name)
     data = fs.read(handle)
     if args.local:
@@ -107,7 +113,7 @@ def cmd_get(args) -> int:
 
 
 def cmd_ls(args) -> int:
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     entries = fs.list(args.prefix or "")
     for props in entries:
         print(
@@ -120,7 +126,7 @@ def cmd_ls(args) -> int:
 
 
 def cmd_rm(args) -> int:
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     props = fs.delete(args.name)
     print(f"deleted {props.name}!{props.version}")
     _finish(disk, fs, args.image)
@@ -128,7 +134,7 @@ def cmd_rm(args) -> int:
 
 
 def cmd_info(args) -> int:
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     geo = disk.geometry
     print(f"geometry : {geo.cylinders} cyl x {geo.heads} heads x "
           f"{geo.sectors_per_track} sectors ({geo.total_bytes // 2**20} MB)")
@@ -145,7 +151,7 @@ def cmd_info(args) -> int:
 
 
 def cmd_verify(args) -> int:
-    disk, fs = _mount(args.image, sched=args.sched)
+    disk, fs = _mount(args.image, args)
     report = verify_volume(fs)
     print(
         f"checked {report.files_checked} files, "
@@ -220,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--sched", choices=["fifo", "scan", "deadline"],
             default="fifo",
             help="I/O scheduler policy for the mount (default: fifo)",
+        )
+        p.add_argument(
+            "--data-cache-pages", type=int, default=0, metavar="N",
+            help="data-page cache capacity in sectors (0 disables; "
+                 "default: 0)",
+        )
+        p.add_argument(
+            "--readahead", type=int, default=DEFAULT_READAHEAD_PAGES,
+            metavar="N",
+            help="sequential read-ahead window in pages (default: "
+                 f"{DEFAULT_READAHEAD_PAGES})",
         )
 
     p = sub.add_parser("mkfs", help="format a new volume image")

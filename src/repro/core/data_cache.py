@@ -1,0 +1,233 @@
+"""The data-page buffer cache with sequential read-ahead.
+
+The paper's evaluation assumes clients work from *cached* files —
+"cached remote files" are one of FSD's three entry kinds — and the
+4.2 BSD baseline it compares against owes much of its read throughput
+to the kernel buffer cache and block clustering.  The FSD read path,
+by contrast, issued one disk request per run extent with no caching at
+all, which made reads the slowest path in every benchmark.  This
+module closes that gap for *data* pages; metadata pages stay in
+:class:`~repro.core.cache.MetadataCache`, whose logging obligations
+this cache deliberately does not share.
+
+Design rules:
+
+* **Write-through, never write-behind.**  Data pages are not logged
+  (paper §5.3: files are written once; logging them would double data
+  writes), so the platter copy is the only durable copy.  A write
+  populates the cache *and* reaches the disk exactly as it did before
+  the cache existed — crash semantics are unchanged, and cache-off
+  runs are bit-identical to cache-on runs on the write side.
+* **Strict invalidation.**  Truncate and delete free sectors that the
+  allocator may hand to a different file (or to a new leader page,
+  which is written through a path this cache never sees); their cached
+  images are dropped immediately.  Rename drops the file's pages too —
+  cheaper to be strict than to prove each exception safe.  A crash or
+  unmount discards everything: the cache is volatile state, exactly
+  like the scheduler queue.
+* **Sequential read-ahead.**  When two consecutive extents of a file
+  are read in order (tracked per file uid), the miss read is extended
+  to prefetch the remainder of the file's current disk run, capped by
+  ``readahead_pages``.  The demand read and the prefetch are submitted
+  as adjacent requests and merged by the I/O scheduler
+  (:meth:`~repro.disk.sched.IoScheduler.merge_reads`) into a single
+  multi-sector transfer — one rotational wait instead of one per page.
+
+A capacity of zero disables the cache: every lookup misses, nothing is
+stored, and the FSD read path takes its original extent-by-extent
+route, keeping op counts and simulated times bit-identical to the
+pre-cache tree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.obs import NULL_OBS
+
+#: default capacity when the cache is enabled without an explicit size
+#: (256 sectors = 128 KB at the Trident's 512-byte sectors — small
+#: beside the Dorado's real memory, large beside one file's run).
+DEFAULT_DATA_CACHE_PAGES = 256
+
+#: default read-ahead window, in pages (sectors).  Two windows fit one
+#: ``VolumeParams.max_io_sectors`` transfer with room for the demand
+#: read that triggers them.
+DEFAULT_READAHEAD_PAGES = 16
+
+#: sequential-detection states tracked at once; beyond this the oldest
+#: file's state is forgotten (it only costs a missed prefetch).
+_MAX_SEQ_STREAMS = 64
+
+
+class DataPageCache:
+    """LRU cache of data sectors keyed by disk address.
+
+    ``capacity_pages == 0`` disables the cache entirely (the
+    bit-compatibility mode).  All counters are mirrored to ``obs``
+    under ``cache.data.*``; the hit-ratio and read-ahead-accuracy
+    gauges are updated as the counters move so ``repro stats`` can
+    report them without post-processing.
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int = 0,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        sector_bytes: int = 512,
+        obs=NULL_OBS,
+    ):
+        if capacity_pages < 0:
+            raise ValueError("negative data-cache capacity")
+        if readahead_pages < 0:
+            raise ValueError("negative read-ahead window")
+        self.capacity = capacity_pages
+        self.readahead_pages = readahead_pages
+        self.sector_bytes = sector_bytes
+        self.obs = obs
+        self._pages: OrderedDict[int, bytes] = OrderedDict()
+        #: addresses prefetched by read-ahead and not yet demanded.
+        self._prefetched: set[int] = set()
+        #: per-file sequential detector: uid -> next expected page.
+        self._seq: OrderedDict[int, int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.readahead_issued = 0
+        self.readahead_used = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # lookups and population
+    # ------------------------------------------------------------------
+    def lookup(self, address: int) -> bytes | None:
+        """A demand lookup: counts a hit or miss, tracks read-ahead
+        accuracy, and refreshes LRU position on a hit."""
+        if not self.enabled:
+            return None
+        data = self._pages.get(address)
+        if data is None:
+            self.misses += 1
+            self.obs.count("cache.data.misses")
+        else:
+            self.hits += 1
+            self.obs.count("cache.data.hits")
+            self._pages.move_to_end(address)
+            if address in self._prefetched:
+                self._prefetched.discard(address)
+                self.readahead_used += 1
+                self.obs.count("cache.data.readahead_used")
+                self._update_accuracy()
+        self._update_ratio()
+        return data
+
+    def contains(self, address: int) -> bool:
+        """Presence probe for read-ahead planning (no hit/miss count,
+        no LRU effect)."""
+        return address in self._pages
+
+    def put(self, address: int, data: bytes, prefetched: bool = False) -> None:
+        """Insert one sector image (padded to the sector size, exactly
+        as it lies on the platter)."""
+        if not self.enabled:
+            return
+        if len(data) < self.sector_bytes:
+            data = data + b"\x00" * (self.sector_bytes - len(data))
+        self._pages[address] = bytes(data)
+        self._pages.move_to_end(address)
+        if prefetched:
+            self._prefetched.add(address)
+            self.readahead_issued += 1
+            self.obs.count("cache.data.readahead_issued")
+            self._update_accuracy()
+        else:
+            self._prefetched.discard(address)
+        while len(self._pages) > self.capacity:
+            victim, _ = self._pages.popitem(last=False)
+            self._prefetched.discard(victim)
+            self.evictions += 1
+            self.obs.count("cache.data.evictions")
+
+    # ------------------------------------------------------------------
+    # sequential detection
+    # ------------------------------------------------------------------
+    def note_read(self, uid: int, first_page: int, page_count: int) -> bool:
+        """Record one read of file ``uid`` covering logical pages
+        ``[first_page, first_page + page_count)``; returns True when it
+        directly continues the previous read (the read-ahead trigger:
+        two consecutive extents of the file read in order)."""
+        if not self.enabled:
+            return False
+        sequential = self._seq.get(uid) == first_page and first_page > 0
+        self._seq[uid] = first_page + page_count
+        self._seq.move_to_end(uid)
+        while len(self._seq) > _MAX_SEQ_STREAMS:
+            self._seq.popitem(last=False)
+        return sequential
+
+    def forget_file(self, uid: int) -> None:
+        """Drop the sequential-detection state of one file."""
+        self._seq.pop(uid, None)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, address: int, count: int = 1) -> int:
+        """Drop ``count`` sectors starting at ``address``; returns how
+        many were actually cached."""
+        dropped = 0
+        for victim in range(address, address + count):
+            if self._pages.pop(victim, None) is not None:
+                dropped += 1
+            self._prefetched.discard(victim)
+        if dropped:
+            self.invalidations += dropped
+            self.obs.count("cache.data.invalidations", dropped)
+        return dropped
+
+    def invalidate_runs(self, runs) -> int:
+        """Drop every sector of the given runs (truncate/delete/rename
+        free or re-home these sectors; stale images must not survive)."""
+        run_list = getattr(runs, "runs", runs)
+        dropped = 0
+        for run in run_list:
+            dropped += self.invalidate(run.start, run.count)
+        return dropped
+
+    def discard_all(self) -> None:
+        """A crash (or unmount): volatile state vanishes, exactly like
+        the scheduler queue and the metadata cache."""
+        self._pages.clear()
+        self._prefetched.clear()
+        self._seq.clear()
+
+    # ------------------------------------------------------------------
+    # derived gauges
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def readahead_accuracy(self) -> float:
+        return (
+            self.readahead_used / self.readahead_issued
+            if self.readahead_issued
+            else 0.0
+        )
+
+    def _update_ratio(self) -> None:
+        self.obs.gauge("cache.data.hit_ratio", round(self.hit_ratio, 4))
+
+    def _update_accuracy(self) -> None:
+        self.obs.gauge(
+            "cache.data.readahead_accuracy", round(self.readahead_accuracy, 4)
+        )

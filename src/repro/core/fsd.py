@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocator import RunAllocator
 from repro.core.cache import MetadataCache
+from repro.core.data_cache import DEFAULT_READAHEAD_PAGES, DataPageCache
 from repro.core.group_commit import CommitCoordinator
 from repro.core.layout import RootPage, VolumeLayout, VolumeParams
 from repro.core.leader import encode_leader, verify_leader
@@ -109,6 +110,7 @@ class FSD:
         obs=NULL_OBS,
         io: IoScheduler | None = None,
         nt_home: NameTableHome | None = None,
+        data_cache: DataPageCache | None = None,
     ):
         self.disk = disk
         self.io = io if io is not None else as_scheduler(disk)
@@ -133,6 +135,11 @@ class FSD:
             obs=obs,
         )
         self.mount_report = mount_report
+        self.data_cache = (
+            data_cache
+            if data_cache is not None
+            else DataPageCache(sector_bytes=disk.geometry.sector_bytes)
+        )
         self.ops = FsdOpCounts()
         self._uid_sequence = 0
         self._mounted = True
@@ -151,6 +158,7 @@ class FSD:
         self.io.obs = obs
         self.wal.obs = obs
         self.cache.obs = obs
+        self.data_cache.obs = obs
         self.vam.obs = obs
         self.coordinator.obs = obs
         self.name_table.tree.pager.obs = obs
@@ -209,6 +217,8 @@ class FSD:
         params: VolumeParams | None = None,
         obs=None,
         sched: str = "fifo",
+        data_cache_pages: int = 0,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> "FSD":
         """Mount (and, if needed, recover) the FSD volume on ``disk``.
 
@@ -217,9 +227,12 @@ class FSD:
         ``obs`` attaches an :class:`~repro.obs.Observer` across every
         layer; recovery phases (log scan, redo, VAM load/rebuild) emit
         nested spans under ``fsd.mount``.  ``sched`` selects the I/O
-        scheduler policy (``fifo``/``scan``/``deadline``); it is a
-        mount-time choice, not a volume parameter, so the same volume
-        can be remounted under a different policy.
+        scheduler policy (``fifo``/``scan``/``deadline``); like the
+        data-cache knobs it is a mount-time choice, not a volume
+        parameter, so the same volume can be remounted differently.
+        ``data_cache_pages`` sizes the data-page buffer cache (0, the
+        default, disables it — the bit-compatibility mode);
+        ``readahead_pages`` caps the sequential prefetch window.
         """
         obs = obs if obs is not None else NULL_OBS
         obs.bind_clock(disk.clock)
@@ -308,6 +321,12 @@ class FSD:
             obs=obs,
             io=io,
             nt_home=home,
+            data_cache=DataPageCache(
+                capacity_pages=data_cache_pages,
+                readahead_pages=readahead_pages,
+                sector_bytes=disk.geometry.sector_bytes,
+                obs=obs,
+            ),
         )
         if report.log_records_lost:
             # Committed records sit beyond a damage hole the scan could
@@ -343,6 +362,7 @@ class FSD:
         )
         write_root(self.io, self.layout, self.root)
         self.coordinator.shutdown()
+        self.data_cache.discard_all()
         self._mounted = False
 
     def crash(self) -> None:
@@ -350,6 +370,7 @@ class FSD:
         whatever it had.  Mount again to recover."""
         self.io.discard()
         self.cache.discard_all()
+        self.data_cache.discard_all()
         self.coordinator.shutdown()
         self._mounted = False
 
@@ -450,17 +471,20 @@ class FSD:
             first_page = offset // sector_bytes
             last_page = (offset + length - 1) // sector_bytes
             page_count = last_page - first_page + 1
-            extents = handle.runs.extents_for(first_page, page_count)
-            chunks: list[bytes] = []
-            first = True
-            for extent in extents:
-                piggyback = (
-                    extent
-                    if first and first_page == 0 and not handle.leader_verified
-                    else None
-                )
-                chunks.extend(self._read_extent(handle, extent, piggyback))
-                first = False
+            if self.data_cache.enabled:
+                chunks = self._read_pages_cached(handle, first_page, page_count)
+            else:
+                extents = handle.runs.extents_for(first_page, page_count)
+                chunks = []
+                first = True
+                for extent in extents:
+                    piggyback = (
+                        extent
+                        if first and first_page == 0 and not handle.leader_verified
+                        else None
+                    )
+                    chunks.extend(self._read_extent(handle, extent, piggyback))
+                    first = False
             if not handle.leader_verified:
                 self._verify_leader_if_needed(handle, piggyback_extent=None)
             blob = b"".join(chunks)
@@ -506,6 +530,8 @@ class FSD:
             self.obs.count("fsd.renames")
             self.coordinator.note_update()
             props, runs = self._lookup(old_name, version)
+            self.data_cache.invalidate_runs(runs)
+            self.data_cache.forget_file(props.uid)
             self.name_table.delete(props.name, props.version)
             new_version = (self.name_table.highest_version(new_name) or 0) + 1
             new_props = props.with_updates(name=new_name, version=new_version)
@@ -529,6 +555,8 @@ class FSD:
             sector_bytes = self.disk.geometry.sector_bytes
             keep_sectors = -(-new_byte_size // sector_bytes)
             freed = handle.runs.truncate_sectors(keep_sectors)
+            self.data_cache.invalidate_runs(freed)
+            self.data_cache.forget_file(handle.props.uid)
             self.allocator.free(freed, deferred=True)
             handle.props = handle.props.with_updates(byte_size=new_byte_size)
             self.name_table.update(handle.props, handle.runs)
@@ -614,6 +642,9 @@ class FSD:
         self.allocator.free([Run(props.leader_addr, 1)], deferred=True)
         self.allocator.free(runs, deferred=True)
         self.cache.drop_leader(props.leader_addr)
+        self.data_cache.invalidate_runs(runs)
+        self.data_cache.invalidate(props.leader_addr)
+        self.data_cache.forget_file(props.uid)
         return props
 
     def _trim_versions(self, name: str, keep: int) -> None:
@@ -710,7 +741,12 @@ class FSD:
         if page * sector_bytes >= old_size:
             return b"\x00" * sector_bytes
         address = handle.runs.sector_of_page(page)
-        return self._ladder_read(address, 1)[0]
+        cached = self.data_cache.lookup(address)
+        if cached is not None:
+            return cached
+        data = self._ladder_read(address, 1)[0]
+        self.data_cache.put(address, data)
+        return data
 
     def _write_extent(
         self,
@@ -736,11 +772,146 @@ class FSD:
                     leader_addr, [pending, *chunk], cpu_overlap=True
                 )
                 self.cache.note_leader_home(leader_addr)
+                self._populate_cache(start, chunk)
                 cursor = len(chunk)
         while cursor < len(sectors):
             chunk = sectors[cursor : cursor + max_io]
             self.io.write(start + cursor, chunk, cpu_overlap=True)
+            self._populate_cache(start + cursor, chunk)
             cursor += len(chunk)
+
+    def _populate_cache(self, address: int, sectors: list[bytes]) -> None:
+        """Write-through population: the platter copy just written is
+        also the freshest cacheable image."""
+        if self.data_cache.enabled:
+            for offset, sector in enumerate(sectors):
+                self.data_cache.put(address + offset, sector)
+
+    def _read_pages_cached(
+        self, handle: FsdFile, first_page: int, page_count: int
+    ) -> list[bytes]:
+        """The cached read path: serve hits from the data cache, then
+        batch the misses — plus any sequential read-ahead — into
+        scheduler-merged transfers (one rotational wait per contiguous
+        span instead of one per extent)."""
+        dc = self.data_cache
+        addresses: list[int] = []
+        for extent in handle.runs.extents_for(first_page, page_count):
+            addresses.extend(range(extent.start, extent.end))
+        position_of = {
+            address: position for position, address in enumerate(addresses)
+        }
+        out: dict[int, bytes] = {}
+        requests: list[list[int]] = []
+        for position, address in enumerate(addresses):
+            data = dc.lookup(address)
+            if data is not None:
+                out[position] = data
+            elif requests and requests[-1][0] + requests[-1][1] == address:
+                requests[-1][1] += 1
+            else:
+                requests.append([address, 1])
+
+        ra: tuple[int, int] | None = None
+        if dc.note_read(handle.props.uid, first_page, page_count):
+            ra = self._plan_readahead(handle, first_page + page_count)
+        if ra is not None:
+            requests.append(list(ra))
+        ra_addresses = (
+            set(range(ra[0], ra[0] + ra[1])) if ra is not None else set()
+        )
+
+        # Paper §5.7: piggyback the leader check onto the first data
+        # transfer when the data run directly follows an unverified,
+        # uncached leader (the cached-mode twin of _read_extent's).
+        leader_addr = handle.props.leader_addr
+        if (
+            not handle.leader_verified
+            and first_page == 0
+            and requests
+            and requests[0][0] == leader_addr + 1
+            and self.cache.leader_pending_piggyback(leader_addr) is None
+        ):
+            requests[0] = [leader_addr, requests[0][1] + 1]
+
+        segments = self.io.merge_reads(
+            [(address, count) for address, count in requests],
+            limit=self.params.max_io_sectors,
+        )
+        for address, count in segments:
+            try:
+                sectors = self._ladder_read(address, count, cpu_overlap=True)
+            except DamagedSectorError:
+                # Read-ahead must never turn a good read into a
+                # failure: drop the prefetch and retry only the spans
+                # the client demanded (those raise honestly).
+                self.obs.count("cache.data.readahead_aborted")
+                for sub_address, sub_count in _spans(
+                    a for a in range(address, address + count)
+                    if a not in ra_addresses
+                ):
+                    self._consume_read(
+                        handle,
+                        sub_address,
+                        self._ladder_read(
+                            sub_address, sub_count, cpu_overlap=True
+                        ),
+                        position_of,
+                        out,
+                        ra_addresses,
+                    )
+                continue
+            self._consume_read(
+                handle, address, sectors, position_of, out, ra_addresses
+            )
+        return [out[position] for position in range(len(addresses))]
+
+    def _consume_read(
+        self,
+        handle: FsdFile,
+        start: int,
+        sectors: list[bytes],
+        position_of: dict[int, int],
+        out: dict[int, bytes],
+        ra_addresses: set[int],
+    ) -> None:
+        """File one transfer's sectors into the cache and the result."""
+        for offset, data in enumerate(sectors):
+            address = start + offset
+            if address == handle.props.leader_addr:
+                self._check_leader_bytes(handle, data)
+                self.ops.leader_piggyback_reads += 1
+                continue
+            position = position_of.get(address)
+            self.data_cache.put(
+                address, data, prefetched=position is None and address in ra_addresses
+            )
+            if position is not None:
+                out[position] = data
+
+    def _plan_readahead(
+        self, handle: FsdFile, next_page: int
+    ) -> tuple[int, int] | None:
+        """The prefetch plan once a file reads sequentially: the
+        remainder of the current disk run after ``next_page - 1``,
+        capped by ``readahead_pages``, stopping at end-of-file or at
+        the first sector already cached."""
+        dc = self.data_cache
+        sector_bytes = self.disk.geometry.sector_bytes
+        file_pages = -(-handle.props.byte_size // sector_bytes)
+        if dc.readahead_pages <= 0 or not (0 < next_page < file_pages):
+            return None
+        prev_addr = handle.runs.sector_of_page(next_page - 1)
+        run = next(r for r in handle.runs.runs if prev_addr in r)
+        limit = min(
+            dc.readahead_pages,
+            file_pages - next_page,
+            run.end - prev_addr - 1,
+        )
+        count = 0
+        while count < limit and not dc.contains(prev_addr + 1 + count):
+            count += 1
+        return (prev_addr + 1, count) if count else None
 
     def _read_extent(
         self, handle: FsdFile, extent: Run, piggyback: Run | None
@@ -834,6 +1005,17 @@ class FSD:
             "home_writes": self.cache.home_writes,
             "forces": self.coordinator.forces,
         }
+
+
+def _spans(addresses) -> list[tuple[int, int]]:
+    """Group ascending addresses into contiguous (start, count) spans."""
+    out: list[list[int]] = []
+    for address in addresses:
+        if out and out[-1][0] + out[-1][1] == address:
+            out[-1][1] += 1
+        else:
+            out.append([address, 1])
+    return [(start, count) for start, count in out]
 
 
 def _split_leader(table: RunTable) -> tuple[int, RunTable]:

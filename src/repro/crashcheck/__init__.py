@@ -13,8 +13,10 @@ into a systematic crash-consistency checker:
   weak-atomic model allows), synthesize the exact disk image a crash
   there would leave, remount, and run the oracles,
 * :mod:`repro.crashcheck.oracles` — the pluggable recovery oracles:
-  structural (offline verify in strict mode) and semantic (committed
-  operations fully present; uncommitted ones atomic-or-absent),
+  structural (offline verify in strict mode), cache-coherence (no
+  post-crash read observes pre-crash cached data) and semantic
+  (committed operations fully present; uncommitted ones
+  atomic-or-absent),
 * :mod:`repro.crashcheck.scenarios` — named workload scenarios built
   on the harness adapters so they run on any adapter-shaped volume,
 * :mod:`repro.crashcheck.cli` — the ``python -m repro crashcheck``
@@ -30,6 +32,7 @@ from repro.crashcheck.engine import (
     materialize,
 )
 from repro.crashcheck.oracles import (
+    CacheCoherenceOracle,
     Oracle,
     OracleContext,
     SemanticOracle,
@@ -51,6 +54,7 @@ from repro.crashcheck.workload import (
 )
 
 __all__ = [
+    "CacheCoherenceOracle",
     "CrashImage",
     "CrashScenario",
     "DiskRecorder",

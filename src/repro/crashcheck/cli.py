@@ -54,6 +54,15 @@ def add_subparser(sub) -> None:
         action="store_true",
         help="print recovery metrics aggregated across all mounts",
     )
+    p.add_argument(
+        "--data-cache-pages",
+        type=int,
+        default=0,
+        metavar="N",
+        help="enable an N-sector data-page cache in the recorded run "
+        "and every post-crash remount, so the cache-coherence oracle "
+        "exercises cached reads (default: 0, disabled)",
+    )
     p.set_defaults(fn=cmd_crashcheck)
 
 
@@ -108,7 +117,11 @@ def cmd_crashcheck(args) -> int:
     obs = instrument(metrics=args.metrics).obs
     started = time.monotonic()
     summary = explore(
-        scenario, max_points=args.max_points, progress=progress, obs=obs
+        scenario,
+        max_points=args.max_points,
+        progress=progress,
+        obs=obs,
+        data_cache_pages=args.data_cache_pages,
     )
     elapsed = time.monotonic() - started
 

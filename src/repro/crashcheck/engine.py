@@ -267,15 +267,18 @@ def check_image(
     oracles: Iterable[Oracle],
     point: CrashPoint,
     obs=NULL_OBS,
+    data_cache_pages: int = 0,
 ) -> list[Violation]:
     """Mount one crash image through real recovery and run the oracles.
 
     ``obs`` aggregates recovery metrics/spans across every mount in a
     sweep (``FSD.mount`` rebinds the observer's clock per image).
+    ``data_cache_pages`` sizes the remount's data-page cache so the
+    cache-coherence oracle can exercise post-crash cached reads.
     """
     disk = materialize(image)
     try:
-        fs = FSD.mount(disk, obs=obs)
+        fs = FSD.mount(disk, obs=obs, data_cache_pages=data_cache_pages)
     except Exception as error:
         return [
             Violation(point, "mount", f"recovery failed: {error!r}")
@@ -295,6 +298,7 @@ def explore(
     progress: Callable[[int, int], None] | None = None,
     recording: Recording | None = None,
     obs=NULL_OBS,
+    data_cache_pages: int = 0,
 ) -> SweepSummary:
     """Run the crash-point sweep for ``scenario``.
 
@@ -304,11 +308,14 @@ def explore(
     pre-made ``recording`` may be supplied to amortize the baseline
     run across sweeps.  ``obs`` receives the recovery metrics and
     spans of every mounted crash image (see ``crashcheck --metrics``).
+    ``data_cache_pages`` enables the data-page cache both in the
+    recorded baseline run and in every post-crash remount, so the
+    cache-coherence oracle checks real cached reads.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if recording is None:
-        recording = record_scenario(scenario)
+        recording = record_scenario(scenario, data_cache_pages=data_cache_pages)
     if oracles is None:
         oracles = default_oracles()
 
@@ -357,7 +364,10 @@ def explore(
                 seen.add(key)
                 ctx = OracleContext.at(recording, boundary, point.label)
                 summary.violations.extend(
-                    check_image(image, ctx, oracles, point, obs=obs)
+                    check_image(
+                        image, ctx, oracles, point, obs=obs,
+                        data_cache_pages=data_cache_pages,
+                    )
                 )
                 summary.checked += 1
             done += 1

@@ -201,6 +201,57 @@ class SemanticOracle:
         return problems
 
 
+# ----------------------------------------------------------------------
+# cache-coherence oracle
+# ----------------------------------------------------------------------
+class CacheCoherenceOracle:
+    """A post-crash read must never observe cached pre-crash data.
+
+    The data-page cache is volatile, so a recovered mount must start
+    cold — any page already cached when the oracles run would be a leak
+    of pre-crash state across the crash boundary.  When the remount
+    enables the cache, the oracle also reads every surviving file twice
+    and requires the warm (cache-served) pass to be byte-identical to
+    the cold pass straight off the platter.
+
+    Runs before :class:`SemanticOracle` (whose reads warm the cache);
+    the structural sweep only touches leaders via ``fs.io``, so the
+    cache is still exactly as ``FSD.mount`` left it here.
+    """
+
+    name = "cache-coherence"
+
+    def check(self, fs: FSD, ctx: OracleContext) -> list[str]:
+        """Flag a warm cache at mount; cross-check cold vs warm reads."""
+        problems: list[str] = []
+        if len(fs.data_cache):
+            problems.append(
+                f"data cache holds {len(fs.data_cache)} page(s) at mount "
+                "— pre-crash cached data survived the crash"
+            )
+        if not fs.data_cache.enabled:
+            return problems
+        for props in fs.list():
+            try:
+                handle = fs.open(props.name)
+                cold = fs.read(handle)
+                warm = fs.read(handle)
+            except Exception:
+                continue  # the semantic oracle reports unreadable files
+            if cold != warm:
+                problems.append(
+                    f"cached re-read of {props.name!r} diverges from the "
+                    f"platter copy after recovery ({len(cold)} vs "
+                    f"{len(warm)} bytes or content mismatch)"
+                )
+        return problems
+
+
 def default_oracles(strict_vam: bool = True) -> list[Oracle]:
-    """The standard oracle stack: structural first, then semantic."""
-    return [StructuralOracle(strict_vam=strict_vam), SemanticOracle()]
+    """The standard oracle stack: structural first, then the cache
+    check (while the cache is still untouched), then semantic."""
+    return [
+        StructuralOracle(strict_vam=strict_vam),
+        CacheCoherenceOracle(),
+        SemanticOracle(),
+    ]

@@ -238,10 +238,12 @@ class Recording:
 # ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
-def _build_volume(scenario: "CrashScenario") -> tuple[SimDisk, FSD, FsdAdapter]:
+def _build_volume(
+    scenario: "CrashScenario", data_cache_pages: int = 0
+) -> tuple[SimDisk, FSD, FsdAdapter]:
     disk = SimDisk(geometry=scenario.scale.geometry)
     FSD.format(disk, scenario.scale.fsd_params)
-    fs = FSD.mount(disk)
+    fs = FSD.mount(disk, data_cache_pages=data_cache_pages)
     return disk, fs, FsdAdapter(fs)
 
 
@@ -255,9 +257,11 @@ def apply_op(adapter, op: Op) -> None:
         adapter.settle()
 
 
-def record_scenario(scenario: "CrashScenario") -> Recording:
+def record_scenario(
+    scenario: "CrashScenario", data_cache_pages: int = 0
+) -> Recording:
     """Run ``scenario`` once, uncrashed, and record its body."""
-    disk, fs, adapter = _build_volume(scenario)
+    disk, fs, adapter = _build_volume(scenario, data_cache_pages)
     for op in scenario.setup:
         apply_op(adapter, op)
     adapter.settle()
@@ -295,12 +299,13 @@ def run_with_armed_crash(
     after_ios: int,
     surviving_sectors: int | None = None,
     damage_tail: int = 1,
+    data_cache_pages: int = 0,
 ) -> SimDisk:
     """Live replay: re-run the scenario with a real armed crash at body
     I/O ``after_ios``; returns the crashed disk.  Used to cross-check
     that synthesized crash images match what the fault injector
     actually leaves behind."""
-    disk, fs, adapter = _build_volume(scenario)
+    disk, fs, adapter = _build_volume(scenario, data_cache_pages)
     for op in scenario.setup:
         apply_op(adapter, op)
     adapter.settle()

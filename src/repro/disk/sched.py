@@ -23,6 +23,15 @@ requests: queued writes whose sector ranges abut are merged into one
 disk operation (one I/O, one rotational wait), up to
 ``coalesce_limit`` sectors.
 
+Reads merge too, on a different path: reads are synchronous, so there
+is no read queue to reorder — instead :meth:`IoScheduler.merge_reads`
+takes the *batch* of read requests a caller is about to issue (the
+FSD data path's demand misses plus its read-ahead prefetch) and plans
+the minimal sequence of physical transfers: address-adjacent requests
+fuse into one multi-sector read, and oversized spans split at the
+caller's transfer limit.  Every fused request is one rotational wait
+saved, mirrored in ``sched.coalesced_reads``.
+
 Ordering rules keep the redo log honest:
 
 * a **synchronous write** (:meth:`IoScheduler.write`) is a barrier: the
@@ -52,6 +61,9 @@ from repro.obs import NULL_OBS
 
 #: histogram bounds for dispatch batch sizes (requests per flush).
 DISPATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: histogram bounds for deadline lateness at dispatch (ms past due).
+LATENESS_BUCKETS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 
 #: default cap on a coalesced write, in sectors.  Two max-sized data
 #: transfers (``VolumeParams.max_io_sectors`` = 120) can merge; beyond
@@ -198,6 +210,14 @@ class SchedStats:
     flushes: int = 0
     read_flushes: int = 0
     max_queue_depth: int = 0
+    #: read requests fused into a preceding one by :meth:`merge_reads`.
+    read_merged: int = 0
+    #: deadline-carrying writes dispatched, and how many of those
+    #: dispatched after their deadline had already passed.
+    deadline_dispatches: int = 0
+    deadline_misses: int = 0
+    #: worst lateness (dispatch time minus deadline) seen, in ms.
+    max_lateness_ms: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +296,39 @@ class IoScheduler:
         """Label read through the queue."""
         self._flush_for_read(address, count)
         return self.disk.read_labels(address, count)
+
+    def merge_reads(
+        self, requests: list[tuple[int, int]], limit: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Plan physical transfers for a batch of read requests.
+
+        ``requests`` is ``(address, count)`` per intended read, in the
+        order the caller would issue them.  Address-adjacent requests
+        fuse into one transfer; anything longer than ``limit`` sectors
+        (default ``coalesce_limit``) splits.  Returns the planned
+        ``(address, count)`` transfers; the caller dispatches them via
+        :meth:`read` (which still flushes overlapping queued writes, so
+        merging never weakens read-after-write consistency).
+        """
+        limit = self.coalesce_limit if limit is None else limit
+        spans: list[list[int]] = []
+        for address, count in requests:
+            if count <= 0:
+                continue
+            if spans and spans[-1][0] + spans[-1][1] == address:
+                spans[-1][1] += count
+                self.sched_stats.read_merged += 1
+                self.obs.count("sched.coalesced_reads")
+            else:
+                spans.append([address, count])
+        out: list[tuple[int, int]] = []
+        for address, count in spans:
+            cursor = 0
+            while cursor < count:
+                take = min(limit, count - cursor)
+                out.append((address + cursor, take))
+                cursor += take
+        return out
 
     def write(self, address, sectors, expect_labels=None, set_labels=None,
               cpu_overlap=False):
@@ -397,6 +450,17 @@ class IoScheduler:
     def _dispatch(self, request: IoRequest) -> None:
         self.sched_stats.dispatched += request.merged
         self.obs.count("sched.dispatched", request.merged)
+        if request.deadline_ms is not None:
+            lateness = max(0.0, self.clock.now_ms - request.deadline_ms)
+            self.sched_stats.deadline_dispatches += 1
+            if lateness > 0.0:
+                self.sched_stats.deadline_misses += 1
+                if lateness > self.sched_stats.max_lateness_ms:
+                    self.sched_stats.max_lateness_ms = lateness
+            self.obs.observe(
+                "sched.deadline_lateness_ms", lateness,
+                bounds=LATENESS_BUCKETS,
+            )
         try:
             self.disk.write(
                 request.address,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.bsd.ffs import FFS
 from repro.bsd.layout import FfsParams
 from repro.cfs.cfs import CFS, CfsParams
+from repro.core.data_cache import DEFAULT_READAHEAD_PAGES
 from repro.core.fsd import FSD
 from repro.core.layout import VolumeParams
 from repro.disk.disk import SimDisk
@@ -76,17 +77,27 @@ FULL = Scale(
 # volume factories
 # ----------------------------------------------------------------------
 def fsd_volume(
-    scale: Scale = SMALL, sched: str = "fifo"
+    scale: Scale = SMALL,
+    sched: str = "fifo",
+    data_cache_pages: int = 0,
+    readahead_pages: int = DEFAULT_READAHEAD_PAGES,
 ) -> tuple[SimDisk, FSD, FsdAdapter]:
     """A freshly formatted, mounted FSD volume at ``scale``.
 
     ``sched`` selects the I/O scheduler policy for the mount
-    (``fifo``/``scan``/``deadline``); benchmarks use it to compare
-    dispatch orders on identical volumes.
+    (``fifo``/``scan``/``deadline``); ``data_cache_pages`` and
+    ``readahead_pages`` size the data-page cache (0 pages disables it,
+    the bit-compatible default).  Benchmarks use these to compare
+    dispatch orders and cache policies on identical volumes.
     """
     disk = SimDisk(geometry=scale.geometry)
     FSD.format(disk, scale.fsd_params)
-    fs = FSD.mount(disk, sched=sched)
+    fs = FSD.mount(
+        disk,
+        sched=sched,
+        data_cache_pages=data_cache_pages,
+        readahead_pages=readahead_pages,
+    )
     return disk, fs, FsdAdapter(fs)
 
 

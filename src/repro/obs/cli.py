@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.core.data_cache import DEFAULT_READAHEAD_PAGES
 from repro.core.fsd import FSD
 from repro.disk.image import load_disk, save_disk
 from repro.obs.export import metric_dicts, timeline, to_jsonl
@@ -30,7 +31,13 @@ def _run(args, trace_io: bool):
     ``(observer, tracer)``."""
     disk = load_disk(args.image)
     obs, tracer = instrument(disk, trace=trace_io)
-    fs = FSD.mount(disk, obs=obs, sched=args.sched)
+    fs = FSD.mount(
+        disk,
+        obs=obs,
+        sched=args.sched,
+        data_cache_pages=getattr(args, "data_cache_pages", 0),
+        readahead_pages=getattr(args, "readahead", DEFAULT_READAHEAD_PAGES),
+    )
     run_scripted_workload(fs, ops=args.ops)
     fs.unmount()
     if args.save:
@@ -69,6 +76,14 @@ def cmd_stats(args) -> int:
         return 0
     print(f"metrics after {args.ops} scripted ops on {args.image}:\n")
     _print_stats_table(snapshot)
+    cache = snapshot.layers().get("cache", {})
+    if "cache.data.hits" in cache or "cache.data.misses" in cache:
+        hit_ratio = cache.get("cache.data.hit_ratio", 0.0)
+        accuracy = cache.get("cache.data.readahead_accuracy", 0.0)
+        print(
+            f"data cache: hit ratio {hit_ratio:.1%}, "
+            f"read-ahead accuracy {accuracy:.1%}"
+        )
     return 0
 
 
@@ -122,6 +137,13 @@ def add_subparsers(sub) -> None:
     p.add_argument("--sched", choices=["fifo", "scan", "deadline"],
                    default="fifo",
                    help="I/O scheduler policy for the mount")
+    p.add_argument("--data-cache-pages", type=int, default=0, metavar="N",
+                   help="data-page cache capacity in sectors "
+                        "(0 disables; default: 0)")
+    p.add_argument("--readahead", type=int,
+                   default=DEFAULT_READAHEAD_PAGES, metavar="N",
+                   help="sequential read-ahead window in pages "
+                        f"(default: {DEFAULT_READAHEAD_PAGES})")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
@@ -140,4 +162,11 @@ def add_subparsers(sub) -> None:
     p.add_argument("--sched", choices=["fifo", "scan", "deadline"],
                    default="fifo",
                    help="I/O scheduler policy for the mount")
+    p.add_argument("--data-cache-pages", type=int, default=0, metavar="N",
+                   help="data-page cache capacity in sectors "
+                        "(0 disables; default: 0)")
+    p.add_argument("--readahead", type=int,
+                   default=DEFAULT_READAHEAD_PAGES, metavar="N",
+                   help="sequential read-ahead window in pages "
+                        f"(default: {DEFAULT_READAHEAD_PAGES})")
     p.set_defaults(fn=cmd_trace)

@@ -17,6 +17,12 @@ from repro.core.fsd import FSD
 _PAYLOAD = b"observability-workload-".ljust(1536, b".")
 
 
+def _paged_read(fs: FSD, handle) -> None:
+    """Read a file one 512-byte page at a time, front to back."""
+    for offset in range(0, handle.byte_size, 512):
+        fs.read(handle, offset, min(512, handle.byte_size - offset))
+
+
 def run_scripted_workload(fs: FSD, ops: int = 100) -> int:
     """Run ``ops`` deterministic operations against ``fs``.
 
@@ -39,8 +45,9 @@ def run_scripted_workload(fs: FSD, ops: int = 100) -> int:
         elif step == 1:
             fs.open(live[-1])
         elif step == 2:
-            handle = fs.open(live[-1])
-            fs.read(handle)
+            # Page-at-a-time read, the cached-client access pattern:
+            # sequential pages let the data cache's read-ahead fire.
+            _paged_read(fs, fs.open(live[-1]))
         elif step == 3:
             handle = fs.open(live[-1])
             fs.write(handle, handle.byte_size, _PAYLOAD[:512])
@@ -52,6 +59,10 @@ def run_scripted_workload(fs: FSD, ops: int = 100) -> int:
             serial += 1
             fs.rename(old, renamed)
             live.append(renamed)
+            # The rename invalidated the file's cached pages, so this
+            # re-read runs cold: sequential misses that trigger the
+            # data cache's read-ahead (a no-op when the cache is off).
+            _paged_read(fs, fs.open(renamed))
         else:
             fs.delete(live.pop(0))
         performed += 1

@@ -1,0 +1,242 @@
+"""The data-page buffer cache: unit behavior, FSD integration, and
+the strict-invalidation edges (truncate, delete/recreate, rename,
+crash replay, read-ahead racing a write)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.data_cache import DataPageCache
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.workloads.generators import payload
+from tests.conftest import TEST_FSD_PARAMS, TEST_GEOMETRY
+
+SECTOR = 512
+
+
+@pytest.fixture
+def cached_fsd(disk: SimDisk) -> FSD:
+    FSD.format(disk, TEST_FSD_PARAMS)
+    return FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+
+
+def paged_read(fs: FSD, handle, pages: int) -> bytes:
+    """Read ``pages`` sequential 512-byte pages, one call each (the
+    cached-client access pattern that triggers read-ahead)."""
+    out = b""
+    for page in range(pages):
+        length = min(SECTOR, handle.byte_size - page * SECTOR)
+        out += fs.read(handle, page * SECTOR, length)
+    return out
+
+
+# ----------------------------------------------------------------------
+# unit behavior
+# ----------------------------------------------------------------------
+class TestUnit:
+    def test_disabled_cache_is_inert(self):
+        dc = DataPageCache(capacity_pages=0)
+        assert not dc.enabled
+        dc.put(7, b"x" * SECTOR)
+        assert dc.lookup(7) is None
+        assert dc.hits == 0 and dc.misses == 0
+        assert not dc.note_read(1, 1, 1)
+
+    def test_lookup_counts_and_lru_eviction(self):
+        dc = DataPageCache(capacity_pages=2)
+        dc.put(1, b"a" * SECTOR)
+        dc.put(2, b"b" * SECTOR)
+        assert dc.lookup(1) == b"a" * SECTOR  # 1 is now most recent
+        dc.put(3, b"c" * SECTOR)              # evicts 2, not 1
+        assert dc.lookup(2) is None
+        assert dc.lookup(1) is not None
+        assert dc.evictions == 1
+        assert dc.hits == 2 and dc.misses == 1
+        assert dc.hit_ratio == pytest.approx(2 / 3)
+
+    def test_short_sector_padded(self):
+        dc = DataPageCache(capacity_pages=4, sector_bytes=SECTOR)
+        dc.put(9, b"tail")
+        assert dc.lookup(9) == b"tail" + b"\x00" * (SECTOR - 4)
+
+    def test_sequential_detection(self):
+        dc = DataPageCache(capacity_pages=4)
+        assert not dc.note_read(uid=5, first_page=0, page_count=2)
+        assert dc.note_read(uid=5, first_page=2, page_count=2)
+        assert not dc.note_read(uid=5, first_page=7, page_count=1)  # jump
+        assert dc.note_read(uid=5, first_page=8, page_count=1)
+        dc.forget_file(5)
+        assert not dc.note_read(uid=5, first_page=9, page_count=1)
+
+    def test_readahead_accuracy_tracking(self):
+        dc = DataPageCache(capacity_pages=8)
+        dc.put(1, b"x" * SECTOR, prefetched=True)
+        dc.put(2, b"y" * SECTOR, prefetched=True)
+        assert dc.readahead_issued == 2
+        assert dc.lookup(1) is not None
+        assert dc.readahead_used == 1
+        assert dc.readahead_accuracy == pytest.approx(0.5)
+        # a second demand hit on the same page counts once
+        assert dc.lookup(1) is not None
+        assert dc.readahead_used == 1
+
+    def test_invalidate_and_discard(self):
+        dc = DataPageCache(capacity_pages=8)
+        for address in range(4):
+            dc.put(address, bytes([address]) * SECTOR)
+        assert dc.invalidate(1, 2) == 2
+        assert dc.lookup(1) is None and dc.lookup(2) is None
+        assert dc.lookup(0) is not None
+        dc.discard_all()
+        assert len(dc) == 0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DataPageCache(capacity_pages=-1)
+        with pytest.raises(ValueError):
+            DataPageCache(capacity_pages=4, readahead_pages=-1)
+
+
+# ----------------------------------------------------------------------
+# FSD integration
+# ----------------------------------------------------------------------
+class TestFsdIntegration:
+    def test_cache_off_by_default(self, fsd):
+        assert not fsd.data_cache.enabled
+        fsd.create("d/f", payload(3_000, 1))
+        assert fsd.read(fsd.open("d/f")) == payload(3_000, 1)
+        assert fsd.data_cache.hits == 0 and fsd.data_cache.misses == 0
+
+    def test_cached_reads_match_platter(self, cached_fsd):
+        blob = payload(9_000, 7)
+        cached_fsd.create("d/f", blob)
+        handle = cached_fsd.open("d/f")
+        assert cached_fsd.read(handle) == blob           # warm (write-through)
+        assert cached_fsd.read(handle, 700, 1500) == blob[700:2200]
+        assert cached_fsd.read(handle, 0, 1) == blob[:1]
+
+    def test_cold_sequential_read_uses_readahead(self, disk):
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+        blob = payload(12 * SECTOR, 3)
+        fs.create("d/seq", blob)
+        fs.force()
+        fs.unmount()
+        fs = FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+        handle = fs.open("d/seq")
+        assert paged_read(fs, handle, 12) == blob
+        assert fs.data_cache.readahead_issued > 0
+        assert fs.data_cache.readahead_used == fs.data_cache.readahead_issued
+        assert fs.data_cache.hits >= fs.data_cache.readahead_used
+
+    def test_cached_content_identical_to_uncached_mount(self, disk):
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk, data_cache_pages=64)
+        blob = payload(20 * SECTOR + 37, 11)
+        fs.create("d/x", blob)
+        fs.unmount()
+        cold = FSD.mount(disk)                     # cache off
+        expected = cold.read(cold.open("d/x"))
+        cold.unmount()
+        warm = FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+        handle = warm.open("d/x")
+        assert paged_read(warm, handle, 21) == expected == blob
+        assert warm.read(handle) == expected       # fully cached pass
+
+    def test_write_through_population(self, cached_fsd):
+        blob = payload(4 * SECTOR, 5)
+        handle = cached_fsd.create("d/w", blob)
+        reads_before = cached_fsd.io.stats.reads
+        assert cached_fsd.read(handle) == blob
+        # every page was populated by the write; the read does no I/O
+        assert cached_fsd.io.stats.reads == reads_before
+
+
+# ----------------------------------------------------------------------
+# invalidation edges
+# ----------------------------------------------------------------------
+class TestInvalidation:
+    def test_truncate_then_read(self, cached_fsd):
+        blob = payload(8 * SECTOR, 2)
+        handle = cached_fsd.create("d/t", blob)
+        assert cached_fsd.read(handle) == blob
+        cached_fsd.truncate(handle, 3 * SECTOR)
+        freed = [
+            address
+            for run in handle.runs.runs
+            for address in range(run.start, run.end)
+        ]
+        assert cached_fsd.read(handle) == blob[: 3 * SECTOR]
+        # regrow with different bytes: no stale image may resurface
+        tail = payload(5 * SECTOR, 9)
+        cached_fsd.write(handle, 3 * SECTOR, tail)
+        assert (
+            cached_fsd.read(handle) == blob[: 3 * SECTOR] + tail
+        ), freed
+
+    def test_delete_invalidates_freed_sectors(self, cached_fsd):
+        blob = payload(6 * SECTOR, 4)
+        handle = cached_fsd.create("d/del", blob)
+        assert cached_fsd.read(handle) == blob
+        freed = [
+            address
+            for run in handle.runs.runs
+            for address in range(run.start, run.end)
+        ]
+        cached_fsd.delete("d/del")
+        for address in freed:
+            assert not cached_fsd.data_cache.contains(address)
+
+    def test_delete_then_recreate_same_name(self, cached_fsd):
+        old = payload(6 * SECTOR, 4)
+        new = payload(6 * SECTOR, 8)
+        cached_fsd.create("d/name", old)
+        assert cached_fsd.read(cached_fsd.open("d/name")) == old
+        cached_fsd.delete("d/name")
+        cached_fsd.force()          # freed sectors become allocatable
+        cached_fsd.create("d/name", new)
+        assert cached_fsd.read(cached_fsd.open("d/name")) == new
+
+    def test_rename_then_read(self, cached_fsd):
+        blob = payload(6 * SECTOR, 6)
+        handle = cached_fsd.create("d/old", blob)
+        assert cached_fsd.read(handle) == blob
+        cached_fsd.rename("d/old", "d/new")
+        assert cached_fsd.read(cached_fsd.open("d/new")) == blob
+
+    def test_read_after_crash_replay(self, disk):
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+        blob = payload(8 * SECTOR, 13)
+        fs.create("d/crash", blob)
+        fs.force()
+        assert fs.read(fs.open("d/crash")) == blob   # cache is warm
+        assert len(fs.data_cache) > 0
+        fs.crash()
+        assert len(fs.data_cache) == 0               # discarded at crash
+        recovered = FSD.mount(disk, data_cache_pages=64, readahead_pages=8)
+        assert len(recovered.data_cache) == 0        # mounts start cold
+        handle = recovered.open("d/crash")
+        assert paged_read(recovered, handle, 8) == blob
+
+    def test_readahead_racing_concurrent_write(self, disk):
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk, data_cache_pages=64, readahead_pages=16)
+        blob = payload(20 * SECTOR, 1)
+        fs.create("d/race", blob)
+        fs.force()
+        fs.unmount()
+        fs = FSD.mount(disk, data_cache_pages=64, readahead_pages=16)
+        handle = fs.open("d/race")
+        # two sequential page reads trigger read-ahead over the rest
+        assert fs.read(handle, 0, SECTOR) == blob[:SECTOR]
+        assert fs.read(handle, SECTOR, SECTOR) == blob[SECTOR : 2 * SECTOR]
+        assert fs.data_cache.readahead_issued > 0
+        # overwrite a page inside the prefetched range, then read it:
+        # the write-through copy must win over the prefetched image
+        fresh = payload(SECTOR, 99)
+        fs.write(handle, 5 * SECTOR, fresh)
+        assert fs.read(handle, 5 * SECTOR, SECTOR) == fresh
+        expected = blob[: 5 * SECTOR] + fresh + blob[6 * SECTOR :]
+        assert fs.read(handle) == expected

@@ -6,11 +6,13 @@ import pytest
 
 from repro.core.fsd import FSD
 from repro.crashcheck import (
+    CacheCoherenceOracle,
     Op,
     OracleContext,
     SemanticOracle,
     StructuralOracle,
     default_oracles,
+    explore,
 )
 from repro.crashcheck.oracles import ABSENT, model_apply, model_state
 from repro.crashcheck.workload import AppliedOp
@@ -163,10 +165,54 @@ class TestStructuralOracle:
         assert StructuralOracle(strict_vam=False).check(fsd, ctx_for([])) == []
 
 
+class TestCacheCoherenceOracle:
+    def make_cached_fs(self, disk):
+        from repro.crashcheck.scenarios import CRASH_SCALE
+
+        FSD.format(disk, CRASH_SCALE.fsd_params)
+        return FSD.mount(disk, data_cache_pages=32, readahead_pages=8)
+
+    @pytest.fixture
+    def crash_disk(self):
+        from repro.disk.disk import SimDisk
+        from repro.crashcheck.scenarios import CRASH_SCALE
+
+        return SimDisk(geometry=CRASH_SCALE.geometry)
+
+    def test_cold_mount_with_cache_passes(self, crash_disk):
+        fs = self.make_cached_fs(crash_disk)
+        fs.create("a", b"alpha" * 300)
+        fs.force()
+        fs.crash()
+        recovered = FSD.mount(crash_disk, data_cache_pages=32)
+        assert CacheCoherenceOracle().check(recovered, ctx_for([])) == []
+
+    def test_cache_off_mount_passes_trivially(self, fsd):
+        fsd.create("a", b"x")
+        assert CacheCoherenceOracle().check(fsd, ctx_for([])) == []
+
+    def test_flags_pages_surviving_into_the_checked_mount(self, crash_disk):
+        """A warm cache at oracle time means pre-crash pages crossed
+        the crash boundary — exactly the leak the oracle exists for."""
+        fs = self.make_cached_fs(crash_disk)
+        fs.create("a", b"alpha" * 300)
+        fs.read(fs.open("a"))
+        problems = CacheCoherenceOracle().check(fs, ctx_for([]))
+        assert any("survived the crash" in p for p in problems)
+
+    def test_sweep_with_cache_enabled_passes(self):
+        summary = explore(
+            "quickstart", max_points=16, data_cache_pages=64
+        )
+        assert summary.ok, [str(v) for v in summary.violations]
+        assert summary.checked > 0
+
+
 class TestDefaultOracles:
     def test_order_and_names(self):
         oracles = default_oracles()
         assert [oracle.name for oracle in oracles] == [
             "structural",
+            "cache-coherence",
             "semantic",
         ]

@@ -252,6 +252,100 @@ class TestCoalescing:
         assert io.sched_stats.coalesced == 0
 
 
+class TestReadMerging:
+    def test_adjacent_reads_fuse(self):
+        io = IoScheduler(SimDisk(geometry=GEO), policy="scan")
+        merged = io.merge_reads([(100, 2), (102, 1), (200, 1)])
+        assert merged == [(100, 3), (200, 1)]
+        assert io.sched_stats.read_merged == 1
+
+    def test_gap_keeps_transfers_apart(self):
+        io = IoScheduler(SimDisk(geometry=GEO), policy="scan")
+        assert io.merge_reads([(100, 1), (102, 1)]) == [(100, 1), (102, 1)]
+        assert io.sched_stats.read_merged == 0
+
+    def test_limit_splits_long_spans(self):
+        io = IoScheduler(SimDisk(geometry=GEO), policy="scan")
+        merged = io.merge_reads([(100, 2), (102, 2)], limit=3)
+        assert merged == [(100, 3), (103, 1)]
+
+    def test_empty_and_zero_counts_skipped(self):
+        io = IoScheduler(SimDisk(geometry=GEO), policy="scan")
+        assert io.merge_reads([]) == []
+        assert io.merge_reads([(100, 0), (100, 2)]) == [(100, 2)]
+
+    def test_obs_counter(self):
+        disk = SimDisk(geometry=GEO)
+        obs = Observer(disk.clock)
+        io = IoScheduler(disk, policy="scan", obs=obs)
+        io.merge_reads([(10, 1), (11, 1), (12, 1)])
+        assert obs.snapshot().counter("sched.coalesced_reads") == 2
+
+
+class TestDeadlineAging:
+    def test_expired_deadline_preempts_elevator_order(self):
+        """A request past its deadline must dispatch before elevator-
+        preferred traffic even when the elevator would visit it last."""
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="deadline")
+        order: list[int] = []
+        real_write = disk.write
+
+        def spy(address, sectors, **kwargs):
+            order.append(address)
+            return real_write(address, sectors, **kwargs)
+
+        disk.write = spy  # type: ignore[method-assign]
+        # Move the head high so the elevator prefers the writebacks.
+        disk.read(5000, 1)
+        io.submit_write(5200, [sector(1)])          # ahead of the head
+        io.submit_write(10, [sector(2)], deadline_ms=disk.clock.now_ms + 1.0)
+        io.submit_write(5400, [sector(3)])          # ahead of the head
+        disk.clock.advance_idle(50.0)               # the deadline expires
+        io.flush()
+        assert order[-3:] == [10, 5200, 5400]
+
+    def test_unexpired_deadline_rides_the_elevator(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="deadline")
+        order: list[int] = []
+        real_write = disk.write
+
+        def spy(address, sectors, **kwargs):
+            order.append(address)
+            return real_write(address, sectors, **kwargs)
+
+        disk.write = spy  # type: ignore[method-assign]
+        disk.read(5000, 1)
+        io.submit_write(5200, [sector(1)])
+        io.submit_write(10, [sector(2)], deadline_ms=disk.clock.now_ms + 1e9)
+        io.flush()
+        assert order[-2:] == [5200, 10]
+
+    def test_lateness_stats(self):
+        disk = SimDisk(geometry=GEO)
+        obs = Observer(disk.clock)
+        io = IoScheduler(disk, policy="deadline", obs=obs)
+        io.submit_write(100, [sector(1)], deadline_ms=disk.clock.now_ms + 5.0)
+        disk.clock.advance_idle(30.0)
+        io.flush()
+        assert io.sched_stats.deadline_dispatches == 1
+        assert io.sched_stats.deadline_misses == 1
+        assert io.sched_stats.max_lateness_ms >= 25.0
+        snap = obs.snapshot()
+        layers = snap.layers()["sched"]
+        assert "sched.deadline_lateness_ms" in layers
+
+    def test_on_time_dispatch_is_not_a_miss(self):
+        disk = SimDisk(geometry=GEO)
+        io = IoScheduler(disk, policy="deadline")
+        io.submit_write(100, [sector(1)], deadline_ms=disk.clock.now_ms + 1e9)
+        io.flush()
+        assert io.sched_stats.deadline_dispatches == 1
+        assert io.sched_stats.deadline_misses == 0
+        assert io.sched_stats.max_lateness_ms == 0.0
+
+
 class TestInstrumentation:
     def test_obs_counters_and_gauge(self):
         disk = SimDisk(geometry=GEO)

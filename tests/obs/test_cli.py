@@ -41,6 +41,43 @@ class TestStats:
         }
         assert len(layers) >= 5
 
+    def test_data_cache_summary_in_text_output(self, image, capsys):
+        capsys.readouterr()
+        assert main(
+            ["stats", image, "--ops", "40", "--data-cache-pages", "128"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache.data.hits" in out
+        assert "cache.data.hit_ratio" in out
+        assert "data cache: hit ratio" in out
+        assert "read-ahead accuracy" in out
+
+    def test_data_cache_metrics_in_json_output(self, image, capsys):
+        capsys.readouterr()
+        assert main(
+            [
+                "stats", image, "--json", "--ops", "40",
+                "--data-cache-pages", "128", "--readahead", "8",
+            ]
+        ) == 0
+        by_name = {
+            r["name"]: r for r in parse_jsonl(capsys.readouterr().out)
+        }
+        assert by_name["cache.data.hits"]["value"] > 0
+        assert by_name["cache.data.hit_ratio"]["type"] == "gauge"
+        assert 0.0 < by_name["cache.data.hit_ratio"]["value"] <= 1.0
+        assert by_name["cache.data.readahead_issued"]["value"] > 0
+        assert (
+            by_name["cache.data.readahead_accuracy"]["type"] == "gauge"
+        )
+
+    def test_cache_off_run_has_no_cache_summary(self, image, capsys):
+        capsys.readouterr()
+        assert main(["stats", image, "--ops", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "data cache: hit ratio" not in out
+        assert "cache.data.hits" not in out
+
     def test_probe_does_not_save_image(self, image, capsys):
         from pathlib import Path
 
