@@ -1,0 +1,182 @@
+"""Concurrency benchmark — latency percentiles and commit batching
+versus client count.
+
+The paper's group-commit claim (§5.4) is a *concurrency* claim: one
+log force absorbs the updates of every client that arrived during the
+window, so the per-client cost of durability falls as load rises.
+This benchmark drives the traffic engine at 1, 10, 100 and 1000
+simulated clients over the same total operation budget and records
+p50/p95/p99 operation latency, the commit batching factor, and the
+admission/commit wait counts, writing ``BENCH_concurrency.json`` to
+the repo root.
+
+Two gates ride along:
+
+* the single-client engine run must be bit-identical (simulated clock)
+  to the plain serial adapter loop — brackets cost nothing when
+  uncontended;
+* with a committed baseline (``BENCH_CONCURRENCY_BASELINE``), the
+  single-client mean and p50 latency may not regress more than 2%.
+
+Environment knobs (used by the CI bench-smoke job to run tiny):
+
+* ``BENCH_CONCURRENCY_OUT``      — output path,
+* ``BENCH_CONCURRENCY_SCALE``    — ``full`` (default) or ``small``,
+* ``BENCH_CONCURRENCY_OPS``      — total operation budget per row,
+* ``BENCH_CONCURRENCY_BASELINE`` — committed baseline JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.harness.report import Table
+from repro.harness.scenarios import FULL, SMALL
+from repro.workloads.traffic import TrafficConfig, TrafficEngine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCALE = (
+    SMALL if os.environ.get("BENCH_CONCURRENCY_SCALE") == "small" else FULL
+)
+OPS_TOTAL = int(os.environ.get("BENCH_CONCURRENCY_OPS", "2000"))
+OUT_PATH = Path(
+    os.environ.get(
+        "BENCH_CONCURRENCY_OUT", REPO_ROOT / "BENCH_concurrency.json"
+    )
+)
+BASELINE_PATH = os.environ.get("BENCH_CONCURRENCY_BASELINE")
+
+CLIENT_COUNTS = (1, 10, 100, 1000)
+SEED = 1987
+#: single-client latency may not regress past this vs the baseline.
+REGRESSION_TOLERANCE = 0.02
+
+
+def _config(clients: int) -> TrafficConfig:
+    return TrafficConfig(
+        clients=clients,
+        ops_per_client=max(1, OPS_TOTAL // clients),
+        seed=SEED,
+        arrival="poisson",
+        mean_think_ms=200.0,
+        hold_ms=1.0,
+        sync_fraction=0.1,
+        population=40,
+        shared_fraction=0.5,
+    )
+
+
+def _fresh_fs() -> FSD:
+    disk = SimDisk(geometry=SCALE.geometry)
+    FSD.format(disk, SCALE.fsd_params)
+    return FSD.mount(disk)
+
+
+def _row(clients: int) -> dict:
+    fs = _fresh_fs()
+    report = TrafficEngine(fs, _config(clients)).run()
+    fs.unmount()
+    return report.as_dict()
+
+
+def _serial_check() -> dict:
+    """Engine vs plain serial loop for one client, tiny budget."""
+    cfg = TrafficConfig(
+        clients=1,
+        ops_per_client=min(60, OPS_TOTAL),
+        seed=SEED,
+        hold_ms=0.0,
+        sync_fraction=0.0,
+        population=10,
+    )
+    fs_a = _fresh_fs()
+    engine_report = TrafficEngine(fs_a, cfg).run()
+    engine_clock = fs_a.clock.now_ms
+    fs_a.unmount()
+    fs_b = _fresh_fs()
+    TrafficEngine(fs_b, cfg).run_serial()
+    serial_clock = fs_b.clock.now_ms
+    fs_b.unmount()
+    return {
+        "engine_clock_ms": round(engine_clock, 6),
+        "serial_clock_ms": round(serial_clock, 6),
+        "identical": engine_clock == serial_clock,
+        "ops": engine_report.ops_completed,
+    }
+
+
+def test_concurrency(once):
+    def run():
+        return {
+            "rows": {str(n): _row(n) for n in CLIENT_COUNTS},
+            "serial_check": _serial_check(),
+        }
+
+    results = once(run)
+    rows = results["rows"]
+
+    document = {
+        "benchmark": "concurrency",
+        "scale": SCALE.name,
+        "ops_total": OPS_TOTAL,
+        "seed": SEED,
+        "client_counts": list(CLIENT_COUNTS),
+        "serial_check": results["serial_check"],
+        "rows": rows,
+    }
+    OUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+
+    table = Table("Concurrent traffic: latency and commit batching")
+    for n in CLIENT_COUNTS:
+        row = rows[str(n)]
+        lat = row["latency"]
+        table.add(
+            f"{n} clients",
+            f"p50 {lat.get('p50_ms', 0):.1f} "
+            f"p95 {lat.get('p95_ms', 0):.1f} "
+            f"p99 {lat.get('p99_ms', 0):.1f} ms",
+            f"batching {row['commit']['batching_factor']:.2f}",
+            f"waits {row['txn']['admission_waits']}a"
+            f"/{row['txn']['commit_waits']}c",
+        )
+    table.print()
+    print(f"wrote {OUT_PATH}")
+
+    # Every scripted op completes at every client count.
+    for n in CLIENT_COUNTS:
+        row = rows[str(n)]
+        assert row["ops_completed"] == row["ops_issued"]
+
+    # The paper's claim: concurrency raises updates-per-force above 1.
+    for n in CLIENT_COUNTS:
+        if n >= 10:
+            factor = rows[str(n)]["commit"]["batching_factor"]
+            assert factor > 1.0, (
+                f"batching factor {factor} at {n} clients — group "
+                f"commit absorbed no concurrent updates"
+            )
+
+    # Brackets are free when uncontended.
+    check = results["serial_check"]
+    assert check["identical"], (
+        f"1-client engine clock {check['engine_clock_ms']} != serial "
+        f"loop clock {check['serial_clock_ms']}"
+    )
+
+    # CI gate: single-client latency within 2% of committed baseline.
+    if BASELINE_PATH:
+        baseline = json.loads(Path(BASELINE_PATH).read_text())
+        base_lat = baseline["rows"]["1"]["latency"]
+        lat = rows["1"]["latency"]
+        for key in ("mean_ms", "p50_ms"):
+            limit = base_lat[key] * (1 + REGRESSION_TOLERANCE)
+            assert lat[key] <= limit, (
+                f"single-client {key} {lat[key]} regressed more than "
+                f"{REGRESSION_TOLERANCE:.0%} over baseline "
+                f"{base_lat[key]}"
+            )

@@ -170,6 +170,44 @@ def cmd_verify(args) -> int:
     return status
 
 
+def cmd_traffic(args) -> int:
+    import json
+
+    from repro.workloads.traffic import TrafficConfig, TrafficEngine
+
+    config = TrafficConfig(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        seed=args.seed,
+        arrival=args.arrival,
+        mean_think_ms=args.think_ms,
+        population=args.population,
+        shared_fraction=args.shared_fraction,
+        hold_ms=args.hold_ms,
+        sync_fraction=args.sync_fraction,
+    )
+    disk, fs = _mount(args.image, args)
+    engine = TrafficEngine(fs, config)
+    report = engine.run()
+    if args.json:
+        print(report.to_json())
+    else:
+        for line in report.summary_lines():
+            print(line)
+    fs.unmount()
+    if args.save:
+        save_disk(disk, args.image)
+    if args.slo_ms is not None:
+        p95 = report.latency.get("p95_ms", 0.0)
+        if p95 > args.slo_ms:
+            print(
+                f"SLO VIOLATION: p95 {p95:.2f} ms > {args.slo_ms:.2f} ms",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def cmd_salvage(args) -> int:
     from repro.core.salvage import salvage_volume
 
@@ -291,6 +329,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("image", help="damaged source image (read-only)")
     p.add_argument("out", help="destination image for the rebuilt volume")
     p.set_defaults(fn=cmd_salvage)
+
+    p = sub.add_parser(
+        "traffic",
+        help="multi-client simulated-time traffic run with latency "
+             "percentiles and commit batching",
+    )
+    p.add_argument("image")
+    p.add_argument("--clients", type=int, default=10)
+    p.add_argument("--ops", type=int, default=40,
+                   help="operations per client (default: 40)")
+    p.add_argument("--seed", type=int, default=1987)
+    p.add_argument("--arrival", choices=["poisson", "bursty", "uniform"],
+                   default="poisson",
+                   help="client think-time process (default: poisson)")
+    p.add_argument("--think-ms", type=float, default=200.0,
+                   help="mean think time between a client's operations "
+                        "(default: 200)")
+    p.add_argument("--population", type=int, default=40,
+                   help="shared files created before the run "
+                        "(default: 40)")
+    p.add_argument("--shared-fraction", type=float, default=0.5,
+                   help="reads/writes aimed at shared files "
+                        "(default: 0.5)")
+    p.add_argument("--hold-ms", type=float, default=1.0,
+                   help="client processing inside each bracket "
+                        "(default: 1)")
+    p.add_argument("--sync-fraction", type=float, default=0.0,
+                   help="mutations that wait for durability "
+                        "(default: 0)")
+    p.add_argument("--slo-ms", type=float, default=None,
+                   help="exit 1 when p95 op latency exceeds this")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--save", action="store_true",
+                   help="save the image back after the run")
+    _sched_arg(p)
+    p.set_defaults(fn=cmd_traffic)
 
     p = sub.add_parser(
         "soak", help="seeded multi-fault soak campaign with recovery oracle"

@@ -55,8 +55,10 @@ DEFAULT_DATA_CACHE_PAGES = 256
 #: read that triggers them.
 DEFAULT_READAHEAD_PAGES = 16
 
-#: sequential-detection states tracked at once; beyond this the oldest
-#: file's state is forgotten (it only costs a missed prefetch).
+#: default sequential-detection states tracked at once; beyond this
+#: the oldest file's state is forgotten (it only costs a missed
+#: prefetch).  Mounts serving many interleaved client streams (the
+#: traffic engine) can raise it via the ``seq_streams`` knob.
 _MAX_SEQ_STREAMS = 64
 
 
@@ -75,21 +77,30 @@ class DataPageCache:
         capacity_pages: int = 0,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
         sector_bytes: int = 512,
+        seq_streams: int = _MAX_SEQ_STREAMS,
         obs=NULL_OBS,
     ):
         if capacity_pages < 0:
             raise ValueError("negative data-cache capacity")
         if readahead_pages < 0:
             raise ValueError("negative read-ahead window")
+        if seq_streams < 1:
+            raise ValueError("need at least one sequential stream slot")
         self.capacity = capacity_pages
         self.readahead_pages = readahead_pages
         self.sector_bytes = sector_bytes
+        self.seq_streams = seq_streams
         self.obs = obs
         self._pages: OrderedDict[int, bytes] = OrderedDict()
         #: addresses prefetched by read-ahead and not yet demanded.
         self._prefetched: set[int] = set()
         #: per-file sequential detector: uid -> next expected page.
         self._seq: OrderedDict[int, int] = OrderedDict()
+        #: file identity of each cached address (and the reverse index)
+        #: so delete/rename can invalidate by uid even when the
+        #: caller's run list is stale under interleaved clients.
+        self._owner: dict[int, int] = {}
+        self._by_uid: dict[int, set[int]] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -133,15 +144,23 @@ class DataPageCache:
         no LRU effect)."""
         return address in self._pages
 
-    def put(self, address: int, data: bytes, prefetched: bool = False) -> None:
+    def put(
+        self,
+        address: int,
+        data: bytes,
+        prefetched: bool = False,
+        uid: int | None = None,
+    ) -> None:
         """Insert one sector image (padded to the sector size, exactly
-        as it lies on the platter)."""
+        as it lies on the platter).  ``uid`` records which file the
+        sector belongs to, feeding the per-file invalidation index."""
         if not self.enabled:
             return
         if len(data) < self.sector_bytes:
             data = data + b"\x00" * (self.sector_bytes - len(data))
         self._pages[address] = bytes(data)
         self._pages.move_to_end(address)
+        self._set_owner(address, uid)
         if prefetched:
             self._prefetched.add(address)
             self.readahead_issued += 1
@@ -152,8 +171,21 @@ class DataPageCache:
         while len(self._pages) > self.capacity:
             victim, _ = self._pages.popitem(last=False)
             self._prefetched.discard(victim)
+            self._set_owner(victim, None)
             self.evictions += 1
             self.obs.count("cache.data.evictions")
+
+    def _set_owner(self, address: int, uid: int | None) -> None:
+        previous = self._owner.pop(address, None)
+        if previous is not None:
+            owned = self._by_uid.get(previous)
+            if owned is not None:
+                owned.discard(address)
+                if not owned:
+                    del self._by_uid[previous]
+        if uid is not None:
+            self._owner[address] = uid
+            self._by_uid.setdefault(uid, set()).add(address)
 
     # ------------------------------------------------------------------
     # sequential detection
@@ -168,7 +200,7 @@ class DataPageCache:
         sequential = self._seq.get(uid) == first_page and first_page > 0
         self._seq[uid] = first_page + page_count
         self._seq.move_to_end(uid)
-        while len(self._seq) > _MAX_SEQ_STREAMS:
+        while len(self._seq) > self.seq_streams:
             self._seq.popitem(last=False)
         return sequential
 
@@ -187,9 +219,24 @@ class DataPageCache:
             if self._pages.pop(victim, None) is not None:
                 dropped += 1
             self._prefetched.discard(victim)
+            self._set_owner(victim, None)
         if dropped:
             self.invalidations += dropped
             self.obs.count("cache.data.invalidations", dropped)
+        return dropped
+
+    def invalidate_file(self, uid: int) -> int:
+        """Drop every cached sector owned by file ``uid`` (and its
+        sequential-detection state).  Delete and rename invalidate by
+        identity *in addition to* run lists: under interleaved clients
+        a stale handle may have populated pages outside the run list
+        the invalidating operation resolved, and those images must not
+        survive the file they belonged to."""
+        addresses = list(self._by_uid.get(uid, ()))
+        dropped = 0
+        for address in addresses:
+            dropped += self.invalidate(address)
+        self.forget_file(uid)
         return dropped
 
     def invalidate_runs(self, runs) -> int:
@@ -207,6 +254,8 @@ class DataPageCache:
         self._pages.clear()
         self._prefetched.clear()
         self._seq.clear()
+        self._owner.clear()
+        self._by_uid.clear()
 
     # ------------------------------------------------------------------
     # derived gauges

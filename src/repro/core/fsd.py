@@ -34,6 +34,7 @@ from repro.core.recovery import (
     replay_log,
     write_root,
 )
+from repro.core.txn import TxnManager
 from repro.core.types import (
     FileKind,
     FileProperties,
@@ -134,6 +135,15 @@ class FSD:
             log_vam=layout.params.log_vam,
             obs=obs,
         )
+        #: the transaction brackets every mutating entry point runs
+        #: inside (uncontended they are pure counter bookkeeping; the
+        #: traffic engine drives the blocking/waking behaviour).
+        self.txn = TxnManager(
+            self.coordinator,
+            capacity_pages=wal.admission_capacity_pages(),
+            max_op_pages=layout.params.max_record_pages,
+            obs=obs,
+        )
         self.mount_report = mount_report
         self.data_cache = (
             data_cache
@@ -161,6 +171,7 @@ class FSD:
         self.data_cache.obs = obs
         self.vam.obs = obs
         self.coordinator.obs = obs
+        self.txn.obs = obs
         self.name_table.tree.pager.obs = obs
         if self.nt_home is not None:
             self.nt_home.obs = obs
@@ -392,42 +403,43 @@ class FSD:
         """
         with self.obs.span("fsd.create", name=name, bytes=len(data)):
             self._enter(write=True)
-            self.ops.creates += 1
-            self.obs.count("fsd.creates")
-            self.coordinator.note_update()
-            keep = self.DEFAULT_KEEP if keep is None else keep
-            version = (self.name_table.highest_version(name) or 0) + 1
-            sector_bytes = self.disk.geometry.sector_bytes
-            data_sectors = -(-len(data) // sector_bytes)
-            big = len(data) >= self.params.big_file_threshold_bytes
-            table = self.allocator.allocate(1 + data_sectors, big=big)
-            leader_addr, runs = _split_leader(table)
+            with self.txn.op():
+                self.ops.creates += 1
+                self.obs.count("fsd.creates")
+                self.coordinator.note_update()
+                keep = self.DEFAULT_KEEP if keep is None else keep
+                version = (self.name_table.highest_version(name) or 0) + 1
+                sector_bytes = self.disk.geometry.sector_bytes
+                data_sectors = -(-len(data) // sector_bytes)
+                big = len(data) >= self.params.big_file_threshold_bytes
+                table = self.allocator.allocate(1 + data_sectors, big=big)
+                leader_addr, runs = _split_leader(table)
 
-            self._uid_sequence += 1
-            props = FileProperties(
-                name=name,
-                version=version,
-                uid=make_uid(self.boot_count, self._uid_sequence),
-                kind=kind,
-                byte_size=len(data),
-                create_time_ms=self.clock.now_ms,
-                last_used_ms=self.clock.now_ms,
-                keep=keep,
-                leader_addr=leader_addr,
-                remote_target=remote_target,
-            )
-            self.name_table.insert(props, runs)
-            self.cache.write_leader(
-                leader_addr, encode_leader(props, runs, sector_bytes)
-            )
-            handle = FsdFile(props=props, runs=runs, leader_verified=True)
-            if data:
-                self._write_data(handle, 0, data)
-            else:
-                self._piggyback_leader_alone(handle)
-            if keep > 0:
-                self._trim_versions(name, keep)
-            return handle
+                self._uid_sequence += 1
+                props = FileProperties(
+                    name=name,
+                    version=version,
+                    uid=make_uid(self.boot_count, self._uid_sequence),
+                    kind=kind,
+                    byte_size=len(data),
+                    create_time_ms=self.clock.now_ms,
+                    last_used_ms=self.clock.now_ms,
+                    keep=keep,
+                    leader_addr=leader_addr,
+                    remote_target=remote_target,
+                )
+                self.name_table.insert(props, runs)
+                self.cache.write_leader(
+                    leader_addr, encode_leader(props, runs, sector_bytes)
+                )
+                handle = FsdFile(props=props, runs=runs, leader_verified=True)
+                if data:
+                    self._write_data(handle, 0, data)
+                else:
+                    self._piggyback_leader_alone(handle)
+                if keep > 0:
+                    self._trim_versions(name, keep)
+                return handle
 
     def open(self, name: str, version: int | None = None) -> FsdFile:
         """Open a file: normally zero disk I/O (paper §5.7)."""
@@ -441,9 +453,12 @@ class FSD:
                 # cached remote file updates its last-used-time, a
                 # one-page name-table change batched into the next
                 # commit.
-                props = props.with_updates(last_used_ms=self.clock.now_ms)
-                self.name_table.update(props, runs)
-                self.coordinator.note_update()
+                with self.txn.op():
+                    props = props.with_updates(
+                        last_used_ms=self.clock.now_ms
+                    )
+                    self.name_table.update(props, runs)
+                    self.coordinator.note_update()
             return FsdFile(props=props, runs=runs)
 
     def read(self, handle: FsdFile, offset: int = 0, length: int | None = None) -> bytes:
@@ -495,22 +510,24 @@ class FSD:
         """Write (and possibly extend) an existing file."""
         with self.obs.span("fsd.write", name=handle.name, bytes=len(data)):
             self._enter(write=True)
-            self.ops.writes += 1
-            self.obs.count("fsd.writes")
-            self.coordinator.note_update()
-            if offset < 0:
-                raise FsError("negative write offset")
-            self._write_data(handle, offset, data)
+            with self.txn.op():
+                self.ops.writes += 1
+                self.obs.count("fsd.writes")
+                self.coordinator.note_update()
+                if offset < 0:
+                    raise FsError("negative write offset")
+                self._write_data(handle, offset, data)
 
     def delete(self, name: str, version: int | None = None) -> FileProperties:
         """Delete a file version.  No synchronous I/O: a name-table
         update plus shadow-bitmap bookkeeping (paper §4)."""
         with self.obs.span("fsd.delete", name=name):
             self._enter(write=True)
-            self.ops.deletes += 1
-            self.obs.count("fsd.deletes")
-            self.coordinator.note_update()
-            return self._delete_resolved(name, version)
+            with self.txn.op():
+                self.ops.deletes += 1
+                self.obs.count("fsd.deletes")
+                self.coordinator.note_update()
+                return self._delete_resolved(name, version)
 
     def list(self, prefix: str = "") -> list[FileProperties]:
         """Name + properties of every file, straight from the name
@@ -526,49 +543,58 @@ class FSD:
         is part of the mutual check)."""
         with self.obs.span("fsd.rename", name=old_name, to=new_name):
             self._enter(write=True)
-            self.ops.renames += 1
-            self.obs.count("fsd.renames")
-            self.coordinator.note_update()
-            props, runs = self._lookup(old_name, version)
-            self.data_cache.invalidate_runs(runs)
-            self.data_cache.forget_file(props.uid)
-            self.name_table.delete(props.name, props.version)
-            new_version = (self.name_table.highest_version(new_name) or 0) + 1
-            new_props = props.with_updates(name=new_name, version=new_version)
-            self.name_table.insert(new_props, runs)
-            self.cache.write_leader(
-                new_props.leader_addr,
-                encode_leader(
-                    new_props, runs, self.disk.geometry.sector_bytes
-                ),
-            )
-            return FsdFile(props=new_props, runs=runs)
+            with self.txn.op():
+                self.ops.renames += 1
+                self.obs.count("fsd.renames")
+                self.coordinator.note_update()
+                props, runs = self._lookup(old_name, version)
+                self.data_cache.invalidate_file(props.uid)
+                self.data_cache.invalidate_runs(runs)
+                self.name_table.delete(props.name, props.version)
+                new_version = (
+                    self.name_table.highest_version(new_name) or 0
+                ) + 1
+                new_props = props.with_updates(
+                    name=new_name, version=new_version
+                )
+                self.name_table.insert(new_props, runs)
+                self.cache.write_leader(
+                    new_props.leader_addr,
+                    encode_leader(
+                        new_props, runs, self.disk.geometry.sector_bytes
+                    ),
+                )
+                return FsdFile(props=new_props, runs=runs)
 
     def truncate(self, handle: FsdFile, new_byte_size: int) -> None:
         """Contract a file; freed runs go through the shadow bitmap."""
         with self.obs.span("fsd.truncate", name=handle.name):
             self._enter(write=True)
-            self.obs.count("fsd.truncates")
-            self.coordinator.note_update()
-            if new_byte_size > handle.props.byte_size:
-                raise FsError("truncate cannot grow a file (use write)")
-            sector_bytes = self.disk.geometry.sector_bytes
-            keep_sectors = -(-new_byte_size // sector_bytes)
-            freed = handle.runs.truncate_sectors(keep_sectors)
-            self.data_cache.invalidate_runs(freed)
-            self.data_cache.forget_file(handle.props.uid)
-            self.allocator.free(freed, deferred=True)
-            handle.props = handle.props.with_updates(byte_size=new_byte_size)
-            self.name_table.update(handle.props, handle.runs)
-            self._refresh_leader(handle)
+            with self.txn.op():
+                self.obs.count("fsd.truncates")
+                self.coordinator.note_update()
+                if new_byte_size > handle.props.byte_size:
+                    raise FsError("truncate cannot grow a file (use write)")
+                sector_bytes = self.disk.geometry.sector_bytes
+                keep_sectors = -(-new_byte_size // sector_bytes)
+                freed = handle.runs.truncate_sectors(keep_sectors)
+                self.data_cache.invalidate_runs(freed)
+                self.data_cache.forget_file(handle.props.uid)
+                self.allocator.free(freed, deferred=True)
+                handle.props = handle.props.with_updates(
+                    byte_size=new_byte_size
+                )
+                self.name_table.update(handle.props, handle.runs)
+                self._refresh_leader(handle)
 
     def set_keep(self, name: str, keep: int) -> None:
         """Change the version-retention count and trim old versions."""
         self._enter(write=True)
-        props, runs = self._lookup(name, None)
-        self.name_table.update(props.with_updates(keep=keep), runs)
-        if keep > 0:
-            self._trim_versions(name, keep)
+        with self.txn.op():
+            props, runs = self._lookup(name, None)
+            self.name_table.update(props.with_updates(keep=keep), runs)
+            if keep > 0:
+                self._trim_versions(name, keep)
 
     def force(self) -> int:
         """Client-requested commit ("Clients may force the log")."""
@@ -642,9 +668,13 @@ class FSD:
         self.allocator.free([Run(props.leader_addr, 1)], deferred=True)
         self.allocator.free(runs, deferred=True)
         self.cache.drop_leader(props.leader_addr)
+        # Invalidate by file identity *before* by address: under
+        # interleaved clients a stale handle may have extended the file
+        # past the run list this delete resolved, and the uid index
+        # catches those pages too.
+        self.data_cache.invalidate_file(props.uid)
         self.data_cache.invalidate_runs(runs)
         self.data_cache.invalidate(props.leader_addr)
-        self.data_cache.forget_file(props.uid)
         return props
 
     def _trim_versions(self, name: str, keep: int) -> None:
@@ -745,7 +775,7 @@ class FSD:
         if cached is not None:
             return cached
         data = self._ladder_read(address, 1)[0]
-        self.data_cache.put(address, data)
+        self.data_cache.put(address, data, uid=handle.props.uid)
         return data
 
     def _write_extent(
@@ -772,20 +802,22 @@ class FSD:
                     leader_addr, [pending, *chunk], cpu_overlap=True
                 )
                 self.cache.note_leader_home(leader_addr)
-                self._populate_cache(start, chunk)
+                self._populate_cache(start, chunk, handle.props.uid)
                 cursor = len(chunk)
         while cursor < len(sectors):
             chunk = sectors[cursor : cursor + max_io]
             self.io.write(start + cursor, chunk, cpu_overlap=True)
-            self._populate_cache(start + cursor, chunk)
+            self._populate_cache(start + cursor, chunk, handle.props.uid)
             cursor += len(chunk)
 
-    def _populate_cache(self, address: int, sectors: list[bytes]) -> None:
+    def _populate_cache(
+        self, address: int, sectors: list[bytes], uid: int | None = None
+    ) -> None:
         """Write-through population: the platter copy just written is
         also the freshest cacheable image."""
         if self.data_cache.enabled:
             for offset, sector in enumerate(sectors):
-                self.data_cache.put(address + offset, sector)
+                self.data_cache.put(address + offset, sector, uid=uid)
 
     def _read_pages_cached(
         self, handle: FsdFile, first_page: int, page_count: int
@@ -884,7 +916,10 @@ class FSD:
                 continue
             position = position_of.get(address)
             self.data_cache.put(
-                address, data, prefetched=position is None and address in ra_addresses
+                address,
+                data,
+                prefetched=position is None and address in ra_addresses,
+                uid=handle.props.uid,
             )
             if position is not None:
                 out[position] = data

@@ -28,6 +28,11 @@ from repro.obs import NULL_OBS
 BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 #: histogram bounds for simulated force latency (one log write).
 FORCE_MS_BUCKETS = (2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0)
+#: histogram bounds for update-to-durable latency: how long each
+#: metadata update waited for the force that committed it (the
+#: paper's half-second group-commit window dominates the tail).
+DURABLE_MS_BUCKETS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+                      500.0, 1000.0)
 
 
 class CommitCoordinator:
@@ -58,9 +63,21 @@ class CommitCoordinator:
         self.forces = 0
         self.pressure_forces = 0
         self.empty_forces = 0
+        #: forces that could not run because operations were inside
+        #: their brackets; the last end_op runs them instead.
+        self.deferred_forces = 0
         #: client updates since the last force — each force "absorbs"
         #: this many commits into one log write (paper §5.4).
         self.updates_since_force = 0
+        #: lifetime sum of absorbed updates (batching-factor numerator).
+        self.updates_absorbed = 0
+        #: issue time of each unforced update, for durable latency.
+        self._update_times: list[float] = []
+        #: the volume's TxnManager, when transaction brackets are
+        #: active (set by TxnManager.__init__); None keeps the
+        #: pre-bracket behaviour: every force runs immediately.
+        self.txn = None
+        self._forcing = False
         self.last_force_ms = clock.now_ms
         #: when the oldest unforced update must be durable (the
         #: group-commit deadline the submitted log writes carry).
@@ -79,7 +96,45 @@ class CommitCoordinator:
 
         Clients may call this directly ("Clients may force the log");
         otherwise the timer does, twice a (virtual) second.
+
+        With transaction brackets active, a force that arrives while
+        client operations are outstanding (or while another force is
+        already committing — a second client arriving mid-force) does
+        not run: it is *deferred*, new admissions stop, and the last
+        ``end_op`` of the drain commits on behalf of every waiting
+        client.  A re-entrant call from a commit hook is likewise
+        absorbed by the force already in progress.
         """
+        txn = self.txn
+        if txn is not None and not txn.can_commit():
+            txn.request_commit()
+            self.deferred_forces += 1
+            self.obs.count("commit.deferred_forces")
+            return 0
+        if self._forcing:
+            # Re-entrant force (a commit hook, or a second caller
+            # arriving during the commit): the enclosing force IS the
+            # commit in progress; running another would double-apply
+            # the shadow bitmap.
+            self.obs.count("commit.reentrant_forces")
+            return 0
+        self._forcing = True
+        if txn is not None:
+            txn.committing = True
+        try:
+            written = self._commit()
+        finally:
+            self._forcing = False
+            if txn is not None:
+                txn.committing = False
+        if txn is not None:
+            # Wake parked clients only after `committing` has cleared,
+            # so a woken client may immediately retry begin_op.
+            txn.after_force(self.clock.now_ms)
+        return written
+
+    def _commit(self) -> int:
+        """The commit itself (admission already settled by force())."""
         obs = self.obs
         with obs.span("commit.force") as span:
             if self.log_vam:
@@ -95,10 +150,13 @@ class CommitCoordinator:
             self.last_force_ms = self.clock.now_ms
             self.deadline_ms = self.clock.now_ms + self.interval_ms
             absorbed, self.updates_since_force = self.updates_since_force, 0
+            self.updates_absorbed += absorbed
+            update_times, self._update_times = self._update_times, []
             if not pages:
                 self.empty_forces += 1
                 obs.count("commit.empty_forces")
                 span.set(pages=0)
+                self._note_durable(update_times)
                 self._after_commit()
                 return 0
             self.forces += 1
@@ -123,6 +181,7 @@ class CommitCoordinator:
                 bounds=FORCE_MS_BUCKETS,
             )
             span.set(pages=written, records=records, absorbed=absorbed)
+            self._note_durable(update_times)
             self._after_commit()
             return written
 
@@ -136,6 +195,21 @@ class CommitCoordinator:
                 self.deadline_ms, self.clock.now_ms + self.interval_ms
             )
         self.updates_since_force += 1
+        if self.obs.enabled:
+            self._update_times.append(self.clock.now_ms)
+
+    def _note_durable(self, update_times: list[float]) -> None:
+        """Record how long each absorbed update waited to be durable
+        (the per-client commit latency the traffic engine reports)."""
+        if not update_times:
+            return
+        end_ms = self.clock.now_ms
+        for issued_ms in update_times:
+            self.obs.observe(
+                "commit.durable_latency_ms",
+                end_ms - issued_ms,
+                bounds=DURABLE_MS_BUCKETS,
+            )
 
     def _after_commit(self) -> None:
         # Deletes become final: shadow-freed pages join the VAM.

@@ -1,0 +1,255 @@
+"""Transaction brackets around FSD mutating operations.
+
+Hagmann's group commit amortizes one log force across *many
+concurrent clients'* updates, which means the commit machinery must
+know when client operations are in flight.  This module supplies the
+xv6-style log brackets (``begin_op``/``end_op``): every mutating FSD
+entry point runs inside a bracket, and the :class:`TxnManager` keeps
+the three pieces of state the discipline needs —
+
+* ``outstanding`` — client operations currently inside a bracket,
+* ``committing`` — a log force is writing its records right now,
+* ``commit_pending`` — a force came due while operations were
+  outstanding; the last ``end_op`` must run it.
+
+``begin_op`` performs **log-space admission**: a client is only
+admitted while the circular log's active third can absorb the pages
+already awaiting logging *plus* a worst-case record for every
+admitted operation (``pending + (outstanding + 1) * max_record_pages
+<= capacity``).  When admission fails, or a commit is pending or in
+progress, the caller's ``waiter`` callback is parked and invoked on
+the simulated clock when the next force completes — one commit wakes
+every waiting client at once, which is exactly the amortization the
+paper describes in §5.4.
+
+In the uncontended (single-client, serial) case a bracket is pure
+counter bookkeeping: ``begin_op`` without a waiter never blocks and
+never forces, so existing serial workloads are bit-identical with
+brackets on.  The concurrency behaviour only engages when a driver —
+the traffic engine in :mod:`repro.workloads.traffic` — supplies
+waiters and holds brackets open across simulated time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable
+
+from repro.errors import FsError
+from repro.obs import NULL_OBS
+
+
+class TxnManager:
+    """The bracket state machine of one mounted FSD volume.
+
+    ``coordinator`` is the volume's
+    :class:`~repro.core.group_commit.CommitCoordinator`; the manager
+    registers itself on it (``coordinator.txn``) so forces defer while
+    operations are outstanding and wake waiters when they complete.
+    ``capacity_pages`` is the admission budget (what the log's active
+    third can absorb, see
+    :meth:`~repro.core.wal.WriteAheadLog.admission_capacity_pages`);
+    ``max_op_pages`` is the worst-case metadata pages one operation
+    may dirty (``VolumeParams.max_record_pages``).
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        capacity_pages: int,
+        max_op_pages: int,
+        obs=NULL_OBS,
+    ):
+        if max_op_pages <= 0:
+            raise FsError("max_op_pages must be positive")
+        self.coordinator = coordinator
+        self.max_op_pages = max_op_pages
+        # Never set capacity below one worst-case op or no client could
+        # ever be admitted.
+        self.capacity_pages = max(capacity_pages, max_op_pages)
+        self.obs = obs
+        self.outstanding = 0
+        self.committing = False
+        self.commit_pending = False
+        #: lifetime counts (mirrored to obs; plain so detached-observer
+        #: harnesses can still report them).
+        self.admission_waits = 0
+        self.commit_waits = 0
+        self._passthrough = 0
+        self._admission_waiters: list[Callable[[], None]] = []
+        self._commit_waiters: list[Callable[[float], None]] = []
+        coordinator.txn = self
+
+    # ------------------------------------------------------------------
+    # the brackets
+    # ------------------------------------------------------------------
+    def begin_op(self, waiter: Callable[[], None] | None = None) -> bool:
+        """Enter an operation bracket; returns True when admitted.
+
+        Without a ``waiter`` (the serial path) admission always
+        succeeds — a lone caller cannot overrun the log because the
+        pressure check at every FSD entry point already bounds the
+        pages awaiting logging.  With a ``waiter``, admission fails
+        while a commit is pending or in progress, or while the log's
+        active third could not absorb a worst-case record for every
+        admitted operation; the waiter is parked and called (exactly
+        once) when the next force completes.
+        """
+        if waiter is None:
+            self.outstanding += 1
+            self.obs.count("txn.begin_ops")
+            return True
+        if not self._admissible():
+            if self.outstanding == 0 and not self.committing:
+                # Nobody holds a bracket, so no end_op will ever run
+                # the commit on our behalf: force now and re-check.
+                self.coordinator.force()
+                if self._admissible():
+                    self.outstanding += 1
+                    self.obs.count("txn.begin_ops")
+                    return True
+            self._admission_waiters.append(waiter)
+            self.admission_waits += 1
+            self.obs.count("txn.admission_waits")
+            return False
+        self.outstanding += 1
+        self.obs.count("txn.begin_ops")
+        return True
+
+    def end_op(self) -> None:
+        """Leave an operation bracket.
+
+        The last ``end_op`` of a drain runs any force that came due
+        while operations were outstanding (the deferred group commit),
+        which in turn wakes every parked client.  Unbalanced calls —
+        more ``end_op`` than ``begin_op`` — raise.
+        """
+        if self.outstanding <= 0:
+            raise FsError("unbalanced end_op: no operation outstanding")
+        if self.committing:
+            raise FsError("end_op during commit: bracket crossed a force")
+        self.outstanding -= 1
+        self.obs.count("txn.end_ops")
+        if self.outstanding:
+            # Leaving the bracket released one worst-case reservation;
+            # parked clients may now fit.
+            self._wake_admissions()
+            return
+        if self.commit_pending:
+            # A force came due mid-bracket; we are the quiescent point.
+            self.coordinator.force()
+        elif self._admission_waiters:
+            if self.space_available():
+                self._wake_admissions()
+            else:
+                # Parked clients are waiting on log space and no commit
+                # is otherwise due: free the space for them.
+                self.coordinator.force()
+
+    @contextmanager
+    def op(self):
+        """A bracket as a context manager — what the FSD mutating
+        entry points use.  Inside :meth:`passthrough` (a driver
+        already holds the bracket for this operation) it is a no-op,
+        so brackets never nest per client."""
+        if self._passthrough:
+            yield
+            return
+        self.begin_op()
+        try:
+            yield
+        finally:
+            self.end_op()
+
+    @contextmanager
+    def passthrough(self):
+        """Mark the current (atomic) operation body as already
+        bracketed by its driver; the FSD-internal :meth:`op` brackets
+        become no-ops inside this context."""
+        self._passthrough += 1
+        try:
+            yield
+        finally:
+            self._passthrough -= 1
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def space_available(self, extra_ops: int = 1) -> bool:
+        """True when the active third can absorb the pages already
+        awaiting logging plus ``extra_ops`` more worst-case records on
+        top of the outstanding ones."""
+        pending = self.coordinator.cache.pending_log_pages()
+        reserved = (self.outstanding + extra_ops) * self.max_op_pages
+        return pending + reserved <= self.capacity_pages
+
+    def _admissible(self) -> bool:
+        return (
+            not self.committing
+            and not self.commit_pending
+            and self.space_available()
+        )
+
+    def _admission_slots(self) -> int:
+        """How many more worst-case operations fit right now."""
+        pending = self.coordinator.cache.pending_log_pages()
+        free = (
+            self.capacity_pages
+            - pending
+            - self.outstanding * self.max_op_pages
+        )
+        return max(0, free // self.max_op_pages)
+
+    def _wake_admissions(self) -> None:
+        """Wake as many parked clients as could currently be admitted
+        (each re-attempts ``begin_op``; losers re-park).  Limiting the
+        wake to the free slots keeps a thousand parked clients from
+        stampeding on every end_op."""
+        if not self._admission_waiters or self.commit_pending:
+            return
+        slots = self._admission_slots()
+        if slots <= 0:
+            return
+        woken = self._admission_waiters[:slots]
+        del self._admission_waiters[:slots]
+        for waiter in woken:
+            waiter()
+
+    # ------------------------------------------------------------------
+    # commit interplay (called by the CommitCoordinator)
+    # ------------------------------------------------------------------
+    def can_commit(self) -> bool:
+        """True when a force may run right now (no operation mid
+        bracket, no force already in progress)."""
+        return self.outstanding == 0 and not self.committing
+
+    def request_commit(self) -> None:
+        """A force came due but cannot run: remember it so the last
+        ``end_op`` commits, and stop admitting new operations so the
+        outstanding ones drain."""
+        self.commit_pending = True
+        self.obs.count("txn.commit_requests")
+
+    def await_commit(self, waiter: Callable[[float], None]) -> None:
+        """Park ``waiter`` until the next force completes; it is
+        called exactly once with the completion time in simulated ms
+        (the durability point of everything submitted before it)."""
+        self._commit_waiters.append(waiter)
+        self.commit_waits += 1
+        self.obs.count("txn.commit_waits")
+
+    def after_force(self, now_ms: float) -> None:
+        """A force just completed: the pending request (if any) is
+        satisfied and every parked client wakes.  Waiters run after
+        ``committing`` has cleared, so a woken client may immediately
+        retry ``begin_op``."""
+        self.commit_pending = False
+        commit_waiters, self._commit_waiters = self._commit_waiters, []
+        for waiter in commit_waiters:
+            waiter(now_ms)
+        self._wake_admissions()
+
+    @property
+    def waiting(self) -> int:
+        """Clients currently parked (admission + commit waiters)."""
+        return len(self._admission_waiters) + len(self._commit_waiters)

@@ -564,6 +564,18 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # diagnostics
     # ------------------------------------------------------------------
+    def admission_capacity_pages(self) -> int:
+        """Metadata pages the bracket layer may let accumulate before
+        ``begin_op`` blocks: what one third of the record area can
+        absorb as a single record (each logged page costs two sectors
+        plus the 5-sector record overhead).  Admission against this
+        budget keeps every group commit inside the active third, so a
+        force never triggers the third-entry writeback protocol
+        mid-commit.  Never less than one worst-case operation, or no
+        client could ever be admitted."""
+        usable = (self.third_sectors - RECORD_OVERHEAD_SECTORS) // 2
+        return max(usable, self.layout.params.max_record_pages)
+
     def utilization(self) -> float:
         """Fraction of the record area between the anchor and the write
         position — the "in use" share the paper says averages 5/6."""

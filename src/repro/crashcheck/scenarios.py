@@ -150,9 +150,49 @@ def _wrap() -> CrashScenario:
     )
 
 
+def _concurrent_burst() -> CrashScenario:
+    """Four clients' interleaved streams sharing group commits: each
+    force's record carries updates from several clients, so a crash
+    mid-commit loses (or keeps) the whole multi-client batch
+    atomically.  Ends with an un-forced multi-client tail plus a
+    delete whose shadowed frees span a client boundary."""
+    clients = 4
+    body: list[Op] = []
+    for round_index in range(4):
+        # Round-robin: one small create per client per round.
+        for client in range(clients):
+            body.append(
+                Op(
+                    "create",
+                    f"c{client}/r{round_index:02d}",
+                    payload(150 + 97 * client + 13 * round_index,
+                            client * 100 + round_index),
+                )
+            )
+        if round_index % 2 == 1:
+            # Group commit: the batch holds 8 creates from 4 clients
+            # (still one atomic record at CRASH_SCALE).
+            body.append(Op("force"))
+    body.append(Op("delete", "c1/r00"))
+    body.append(Op("force"))
+    # Un-forced tail from three different clients: a crash may lose
+    # all of it, but never a proper subset of one operation.
+    body.append(Op("create", "c0/tail", payload(260, 900)))
+    body.append(Op("create", "c2/tail", payload(410, 901)))
+    body.append(Op("delete", "c3/r03"))
+    return CrashScenario(
+        name="concurrent_burst",
+        description="four interleaved client streams sharing group "
+        "commits, crashed mid-batch with clients in flight",
+        scale=CRASH_SCALE,
+        setup=_aged_setup(16),
+        body=tuple(body),
+    )
+
+
 SCENARIOS: dict[str, CrashScenario] = {
     scenario.name: scenario
-    for scenario in (_quickstart(), _churn(), _wrap())
+    for scenario in (_quickstart(), _churn(), _wrap(), _concurrent_burst())
 }
 
 

@@ -132,6 +132,14 @@ class SimClock:
         if event in self._timers:
             self._timers.remove(event)
 
+    def next_timer_due_ms(self) -> float | None:
+        """Earliest due time among enabled timers, or None when no
+        timer is registered.  Event-driven harnesses (the traffic
+        engine) use it to advance an idle simulation to the next
+        daemon wake-up instead of polling."""
+        due = [event.due_ms for event in self._timers if event.enabled]
+        return min(due) if due else None
+
     def fire_due_timers(self) -> int:
         """Fire every enabled timer whose due time has passed.
 

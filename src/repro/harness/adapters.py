@@ -39,6 +39,11 @@ class FsdAdapter:
         """Read a byte range."""
         return self.fs.read(handle, offset, length)
 
+    def write(self, handle: FsdFile, offset: int, data: bytes) -> None:
+        """Write (and possibly extend) an open file — used by the
+        traffic engine's update sessions."""
+        self.fs.write(handle, offset, data)
+
     def delete(self, path: str) -> None:
         """Delete the newest version."""
         self.fs.delete(path)

@@ -84,6 +84,22 @@ def cmd_stats(args) -> int:
             f"data cache: hit ratio {hit_ratio:.1%}, "
             f"read-ahead accuracy {accuracy:.1%}"
         )
+    commit = snapshot.layers().get("commit", {})
+    absorbed = commit.get("commit.ops_absorbed")
+    if isinstance(absorbed, HistogramSnapshot) and absorbed.count:
+        print(
+            f"group commit: batching factor {absorbed.mean:.2f} "
+            f"updates/force over {absorbed.count} forces"
+        )
+    durable = commit.get("commit.durable_latency_ms")
+    if isinstance(durable, HistogramSnapshot) and durable.count:
+        print(
+            "durable latency ms: "
+            f"p50~{durable.percentile(0.50):.1f} "
+            f"p95~{durable.percentile(0.95):.1f} "
+            f"p99~{durable.percentile(0.99):.1f} "
+            f"(bucket estimates, {durable.count} updates)"
+        )
     return 0
 
 

@@ -117,6 +117,30 @@ class HistogramSnapshot:
             total=self.total - other.total,
         )
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-th percentile (``q`` in [0, 1]) by linear
+        interpolation inside the containing bucket.  Samples past the
+        last bound are attributed to the last bound (the estimate
+        saturates there); 0.0 for an empty histogram."""
+        observed = self.count
+        if not observed:
+            return 0.0
+        target = q * observed
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            lower = self.bounds[index - 1] if index >= 1 else 0.0
+            if index >= len(self.bounds):
+                return self.bounds[-1]
+            cumulative += count
+            if cumulative >= target:
+                upper = self.bounds[index]
+                covered = cumulative - count
+                frac = (target - covered) / count
+                return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+        return self.bounds[-1]
+
     def nonzero_buckets(self) -> list[tuple[str, int]]:
         """(label, count) for every populated bucket, in bound order."""
         out = []

