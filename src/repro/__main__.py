@@ -9,7 +9,10 @@
     python -m repro verify vol.img
     python -m repro crashcheck [--scenario NAME] [--max-points N]
     python -m repro stats vol.img [--ops N] [--json]
-    python -m repro trace vol.img [--ops N] [--json] [--out FILE]
+    python -m repro trace vol.img [--ops N] [--json|--folded] [--out FILE]
+    python -m repro traffic vol.img [--clients N] [--attrib] [--slo-ms MS]
+    python -m repro profile {makedo,traffic,scripted} [--out FILE]
+    python -m repro bench diff BEFORE.json AFTER.json [--fail-over FRAC]
     python -m repro salvage vol.img rebuilt.img
     python -m repro soak [--seed N] [--runs N] [--json FILE]
 
@@ -185,8 +188,27 @@ def cmd_traffic(args) -> int:
         shared_fraction=args.shared_fraction,
         hold_ms=args.hold_ms,
         sync_fraction=args.sync_fraction,
+        slo_ms=args.slo_ms,
     )
-    disk, fs = _mount(args.image, args)
+    if args.attrib:
+        # Attribution rides a fresh detached observer (metrics stay
+        # off): the recorder alone is attached, so the run's simulated
+        # times and disk state remain bit-identical to a plain run.
+        from repro.obs import NullObserver
+        from repro.obs.attribution import AttributionRecorder
+
+        obs = NullObserver()
+        obs.attribution = AttributionRecorder()
+        disk = load_disk(args.image)
+        fs = FSD.mount(
+            disk,
+            obs=obs,
+            sched=args.sched,
+            data_cache_pages=args.data_cache_pages,
+            readahead_pages=args.readahead,
+        )
+    else:
+        disk, fs = _mount(args.image, args)
     engine = TrafficEngine(fs, config)
     report = engine.run()
     if args.json:
@@ -359,7 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="mutations that wait for durability "
                         "(default: 0)")
     p.add_argument("--slo-ms", type=float, default=None,
-                   help="exit 1 when p95 op latency exceeds this")
+                   help="exit 1 when p95 op latency exceeds this; "
+                        "with --attrib, also diagnose each violation's "
+                        "dominant phase")
+    p.add_argument("--attrib", action="store_true",
+                   help="record per-op causal traces and report "
+                        "per-phase latency attribution")
     p.add_argument("--json", action="store_true",
                    help="emit the full report as JSON")
     p.add_argument("--save", action="store_true",
@@ -383,10 +410,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_soak)
 
     from repro.crashcheck.cli import add_subparser as add_crashcheck
+    from repro.harness.benchdiff import add_subparser as add_bench
     from repro.obs.cli import add_subparsers as add_obs
+    from repro.obs.profile import add_subparser as add_profile
 
     add_crashcheck(sub)
     add_obs(sub)
+    add_profile(sub)
+    add_bench(sub)
     return parser
 
 

@@ -124,6 +124,9 @@ class DataPageCache:
         if not self.enabled:
             return None
         data = self._pages.get(address)
+        recorder = getattr(self.obs, "attribution", None)
+        if recorder is not None:
+            recorder.note_cache(hit=data is not None)
         if data is None:
             self.misses += 1
             self.obs.count("cache.data.misses")

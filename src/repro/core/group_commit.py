@@ -136,6 +136,9 @@ class CommitCoordinator:
     def _commit(self) -> int:
         """The commit itself (admission already settled by force())."""
         obs = self.obs
+        recorder = getattr(obs, "attribution", None)
+        if recorder is not None:
+            recorder.force_begin(self.clock.now_ms)
         with obs.span("commit.force") as span:
             if self.log_vam:
                 # §5.3 extension: changed VAM bitmap pages join the batch.
@@ -157,7 +160,11 @@ class CommitCoordinator:
                 obs.count("commit.empty_forces")
                 span.set(pages=0)
                 self._note_durable(update_times)
+                if recorder is not None:
+                    recorder.force_logged(self.clock.now_ms)
                 self._after_commit()
+                if recorder is not None:
+                    recorder.force_done(self.clock.now_ms)
                 return 0
             self.forces += 1
             obs.count("commit.forces")
@@ -175,6 +182,8 @@ class CommitCoordinator:
             # Durability point: every record of this commit is on the
             # platter before the updates it carries become final.
             self.io.barrier()
+            if recorder is not None:
+                recorder.force_logged(self.clock.now_ms)
             obs.observe(
                 "commit.force_ms",
                 self.clock.now_ms - start_ms,
@@ -183,6 +192,8 @@ class CommitCoordinator:
             span.set(pages=written, records=records, absorbed=absorbed)
             self._note_durable(update_times)
             self._after_commit()
+            if recorder is not None:
+                recorder.force_done(self.clock.now_ms)
             return written
 
     def note_update(self) -> None:

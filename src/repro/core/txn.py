@@ -190,6 +190,20 @@ class TxnManager:
             and self.space_available()
         )
 
+    def block_reason(self) -> str:
+        """Why admission would fail *right now* (for latency
+        attribution): ``committing`` — a force is writing its records;
+        ``commit_pending`` — a deferred force is draining the
+        outstanding brackets; ``log_space`` — the active third cannot
+        absorb another worst-case record; ``none`` — admissible."""
+        if self.committing:
+            return "committing"
+        if self.commit_pending:
+            return "commit_pending"
+        if not self.space_available():
+            return "log_space"
+        return "none"
+
     def _admission_slots(self) -> int:
         """How many more worst-case operations fit right now."""
         pending = self.coordinator.cache.pending_log_pages()

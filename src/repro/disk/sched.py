@@ -87,6 +87,9 @@ class IoRequest:
     submitted_ms: float = 0.0
     #: number of submitted requests merged into this one at dispatch.
     merged: int = 1
+    #: the client operation that submitted this write (latency
+    #: attribution); None outside an attributed operation body.
+    trace_id: int | None = None
 
     @property
     def count(self) -> int:
@@ -379,6 +382,8 @@ class IoScheduler:
                 cpu_overlap=cpu_overlap,
             )
             return tag
+        recorder = getattr(self.obs, "attribution", None)
+        current = recorder.current if recorder is not None else None
         self._queue.append(
             IoRequest(
                 tag=tag,
@@ -389,6 +394,7 @@ class IoScheduler:
                 cpu_overlap=cpu_overlap,
                 deadline_ms=deadline_ms,
                 submitted_ms=self.clock.now_ms,
+                trace_id=current.trace_id if current is not None else None,
             )
         )
         depth = len(self._queue)
@@ -450,6 +456,13 @@ class IoScheduler:
     def _dispatch(self, request: IoRequest) -> None:
         self.sched_stats.dispatched += request.merged
         self.obs.count("sched.dispatched", request.merged)
+        if request.trace_id is not None:
+            recorder = getattr(self.obs, "attribution", None)
+            if recorder is not None:
+                recorder.note_queue_wait(
+                    request.trace_id,
+                    self.clock.now_ms - request.submitted_ms,
+                )
         if request.deadline_ms is not None:
             lateness = max(0.0, self.clock.now_ms - request.deadline_ms)
             self.sched_stats.deadline_dispatches += 1

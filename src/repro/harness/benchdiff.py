@@ -1,0 +1,206 @@
+"""Compare two ``BENCH_*.json`` documents: ``repro bench diff``.
+
+Every benchmark in this tree writes a JSON document of nested numeric
+results.  This module flattens two such documents to dotted paths
+(``rows.1.latency.p95_ms``), pairs them up, and classifies each metric
+change as a **regression**, an **improvement**, or noise, using a
+direction heuristic on the metric name: latencies, elapsed times,
+waits, misses and error counts are better *lower*; throughputs,
+batching factors, hit ratios and accuracies are better *higher*;
+anything unrecognized is reported neutrally (a change, not a verdict).
+
+The CLI prints a highlighted table of everything that moved more than
+``--threshold`` and exits non-zero only when ``--fail-over`` is given
+and a regression exceeds it — so CI can run it informationally on
+every PR and gate only where a committed baseline warrants it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: name fragments marking metrics that are better when they go down.
+LOWER_IS_BETTER = (
+    "_ms", "_s", "elapsed", "time", "lateness", "misses", "errors",
+    "waits", "evictions", "seeks", "stall",
+)
+#: name fragments marking metrics that are better when they go up.
+HIGHER_IS_BETTER = (
+    "throughput", "batching", "hit_ratio", "accuracy", "ops_per",
+    "absorbed", "share",
+)
+#: fragments that are identity/config, not performance — never judged.
+NEUTRAL = (
+    "seed", "schema_version", "clients", "count", "version", "calls",
+)
+
+
+def flatten(document: dict, prefix: str = "") -> dict[str, float]:
+    """Every numeric leaf of ``document`` keyed by its dotted path
+    (bools excluded: they are verdicts, not measurements)."""
+    out: dict[str, float] = {}
+    for key, value in document.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[path] = float(value)
+        elif isinstance(value, dict):
+            out.update(flatten(value, path))
+        elif isinstance(value, list):
+            for index, item in enumerate(value):
+                if isinstance(item, dict):
+                    out.update(flatten(item, f"{path}.{index}"))
+    return out
+
+
+def direction(path: str) -> str:
+    """``lower`` / ``higher`` / ``neutral`` — which way is better for
+    the metric at ``path`` (last component decides; identity fields
+    are always neutral)."""
+    leaf = path.rsplit(".", 1)[-1].lower()
+    if any(fragment in leaf for fragment in NEUTRAL):
+        return "neutral"
+    if any(fragment in leaf for fragment in HIGHER_IS_BETTER):
+        return "higher"
+    if any(fragment in leaf for fragment in LOWER_IS_BETTER):
+        return "lower"
+    return "neutral"
+
+
+def diff(
+    before: dict, after: dict, threshold: float = 0.02
+) -> list[dict]:
+    """Classified changes between two benchmark documents.
+
+    Returns one row per metric present in both documents whose
+    relative change exceeds ``threshold`` (plus every metric that
+    appeared or vanished), sorted worst regression first.
+    """
+    flat_before = flatten(before)
+    flat_after = flatten(after)
+    rows: list[dict] = []
+    for path in sorted(set(flat_before) | set(flat_after)):
+        old = flat_before.get(path)
+        new = flat_after.get(path)
+        if old is None or new is None:
+            rows.append({
+                "metric": path,
+                "before": old,
+                "after": new,
+                "change": None,
+                "verdict": "added" if old is None else "removed",
+            })
+            continue
+        if old == new:
+            continue
+        change = (new - old) / abs(old) if old else float("inf")
+        if abs(change) <= threshold:
+            continue
+        sense = direction(path)
+        if sense == "neutral":
+            verdict = "changed"
+        elif (sense == "lower") == (new < old):
+            verdict = "improved"
+        else:
+            verdict = "regressed"
+        rows.append({
+            "metric": path,
+            "before": old,
+            "after": new,
+            "change": change,
+            "verdict": verdict,
+        })
+
+    def severity(row: dict) -> tuple:
+        order = {"regressed": 0, "changed": 1, "added": 2,
+                 "removed": 2, "improved": 3}
+        magnitude = abs(row["change"]) if row["change"] is not None else 0.0
+        return (order[row["verdict"]], -magnitude)
+
+    rows.sort(key=severity)
+    return rows
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def diff_lines(rows: list[dict], threshold: float) -> list[str]:
+    """The highlighted comparison table."""
+    if not rows:
+        return [f"no metric moved more than {threshold:.1%}"]
+    width = max(len(row["metric"]) for row in rows)
+    marks = {"regressed": "!!", "improved": "ok", "changed": "~",
+             "added": "+", "removed": "-"}
+    lines = [
+        f"{'':2} {'metric':<{width}} {'before':>12} {'after':>12} "
+        f"{'change':>8}"
+    ]
+    for row in rows:
+        change = (
+            f"{row['change']:+.1%}" if row["change"] is not None else ""
+        )
+        lines.append(
+            f"{marks[row['verdict']]:>2} {row['metric']:<{width}} "
+            f"{_fmt(row['before']):>12} {_fmt(row['after']):>12} "
+            f"{change:>8}"
+        )
+    regressions = sum(1 for r in rows if r["verdict"] == "regressed")
+    improvements = sum(1 for r in rows if r["verdict"] == "improved")
+    lines.append(
+        f"{len(rows)} metrics moved > {threshold:.1%}: "
+        f"{regressions} regressed (!!), {improvements} improved (ok)"
+    )
+    return lines
+
+
+def cmd_bench_diff(args) -> int:
+    """The ``repro bench diff`` subcommand."""
+    before = json.loads(Path(args.before).read_text())
+    after = json.loads(Path(args.after).read_text())
+    rows = diff(before, after, threshold=args.threshold)
+    print(f"bench diff: {args.before} -> {args.after}")
+    for line in diff_lines(rows, args.threshold):
+        print(line)
+    if args.fail_over is not None:
+        worst = max(
+            (abs(r["change"]) for r in rows
+             if r["verdict"] == "regressed" and r["change"] is not None),
+            default=0.0,
+        )
+        if worst > args.fail_over:
+            print(
+                f"FAIL: worst regression {worst:.1%} exceeds "
+                f"--fail-over {args.fail_over:.1%}"
+            )
+            return 1
+    return 0
+
+
+def add_subparser(sub) -> None:
+    """Register ``bench`` (with its ``diff`` action) on the parser."""
+    p = sub.add_parser(
+        "bench",
+        help="benchmark tooling (bench diff: compare two "
+             "BENCH_*.json documents)",
+    )
+    actions = p.add_subparsers(dest="bench_command", required=True)
+    d = actions.add_parser(
+        "diff", help="compare two BENCH_*.json files"
+    )
+    d.add_argument("before", help="baseline BENCH_*.json")
+    d.add_argument("after", help="candidate BENCH_*.json")
+    d.add_argument("--threshold", type=float, default=0.02,
+                   help="relative change below this is noise "
+                        "(default: 0.02)")
+    d.add_argument("--fail-over", type=float, default=None,
+                   metavar="FRAC",
+                   help="exit 1 when a regression exceeds this "
+                        "fraction (off by default)")
+    d.set_defaults(fn=cmd_bench_diff)

@@ -60,6 +60,10 @@ class Observer:
         self.clock = clock
         self.metrics = MetricsRegistry()
         self.spans = SpanLog(now=self._now)
+        #: optional :class:`~repro.obs.attribution.AttributionRecorder`;
+        #: instrumented layers guard every note with one ``is None``
+        #: check, so detached runs do no attribution work.
+        self.attribution = None
 
     def _now(self) -> float:
         clock = self.clock
@@ -117,6 +121,11 @@ class NullObserver:
     enabled = False
 
     clock = None
+
+    #: class attribute (never set on the shared :data:`NULL_OBS`); a
+    #: fresh ``NullObserver()`` may carry a recorder for
+    #: attribution-only runs with metrics off.
+    attribution = None
 
     def bind_clock(self, clock) -> None:
         """No-op (the null observer has no clock to bind)."""

@@ -20,7 +20,7 @@ from pathlib import Path
 from repro.core.data_cache import DEFAULT_READAHEAD_PAGES
 from repro.core.fsd import FSD
 from repro.disk.image import load_disk, save_disk
-from repro.obs.export import metric_dicts, timeline, to_jsonl
+from repro.obs.export import folded_stacks, metric_dicts, timeline, to_jsonl
 from repro.obs.instrument import instrument
 from repro.obs.metrics import HistogramSnapshot, Snapshot
 from repro.obs.workload import run_scripted_workload
@@ -77,13 +77,19 @@ def cmd_stats(args) -> int:
     print(f"metrics after {args.ops} scripted ops on {args.image}:\n")
     _print_stats_table(snapshot)
     cache = snapshot.layers().get("cache", {})
-    if "cache.data.hits" in cache or "cache.data.misses" in cache:
+    if getattr(args, "data_cache_pages", 0) <= 0:
+        # A disabled cache records no lookups: say so instead of
+        # printing a meaningless 0/0 ratio (or nothing at all).
+        print("data cache: disabled (--data-cache-pages 0)")
+    elif "cache.data.hits" in cache or "cache.data.misses" in cache:
         hit_ratio = cache.get("cache.data.hit_ratio", 0.0)
         accuracy = cache.get("cache.data.readahead_accuracy", 0.0)
         print(
             f"data cache: hit ratio {hit_ratio:.1%}, "
             f"read-ahead accuracy {accuracy:.1%}"
         )
+    else:
+        print("data cache: enabled, no lookups recorded")
     commit = snapshot.layers().get("commit", {})
     absorbed = commit.get("commit.ops_absorbed")
     if isinstance(absorbed, HistogramSnapshot) and absorbed.count:
@@ -120,6 +126,15 @@ def _print_span_tree(records) -> None:
 def cmd_trace(args) -> int:
     """Run the scripted workload and dump the span/I-O timeline."""
     obs, tracer = _run(args, trace_io=True)
+    if args.folded:
+        lines = folded_stacks(obs.span_records())
+        text = "\n".join(lines)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {len(lines)} folded stacks to {args.out}")
+        else:
+            print(text)
+        return 0
     if args.json:
         text = to_jsonl(timeline(obs.span_records(), tracer.events))
         if args.out:
@@ -171,8 +186,11 @@ def add_subparsers(sub) -> None:
                    help="scripted operations to run (default 25)")
     p.add_argument("--json", action="store_true",
                    help="emit the unified JSONL timeline")
+    p.add_argument("--folded", action="store_true",
+                   help="emit flamegraph folded stacks (exclusive "
+                        "simulated time per span path, microseconds)")
     p.add_argument("--out",
-                   help="with --json, write the timeline to this file")
+                   help="with --json/--folded, write to this file")
     p.add_argument("--save", action="store_true",
                    help="save the image back after the workload")
     p.add_argument("--sched", choices=["fifo", "scan", "deadline"],

@@ -97,6 +97,52 @@ def timeline(
     return [row[1] for row in rows]
 
 
+def folded_stacks(spans: Iterable[SpanRecord]) -> list[str]:
+    """Flamegraph folded-stack lines from a finished span log.
+
+    Each line is ``name;child;grandchild <value>`` — the semicolon
+    path from the root span down, and the *exclusive* simulated time
+    of that frame (its duration minus its direct children's), in
+    integer microseconds so standard flamegraph tooling (which expects
+    integral sample counts) consumes the output directly.  Identical
+    paths across the run are aggregated; zero-weight frames with no
+    self time are kept only if they have no children (so leaf spans
+    always appear).  Lines come out path-sorted, which is also what
+    ``flamegraph.pl`` expects.
+    """
+    records = list(spans)
+    by_id = {record.span_id: record for record in records}
+    child_ms: dict[int, float] = {}
+    has_children: set[int] = set()
+    for record in records:
+        if record.parent_id is not None and record.parent_id in by_id:
+            child_ms[record.parent_id] = (
+                child_ms.get(record.parent_id, 0.0) + record.duration_ms
+            )
+            has_children.add(record.parent_id)
+
+    def path(record: SpanRecord) -> str:
+        names = [record.name]
+        cursor = record
+        while cursor.parent_id is not None:
+            parent = by_id.get(cursor.parent_id)
+            if parent is None:
+                break
+            names.append(parent.name)
+            cursor = parent
+        return ";".join(reversed(names))
+
+    weights: dict[str, int] = {}
+    for record in records:
+        exclusive_ms = record.duration_ms - child_ms.get(record.span_id, 0.0)
+        value = max(0, round(exclusive_ms * 1000.0))
+        if value == 0 and record.span_id in has_children:
+            continue
+        key = path(record)
+        weights[key] = weights.get(key, 0) + value
+    return [f"{key} {value}" for key, value in sorted(weights.items())]
+
+
 def to_jsonl(records: Iterable[dict]) -> str:
     """Render records as one JSON object per line."""
     return "\n".join(json.dumps(record, sort_keys=True) for record in records)

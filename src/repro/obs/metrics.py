@@ -23,6 +23,21 @@ from repro.errors import FsError
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Exact linear-interpolated percentile of raw samples (``q`` in
+    ``[0, 1]``); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (len(ordered) - 1) * q
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
 def bucket_index(bounds: tuple[float, ...], value: float) -> int:
     """Index of the first bucket whose upper bound holds ``value``
     (the last index is the overflow bucket)."""

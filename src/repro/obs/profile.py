@@ -1,0 +1,195 @@
+"""Host-runtime profiling: where does *our* wall clock go.
+
+Everything else in ``repro.obs`` measures simulated milliseconds; this
+module measures the Python runtime itself.  The ROADMAP's raw-speed
+item (≥5x real-time speedup on makedo at t300) needs to know which of
+our functions burn the host CPU before anything can be batched away,
+so ``repro profile <benchmark>`` wraps a named benchmark in
+:mod:`cProfile`, prints a hotspot table, and writes a
+``BENCH_profile.json`` baseline that ``repro bench diff`` can compare
+across PRs.
+
+Benchmarks run on a freshly formatted in-memory volume at the small
+scale (no image file involved), so a profile is reproducible from a
+bare checkout.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import json
+import platform
+import pstats
+import time
+from pathlib import Path
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.errors import FsError
+from repro.harness.adapters import FsdAdapter
+from repro.harness.scenarios import SMALL
+
+#: schema of the ``BENCH_profile.json`` document.
+PROFILE_SCHEMA_VERSION = 1
+
+#: hotspots reported per profile (the acceptance bar: top 20).
+DEFAULT_TOP = 20
+
+_SRC_MARKER = "/src/repro/"
+
+
+def _fresh_fs() -> FSD:
+    disk = SimDisk(geometry=SMALL.geometry)
+    FSD.format(disk, SMALL.fsd_params)
+    return FSD.mount(disk)
+
+
+def _bench_makedo() -> None:
+    from repro.workloads.makedo import MakeDoWorkload
+
+    fs = _fresh_fs()
+    adapter = FsdAdapter(fs)
+    workload = MakeDoWorkload(modules=20)
+    workload.setup(adapter)
+    workload.run(adapter)
+    fs.unmount()
+
+
+def _bench_traffic() -> None:
+    from repro.workloads.traffic import TrafficConfig, TrafficEngine
+
+    fs = _fresh_fs()
+    config = TrafficConfig(
+        clients=20,
+        ops_per_client=20,
+        seed=1987,
+        sync_fraction=0.1,
+        population=20,
+    )
+    TrafficEngine(fs, config).run()
+    fs.unmount()
+
+
+def _bench_scripted() -> None:
+    from repro.obs.workload import run_scripted_workload
+
+    fs = _fresh_fs()
+    run_scripted_workload(fs, ops=200)
+    fs.unmount()
+
+
+#: the named benchmarks ``repro profile`` accepts.
+BENCHMARKS = {
+    "makedo": _bench_makedo,
+    "traffic": _bench_traffic,
+    "scripted": _bench_scripted,
+}
+
+
+def _normalize_location(filename: str, line: int, func: str) -> str:
+    """``repro/core/wal.py:123(append_records)`` for our code, the
+    bare qualified form for stdlib/builtins — stable across checkouts
+    so baselines diff cleanly."""
+    if filename.startswith("~") or filename == "":
+        return func
+    marker = filename.find(_SRC_MARKER)
+    if marker >= 0:
+        rel = filename[marker + len("/src/"):]
+    else:
+        rel = Path(filename).name
+    return f"{rel}:{line}({func})"
+
+
+def run_profile(benchmark: str, top: int = DEFAULT_TOP) -> dict:
+    """Profile one named benchmark; returns the JSON-ready document.
+
+    ``hotspots`` holds the ``top`` functions by exclusive (tottime)
+    host seconds, each with call counts, cumulative time, and its
+    share of total profiled time.
+    """
+    try:
+        run = BENCHMARKS[benchmark]
+    except KeyError:
+        raise FsError(
+            f"unknown profile benchmark {benchmark!r} "
+            f"(expected one of {sorted(BENCHMARKS)})"
+        ) from None
+    profiler = cProfile.Profile()
+    wall_start = time.perf_counter()
+    profiler.enable()
+    try:
+        run()
+    finally:
+        profiler.disable()
+    total_wall_s = time.perf_counter() - wall_start
+    stats = pstats.Stats(profiler)
+    total_tt = sum(entry[2] for entry in stats.stats.values())
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][2], reverse=True
+    )
+    hotspots = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in ranked[:top]:
+        hotspots.append(
+            {
+                "function": _normalize_location(filename, line, func),
+                "calls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+                "share": round(tt / total_tt, 4) if total_tt else 0.0,
+            }
+        )
+    return {
+        "benchmark": f"profile_{benchmark}",
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "total_wall_s": round(total_wall_s, 4),
+        "total_tottime_s": round(total_tt, 4),
+        "calls": sum(entry[1] for entry in stats.stats.values()),
+        "hotspots": hotspots,
+    }
+
+
+def profile_lines(document: dict) -> list[str]:
+    """Human-readable hotspot table."""
+    lines = [
+        f"{document['benchmark']}: {document['total_wall_s']:.3f} s "
+        f"wall, {document['calls']} calls "
+        f"(python {document['python']})",
+        f"  {'share':>6} {'tottime':>9} {'cumtime':>9} {'calls':>9}  "
+        f"function",
+    ]
+    for spot in document["hotspots"]:
+        lines.append(
+            f"  {spot['share']:>6.1%} {spot['tottime_s']:>9.4f} "
+            f"{spot['cumtime_s']:>9.4f} {spot['calls']:>9}  "
+            f"{spot['function']}"
+        )
+    return lines
+
+
+def cmd_profile(args) -> int:
+    """The ``repro profile`` subcommand."""
+    document = run_profile(args.benchmark, top=args.top)
+    for line in profile_lines(document):
+        print(line)
+    if args.out:
+        Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+def add_subparser(sub) -> None:
+    """Register ``profile`` on the main argument parser."""
+    p = sub.add_parser(
+        "profile",
+        help="cProfile a named benchmark and report host-runtime "
+             "hotspots (wall clock, not simulated time)",
+    )
+    p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    p.add_argument("--top", type=int, default=DEFAULT_TOP,
+                   help=f"hotspots to report (default: {DEFAULT_TOP})")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the profile document as JSON "
+                        "(e.g. BENCH_profile.json)")
+    p.set_defaults(fn=cmd_profile)

@@ -53,7 +53,26 @@ from typing import Callable
 
 from repro.errors import FsError
 from repro.harness.adapters import FsdAdapter
+from repro.obs.attribution import build_report, report_lines
+from repro.obs.metrics import percentile
 from repro.workloads.generators import payload
+
+__all__ = [
+    "ClientOp",
+    "TrafficConfig",
+    "TrafficEngine",
+    "TrafficReport",
+    "ZipfSampler",
+    "percentile",
+    "TRAFFIC_MS_BUCKETS",
+    "TRAFFIC_SCHEMA_VERSION",
+]
+
+#: bumped whenever the shape of ``TrafficReport.as_dict()`` changes,
+#: so downstream tooling (bench diff, dashboards) can detect format
+#: drift.  1 = PR 6 shape; 2 = adds ``schema_version`` itself and the
+#: optional ``attribution`` section.
+TRAFFIC_SCHEMA_VERSION = 2
 
 #: latency histogram bounds (ms) for ``traffic.op_ms``.
 TRAFFIC_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
@@ -109,6 +128,7 @@ class TrafficConfig:
     max_file_bytes: int = 60_000
     settle: bool = True             # force once when the run ends
     weights: dict[str, float] | None = None
+    slo_ms: float | None = None     # per-op latency SLO (attribution)
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -144,21 +164,6 @@ class ZipfSampler:
     def sample(self, rng: random.Random) -> int:
         """One rank in ``[0, population)``."""
         return bisect_left(self._cum, rng.random() * self._total)
-
-
-def percentile(values: list[float], q: float) -> float:
-    """Exact linear-interpolated percentile of raw samples (``q`` in
-    ``[0, 1]``); 0.0 for an empty list."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = (len(ordered) - 1) * q
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
 
 def _latency_summary(values: list[float]) -> dict[str, float]:
@@ -199,10 +204,15 @@ class TrafficReport:
     admission_waits: int
     commit_waits: int
     clock: dict[str, float] = field(default_factory=dict)
+    #: per-phase latency attribution (``repro traffic --attrib``);
+    #: ``None`` when the run was not attributed.
+    attribution: dict | None = None
+    schema_version: int = TRAFFIC_SCHEMA_VERSION
 
     def as_dict(self) -> dict:
         """JSON-ready dict with stable key order across runs."""
         return {
+            "schema_version": self.schema_version,
             "clients": self.clients,
             "arrival": self.arrival,
             "seed": self.seed,
@@ -231,7 +241,49 @@ class TrafficReport:
                 "commit_waits": self.commit_waits,
             },
             "clock": {k: round(v, 3) for k, v in self.clock.items()},
+            "attribution": self.attribution,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficReport":
+        """Rebuild a report from :meth:`as_dict` output (the
+        round-trip the ``--json``/``--save`` consumers rely on)."""
+        version = data.get("schema_version", 1)
+        if version > TRAFFIC_SCHEMA_VERSION:
+            raise FsError(
+                f"traffic report schema {version} is newer than this "
+                f"reader ({TRAFFIC_SCHEMA_VERSION})"
+            )
+        commit = data["commit"]
+        txn = data["txn"]
+        return cls(
+            clients=data["clients"],
+            arrival=data["arrival"],
+            seed=data["seed"],
+            ops_issued=data["ops_issued"],
+            ops_completed=data["ops_completed"],
+            errors=data["errors"],
+            elapsed_ms=data["elapsed_ms"],
+            throughput_ops_per_s=data["throughput_ops_per_s"],
+            ops_by_kind=dict(data["ops_by_kind"]),
+            latency=dict(data["latency"]),
+            latency_by_kind={
+                kind: dict(summary)
+                for kind, summary in data["latency_by_kind"].items()
+            },
+            sync_latency=dict(data["sync_latency"]),
+            forces=commit["forces"],
+            empty_forces=commit["empty_forces"],
+            pressure_forces=commit["pressure_forces"],
+            deferred_forces=commit["deferred_forces"],
+            updates_absorbed=commit["updates_absorbed"],
+            batching_factor=commit["batching_factor"],
+            admission_waits=txn["admission_waits"],
+            commit_waits=txn["commit_waits"],
+            clock=dict(data.get("clock", {})),
+            attribution=data.get("attribution"),
+            schema_version=version,
+        )
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize :meth:`as_dict` as JSON."""
@@ -264,19 +316,22 @@ class TrafficReport:
                 f"p95 {sync.get('p95_ms', 0.0):.2f}  "
                 f"count {sync['count']}"
             )
+        if self.attribution is not None:
+            lines.extend(report_lines(self.attribution))
         return lines
 
 
 class _Client:
     """Run state of one scripted client inside the event loop."""
 
-    __slots__ = ("cid", "ops", "index", "issue_ms")
+    __slots__ = ("cid", "ops", "index", "issue_ms", "trace")
 
     def __init__(self, cid: int, ops: list[ClientOp]):
         self.cid = cid
         self.ops = ops
         self.index = 0
         self.issue_ms = 0.0
+        self.trace = None       # OpTrace of the op in flight (attrib)
 
 
 class TrafficEngine:
@@ -290,6 +345,12 @@ class TrafficEngine:
         self.config = config or TrafficConfig()
         self.adapter = FsdAdapter(fs)
         self.obs = fs.obs
+        #: latency-attribution recorder, when one is attached to the
+        #: observer (``repro traffic --attrib``); ``None`` otherwise.
+        self.recorder = getattr(self.obs, "attribution", None)
+        if self.recorder is not None and self.recorder.clock is None:
+            self.recorder.bind(fs)
+        self._trace_start = 0
         mix = dict(DEFAULT_WEIGHTS)
         if self.config.weights:
             mix.update(self.config.weights)
@@ -449,6 +510,8 @@ class TrafficEngine:
         cfg = self.config
         clock = self.fs.clock
         self.prepare()
+        if self.recorder is not None:
+            self._trace_start = len(self.recorder.traces)
         start = self._counter_snapshot()
         start_ms = clock.now_ms
         issued = cfg.clients * cfg.ops_per_client
@@ -537,6 +600,10 @@ class TrafficEngine:
     # ------------------------------------------------------------------
     def _arrive(self, client: _Client) -> None:
         client.issue_ms = self.fs.clock.now_ms
+        if self.recorder is not None:
+            client.trace = self.recorder.op_issued(
+                client.cid, client.ops[client.index], client.issue_ms
+            )
         self._attempt(client)
 
     def _attempt(self, client: _Client) -> None:
@@ -552,11 +619,20 @@ class TrafficEngine:
         elif op.kind == "read":
             self._start_read(client, op)
         else:
+            trace = client.trace
+            if trace is not None:
+                self.recorder.op_admitted(trace, clock.now_ms)
             try:
-                self.adapter.list(op.name)
+                if trace is not None:
+                    with self.recorder.measure(trace):
+                        self.adapter.list(op.name)
+                else:
+                    self.adapter.list(op.name)
             except FsError:
                 self._errors += 1
                 self.obs.count("traffic.errors")
+                if trace is not None:
+                    self.recorder.op_error(trace)
             self._finish(client, op, clock.now_ms - client.issue_ms)
 
     def _attempt_mutation(self, client: _Client, op: ClientOp) -> None:
@@ -571,15 +647,26 @@ class TrafficEngine:
             # Uncontended: nobody else can free log space for us, so
             # blocking is meaningless — take the serial no-wait path.
             waiter = None
+        trace = client.trace
         if not txn.begin_op(waiter):
+            if trace is not None:
+                self.recorder.op_blocked(trace, txn.block_reason())
             self._parked += 1
             return
+        if trace is not None:
+            self.recorder.op_admitted(trace, clock.now_ms)
         try:
-            with txn.passthrough():
-                self._body(op)
+            if trace is not None:
+                with txn.passthrough(), self.recorder.measure(trace):
+                    self._body(op)
+            else:
+                with txn.passthrough():
+                    self._body(op)
         except FsError:
             self._errors += 1
             self.obs.count("traffic.errors")
+            if trace is not None:
+                self.recorder.op_error(trace)
         latency = clock.now_ms - client.issue_ms
         if self.config.hold_ms > 0.0:
             self._schedule(
@@ -593,13 +680,18 @@ class TrafficEngine:
         self, client: _Client, op: ClientOp, latency: float
     ) -> None:
         coord = self.fs.coordinator
+        trace = client.trace
         forces_before = coord.forces + coord.empty_forces
+        if trace is not None:
+            self.recorder.op_end(trace, self.fs.clock.now_ms)
         self.fs.txn.end_op()
         if op.sync:
             if coord.forces + coord.empty_forces > forces_before:
                 # Our own end_op ran the deferred force, so the update
                 # is already durable — no need to wait for the next one.
                 now_ms = self.fs.clock.now_ms
+                if trace is not None:
+                    self.recorder.op_durable(trace, now_ms)
                 self._sync_lat.append(now_ms - client.issue_ms)
                 self.obs.observe(
                     "traffic.sync_ms",
@@ -612,6 +704,8 @@ class TrafficEngine:
 
             def durable(now_ms: float) -> None:
                 self._parked -= 1
+                if trace is not None:
+                    self.recorder.op_durable(trace, now_ms)
                 self._sync_lat.append(now_ms - client.issue_ms)
                 self.obs.observe(
                     "traffic.sync_ms",
@@ -638,11 +732,20 @@ class TrafficEngine:
             raise FsError(f"no inline body for op kind {op.kind!r}")
 
     def _start_read(self, client: _Client, op: ClientOp) -> None:
+        trace = client.trace
+        if trace is not None:
+            self.recorder.op_admitted(trace, self.fs.clock.now_ms)
         try:
-            handle = self.adapter.open(op.name)
+            if trace is not None:
+                with self.recorder.measure(trace):
+                    handle = self.adapter.open(op.name)
+            else:
+                handle = self.adapter.open(op.name)
         except FsError:
             self._errors += 1
             self.obs.count("traffic.errors")
+            if trace is not None:
+                self.recorder.op_error(trace)
             self._finish(client, op,
                          self.fs.clock.now_ms - client.issue_ms)
             return
@@ -651,19 +754,26 @@ class TrafficEngine:
     def _read_chunk(self, client: _Client, op: ClientOp, handle,
                     offset: int) -> None:
         clock = self.fs.clock
+        trace = client.trace
         total = handle.byte_size
         if offset >= total:
             self._finish(client, op, clock.now_ms - client.issue_ms)
             return
         length = min(self.config.read_chunk_bytes, total - offset)
         try:
-            self.adapter.read_at(handle, offset, length)
+            if trace is not None:
+                with self.recorder.measure(trace):
+                    self.adapter.read_at(handle, offset, length)
+            else:
+                self.adapter.read_at(handle, offset, length)
         except FsError:
             # A concurrent delete/recreate can invalidate the handle
             # mid-stream; the session ends early, like a Cedar client
             # whose remote file vanished.
             self._errors += 1
             self.obs.count("traffic.errors")
+            if trace is not None:
+                self.recorder.op_error(trace)
             self._finish(client, op, clock.now_ms - client.issue_ms)
             return
         offset += length
@@ -677,6 +787,9 @@ class TrafficEngine:
 
     def _finish(self, client: _Client, op: ClientOp,
                 latency: float) -> None:
+        if client.trace is not None:
+            self.recorder.op_finished(client.trace, latency)
+            client.trace = None
         self._record(op, latency)
         client.index += 1
         if client.index >= len(client.ops):
@@ -725,6 +838,15 @@ class TrafficEngine:
         batching = absorbed / forces if forces else 0.0
         throughput = (self._completed / (elapsed / 1000.0)
                       if elapsed > 0 else 0.0)
+        attribution = None
+        if self.recorder is not None:
+            finished = [
+                t for t in self.recorder.traces[self._trace_start:]
+                if t.finish_ms is not None
+            ]
+            attribution = build_report(
+                finished, slo_ms=self.config.slo_ms
+            )
         return TrafficReport(
             clients=self.config.clients,
             arrival=self.config.arrival,
@@ -750,4 +872,5 @@ class TrafficEngine:
             admission_waits=delta["admission_waits"],
             commit_waits=delta["commit_waits"],
             clock=self.fs.clock.snapshot(),
+            attribution=attribution,
         )

@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Snapshot,
     bucket_index,
+    percentile,
 )
 
 
@@ -143,3 +144,32 @@ class TestSnapshotDelta:
         reg.gauge("g").set(2)
         reg.histogram("h", bounds=DEFAULT_BUCKETS).observe(3)
         json.dumps(reg.snapshot().as_dict())
+
+
+class TestPercentile:
+    """Edge cases of the canonical linear-interpolation percentile."""
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_single_sample_is_every_quantile(self):
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q_zero_is_min_and_q_one_is_max(self):
+        values = [9.0, 1.0, 5.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_interpolates_between_samples(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+        assert percentile([0.0, 10.0], 0.75) == 7.5
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        percentile(values, 0.5)
+        assert values == [3.0, 1.0, 2.0]
+
+    def test_duplicates(self):
+        assert percentile([4.0, 4.0, 4.0, 4.0], 0.99) == 4.0

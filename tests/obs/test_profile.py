@@ -1,0 +1,71 @@
+"""Tests for ``repro profile``: hotspot extraction, path
+normalization, and the document schema."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import FsError
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    _normalize_location,
+    profile_lines,
+    run_profile,
+)
+
+
+class TestNormalizeLocation:
+    def test_repo_files_become_repo_relative(self):
+        loc = _normalize_location(
+            "/home/user/checkout/src/repro/core/wal.py", 123, "append"
+        )
+        assert loc == "repro/core/wal.py:123(append)"
+
+    def test_stdlib_keeps_basename(self):
+        loc = _normalize_location(
+            "/usr/lib/python3.11/heapq.py", 1, "heappush"
+        )
+        assert loc == "heapq.py:1(heappush)"
+
+    def test_builtins_are_bare(self):
+        assert _normalize_location("~", 0, "<built-in len>") == (
+            "<built-in len>"
+        )
+
+
+class TestRunProfile:
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(FsError):
+            run_profile("nope")
+
+    def test_scripted_profile_document(self):
+        document = run_profile("scripted", top=10)
+        assert document["benchmark"] == "profile_scripted"
+        assert document["schema_version"] == PROFILE_SCHEMA_VERSION
+        assert document["total_wall_s"] > 0
+        assert document["calls"] > 0
+        hotspots = document["hotspots"]
+        assert 0 < len(hotspots) <= 10
+        # ranked by exclusive time, shares within [0, 1]
+        times = [spot["tottime_s"] for spot in hotspots]
+        assert times == sorted(times, reverse=True)
+        for spot in hotspots:
+            assert 0.0 <= spot["share"] <= 1.0
+            assert spot["calls"] >= spot["primitive_calls"] >= 0
+        # our own code appears with repo-relative paths
+        assert any(
+            spot["function"].startswith("repro/") for spot in hotspots
+        )
+        json.dumps(document)  # JSON-ready
+
+    def test_top_limits_hotspots(self):
+        document = run_profile("scripted", top=3)
+        assert len(document["hotspots"]) == 3
+
+    def test_profile_lines_render(self):
+        document = run_profile("scripted", top=3)
+        lines = profile_lines(document)
+        assert "profile_scripted" in lines[0]
+        assert len(lines) == 2 + 3

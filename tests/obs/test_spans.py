@@ -7,6 +7,7 @@ import pytest
 from repro.disk.trace import IoEvent
 from repro.obs import Observer
 from repro.obs.export import (
+    folded_stacks,
     parse_jsonl,
     timeline,
     to_jsonl,
@@ -145,3 +146,62 @@ class TestTimelineExport:
              "depth": 0, "start_ms": 5.0, "end_ms": 1.0},
         ]
         assert validate_timeline(records)
+
+
+class TestFoldedStacks:
+    """Flamegraph folded-stack export: exclusive time, semicolon
+    paths, aggregation across identical paths."""
+
+    def test_exclusive_time_subtracts_children(self, obs):
+        observer, clock = obs
+        with observer.span("op"):
+            clock.tick(2.0)
+            with observer.span("disk.read"):
+                clock.tick(3.0)
+            clock.tick(1.0)
+        lines = folded_stacks(observer.spans.records)
+        folded = dict(
+            line.rsplit(" ", 1) for line in lines
+        )
+        # values are integer microseconds of exclusive time
+        assert folded["op"] == "3000"
+        assert folded["op;disk.read"] == "3000"
+
+    def test_identical_paths_aggregate(self, obs):
+        observer, clock = obs
+        for _ in range(3):
+            with observer.span("op"):
+                clock.tick(1.0)
+        lines = folded_stacks(observer.spans.records)
+        assert lines == ["op 3000"]
+
+    def test_zero_weight_leaf_is_kept(self, obs):
+        observer, clock = obs
+        with observer.span("op"):
+            with observer.span("noop"):
+                pass  # zero duration, no children: still a leaf frame
+            clock.tick(1.0)
+        lines = folded_stacks(observer.spans.records)
+        folded = dict(line.rsplit(" ", 1) for line in lines)
+        assert folded["op;noop"] == "0"
+
+    def test_zero_weight_parent_is_dropped(self, obs):
+        observer, clock = obs
+        with observer.span("wrapper"):
+            with observer.span("work"):
+                clock.tick(2.0)
+        lines = folded_stacks(observer.spans.records)
+        paths = [line.rsplit(" ", 1)[0] for line in lines]
+        assert "wrapper;work" in paths
+        assert "wrapper" not in paths  # no self time, has children
+
+    def test_output_is_path_sorted(self, obs):
+        observer, clock = obs
+        for name in ("zeta", "alpha", "mid"):
+            with observer.span(name):
+                clock.tick(1.0)
+        lines = folded_stacks(observer.spans.records)
+        assert lines == sorted(lines)
+
+    def test_empty_log(self):
+        assert folded_stacks([]) == []

@@ -4,15 +4,20 @@ predicts (batching factor, admission waits, durable waits)."""
 
 from __future__ import annotations
 
+import json
 import random
 
 import pytest
 
 from repro.errors import FsError
+from repro.obs.metrics import bucket_index
 from repro.workloads.traffic import (
     MUTATING,
+    TRAFFIC_MS_BUCKETS,
+    TRAFFIC_SCHEMA_VERSION,
     TrafficConfig,
     TrafficEngine,
+    TrafficReport,
     ZipfSampler,
     percentile,
 )
@@ -168,3 +173,77 @@ class TestRuns:
         engine = TrafficEngine(fsd, TrafficConfig(clients=2, seed=1))
         with pytest.raises(FsError):
             engine.run_serial()
+
+
+class TestReportSchema:
+    def _report(self, fsd):
+        engine = TrafficEngine(fsd, TrafficConfig(
+            clients=3, ops_per_client=10, seed=5, sync_fraction=0.2,
+        ))
+        return engine.run()
+
+    def test_as_dict_carries_schema_version(self, fsd):
+        data = self._report(fsd).as_dict()
+        assert data["schema_version"] == TRAFFIC_SCHEMA_VERSION
+        # schema_version leads the document so diffs of saved reports
+        # surface format bumps first.
+        assert next(iter(data)) == "schema_version"
+
+    def test_round_trip_is_lossless(self, fsd):
+        report = self._report(fsd)
+        data = report.as_dict()
+        rebuilt = TrafficReport.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.as_dict() == data
+
+    def test_v1_documents_still_load(self, fsd):
+        """A report saved before the version field existed (PR 6
+        shape) reads back as version 1."""
+        data = self._report(fsd).as_dict()
+        del data["schema_version"]
+        del data["attribution"]
+        rebuilt = TrafficReport.from_dict(data)
+        assert rebuilt.schema_version == 1
+        assert rebuilt.attribution is None
+
+    def test_newer_schema_is_rejected(self, fsd):
+        data = self._report(fsd).as_dict()
+        data["schema_version"] = TRAFFIC_SCHEMA_VERSION + 1
+        with pytest.raises(FsError):
+            TrafficReport.from_dict(data)
+
+
+class TestLatencyBuckets:
+    """Boundary semantics of the ``traffic.op_ms`` histogram: upper
+    bounds are inclusive, beyond the last bound is the overflow
+    bucket."""
+
+    def test_value_on_bound_falls_in_that_bucket(self):
+        for index, bound in enumerate(TRAFFIC_MS_BUCKETS):
+            assert bucket_index(TRAFFIC_MS_BUCKETS, bound) == index
+
+    def test_value_just_over_bound_falls_in_next_bucket(self):
+        for index, bound in enumerate(TRAFFIC_MS_BUCKETS):
+            assert bucket_index(TRAFFIC_MS_BUCKETS, bound * 1.0001) == index + 1
+
+    def test_overflow_bucket(self):
+        last = TRAFFIC_MS_BUCKETS[-1]
+        assert bucket_index(TRAFFIC_MS_BUCKETS, last) == len(TRAFFIC_MS_BUCKETS) - 1
+        assert bucket_index(TRAFFIC_MS_BUCKETS, last + 0.001) == len(TRAFFIC_MS_BUCKETS)
+
+    def test_engine_populates_op_ms_histogram(self):
+        from repro.core.fsd import FSD
+        from repro.disk.disk import SimDisk
+        from repro.obs import Observer
+        from tests.conftest import TEST_FSD_PARAMS, TEST_GEOMETRY
+
+        disk = SimDisk(geometry=TEST_GEOMETRY)
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = FSD.mount(disk, obs=Observer())
+        engine = TrafficEngine(fs, TrafficConfig(
+            clients=2, ops_per_client=10, seed=3,
+        ))
+        engine.run()
+        hist = fs.obs.metrics.snapshot().histograms["traffic.op_ms"]
+        fs.unmount()
+        assert hist.bounds == TRAFFIC_MS_BUCKETS
+        assert hist.count == 20
