@@ -1,0 +1,104 @@
+"""Host-runtime gate: makedo wall clock against the committed baseline.
+
+Everything else in ``benchmarks/`` reports *simulated* milliseconds;
+this one measures the Python harness itself.  It runs the MakeDo
+build workload at the paper's t300 scale (or ``small`` for smoke
+runs), takes the best wall time of ``BENCH_RUNTIME_ROUNDS``
+interleaved rounds, and writes a ``BENCH_runtime.json`` document that
+``repro bench diff --fail-over`` gates in CI — so a PR that loses the
+extent-batched I/O core's speedup fails loudly instead of silently.
+
+The simulated clock is asserted identical across rounds: wall time may
+wobble with the host, but the simulation itself must be deterministic.
+
+Environment knobs (CI sets these):
+
+* ``BENCH_RUNTIME_SCALE`` — ``t300`` (default) or ``small``
+* ``BENCH_RUNTIME_MODULES`` — translation units (default 300 / 20)
+* ``BENCH_RUNTIME_ROUNDS`` — timing rounds, best-of (default 3)
+* ``BENCH_RUNTIME_OUT`` — output path (default BENCH_runtime.json)
+* ``BENCH_RUNTIME_SEED_WALL_S`` — optional wall seconds of the
+  pre-batching seed on this machine; when set, the document records
+  the honest speedup next to the measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.harness.adapters import FsdAdapter
+from repro.harness.scenarios import FULL, SMALL
+from repro.workloads.makedo import MakeDoWorkload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCALE_NAME = os.environ.get("BENCH_RUNTIME_SCALE", "t300")
+SCALE = {"t300": FULL, "small": SMALL}[SCALE_NAME]
+MODULES = int(
+    os.environ.get(
+        "BENCH_RUNTIME_MODULES", "300" if SCALE_NAME == "t300" else "20"
+    )
+)
+ROUNDS = int(os.environ.get("BENCH_RUNTIME_ROUNDS", "3"))
+OUT_PATH = Path(
+    os.environ.get("BENCH_RUNTIME_OUT", REPO_ROOT / "BENCH_runtime.json")
+)
+SEED_WALL_S = os.environ.get("BENCH_RUNTIME_SEED_WALL_S")
+
+
+def _run_once() -> tuple[float, float]:
+    """One full makedo build on a fresh volume: (wall_s, sim_now_ms)."""
+    disk = SimDisk(geometry=SCALE.geometry)
+    FSD.format(disk, SCALE.fsd_params)
+    fs = FSD.mount(disk)
+    adapter = FsdAdapter(fs)
+    workload = MakeDoWorkload(modules=MODULES)
+    start = time.perf_counter()
+    workload.setup(adapter)
+    workload.run(adapter)
+    fs.unmount()
+    wall = time.perf_counter() - start
+    return wall, disk.clock.now_ms
+
+
+def test_runtime_makedo(once):
+    def run():
+        _run_once()  # discarded warmup: allocator and cache effects
+        return [_run_once() for _ in range(ROUNDS)]
+
+    rounds = once(run)
+    walls = [wall for wall, _ in rounds]
+    clocks = {clock for _, clock in rounds}
+    best = min(walls)
+
+    document = {
+        "benchmark": "runtime_makedo",
+        "schema_version": 1,
+        "scale": SCALE_NAME,
+        "modules": MODULES,
+        "rounds": ROUNDS,
+        "best_wall_s": round(best, 4),
+        "mean_wall_s": round(sum(walls) / len(walls), 4),
+        "sim_now_ms": rounds[0][1],
+    }
+    if SEED_WALL_S is not None:
+        seed_wall = float(SEED_WALL_S)
+        document["reference"] = {
+            "seed_wall_s": seed_wall,
+            "speedup_vs_seed": round(seed_wall / best, 2),
+        }
+    OUT_PATH.write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"makedo {SCALE_NAME} x{MODULES}: best {best:.3f} s wall over "
+        f"{ROUNDS} rounds (sim {rounds[0][1] / 1000:.1f} s); "
+        f"wrote {OUT_PATH}"
+    )
+
+    # Wall time is the host's business; the simulation must not wobble.
+    assert len(clocks) == 1
+    assert best > 0

@@ -51,6 +51,7 @@ def _mount(path: str, args=None) -> tuple[SimDisk, FSD]:
         sched=getattr(args, "sched", "fifo"),
         data_cache_pages=getattr(args, "data_cache_pages", 0),
         readahead_pages=getattr(args, "readahead", DEFAULT_READAHEAD_PAGES),
+        checkpoint_interval_ms=getattr(args, "checkpoint_ms", None),
     )
     report = fs.mount_report
     if report.log_records_replayed or report.vam_rebuild_entries:
@@ -206,6 +207,7 @@ def cmd_traffic(args) -> int:
             sched=args.sched,
             data_cache_pages=args.data_cache_pages,
             readahead_pages=args.readahead,
+            checkpoint_interval_ms=args.checkpoint_ms,
         )
     else:
         disk, fs = _mount(args.image, args)
@@ -297,6 +299,12 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="sequential read-ahead window in pages (default: "
                  f"{DEFAULT_READAHEAD_PAGES})",
+        )
+        p.add_argument(
+            "--checkpoint-ms", type=float, default=None, metavar="MS",
+            help="run the background checkpointer every MS simulated "
+                 "ms (default: off — third entries write home "
+                 "synchronously)",
         )
 
     p = sub.add_parser("mkfs", help="format a new volume image")

@@ -6,23 +6,34 @@ values live only in leaves, internal nodes hold separator keys, splits
 are size-based (entries are variable length), and deletion rebalances
 by merging or evenly redistributing siblings.
 
-The tree never caches nodes itself: every node touch is a
+The tree never caches node *pages* itself: every node touch is a
 ``pager.read``/``pager.write``, so the owning file system sees and
 accounts for every page access (FSD's pager is its logged cache, CFS'
-pager is write-through to disk).
+pager is write-through to disk).  What it does keep is a host-side
+parse memo keyed by page bytes: re-reading an unchanged page skips the
+byte-level parse, but never the pager call, so simulated accounting is
+untouched.
 """
 
 from __future__ import annotations
 
 import bisect
+import struct
 from typing import Iterator
 
 from repro.btree.node import INTERNAL, LEAF, Node, max_entry_bytes
 from repro.btree.pager import Pager
 from repro.errors import CorruptMetadata
-from repro.serial import Packer, Unpacker
+from repro.serial import Unpacker
 
 _META_MAGIC = 0x42543031  # "BT01"
+#: meta page layout: magic u32, root u32, height u32, count u64.
+_META = struct.Struct("<IIIQ")
+
+#: parsed-node memo entries kept before wholesale eviction; sized to
+#: cover a working set of hot pages without growing unboundedly on
+#: scan-heavy workloads.
+_PARSE_MEMO_LIMIT = 512
 
 
 class BTree:
@@ -35,6 +46,11 @@ class BTree:
         self._count = 0
         self._min_node_bytes = pager.page_size // 4
         self._max_entry = max_entry_bytes(pager.page_size)
+        #: bytes -> parsed Node template.  Keyed by page *value* (two
+        #: pages with identical bytes share one template, which is why
+        #: :meth:`_read_node` always hands out a copy — callers mutate
+        #: nodes in place before writing them back).
+        self._parse_memo: dict[bytes, Node] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -63,9 +79,9 @@ class BTree:
     # ------------------------------------------------------------------
     def get(self, key: bytes) -> bytes | None:
         """Return the value for ``key`` or ``None``."""
-        node = self._read_node(self._root)
+        node = self._read_node_ro(self._root)
         while not node.is_leaf:
-            node = self._read_node(self._child_for(node, key))
+            node = self._read_node_ro(self._child_for(node, key))
         index = bisect.bisect_left(node.keys, key)
         if index < len(node.keys) and node.keys[index] == key:
             return node.values[index]
@@ -135,10 +151,8 @@ class BTree:
     # meta page
     # ------------------------------------------------------------------
     def _write_meta(self) -> None:
-        packer = Packer(capacity=self.pager.page_size)
-        packer.u32(_META_MAGIC).u32(self._root).u32(self._height)
-        packer.u64(self._count)
-        self.pager.write(0, packer.bytes(pad_to=self.pager.page_size))
+        data = _META.pack(_META_MAGIC, self._root, self._height, self._count)
+        self.pager.write(0, data.ljust(self.pager.page_size, b"\x00"))
 
     def _read_meta(self) -> None:
         reader = Unpacker(self.pager.read(0))
@@ -153,7 +167,35 @@ class BTree:
     # node I/O
     # ------------------------------------------------------------------
     def _read_node(self, page_no: int) -> Node:
-        return Node.from_bytes(self.pager.read(page_no))
+        data = self.pager.read(page_no)
+        memo = self._parse_memo
+        template = memo.get(data)
+        if template is None:
+            if len(memo) >= _PARSE_MEMO_LIMIT:
+                memo.clear()
+            template = Node.from_bytes(data)
+            memo[data] = template
+        return Node(
+            template.kind,
+            template.keys.copy(),
+            template.values.copy(),
+            template.children.copy(),
+        )
+
+    def _read_node_ro(self, page_no: int) -> Node:
+        """Read a node for read-only traversal: returns the shared
+        parse-memo template directly, skipping the per-call list
+        copies.  Callers must never mutate the result — mutation paths
+        (insert/delete/rebalance) go through :meth:`_read_node`."""
+        data = self.pager.read(page_no)
+        memo = self._parse_memo
+        template = memo.get(data)
+        if template is None:
+            if len(memo) >= _PARSE_MEMO_LIMIT:
+                memo.clear()
+            template = Node.from_bytes(data)
+            memo[data] = template
+        return template
 
     def _write_node(self, page_no: int, node: Node) -> None:
         self.pager.write(page_no, node.to_bytes(self.pager.page_size))
@@ -272,17 +314,25 @@ class BTree:
     def _scan(
         self, page_no: int, start: bytes | None
     ) -> Iterator[tuple[bytes, bytes]]:
-        node = self._read_node(page_no)
-        if node.is_leaf:
-            first = 0 if start is None else bisect.bisect_left(node.keys, start)
-            for index in range(first, len(node.keys)):
-                yield node.keys[index], node.values[index]
-            return
-        first = 0 if start is None else self._child_index(node, start)
-        for index in range(first, len(node.children)):
-            yield from self._scan(
-                node.children[index], start if index == first else None
-            )
+        # Iterative depth-first walk (explicit stack, leftmost subtree
+        # on top): same node-read order as the recursive form, without
+        # a generator frame per level per item.
+        stack: list[tuple[int, bytes | None]] = [(page_no, start)]
+        while stack:
+            page_no, start = stack.pop()
+            node = self._read_node_ro(page_no)
+            keys = node.keys
+            if node.kind == LEAF:
+                first = 0 if start is None else bisect.bisect_left(keys, start)
+                values = node.values
+                for index in range(first, len(keys)):
+                    yield keys[index], values[index]
+                continue
+            first = 0 if start is None else bisect.bisect_right(keys, start)
+            children = node.children
+            for index in range(len(children) - 1, first, -1):
+                stack.append((children[index], None))
+            stack.append((children[first], start))
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -8,10 +8,10 @@ simulated disk.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 
 from repro.errors import CorruptMetadata
-from repro.serial import Packer, Unpacker
 
 LEAF = 1
 INTERNAL = 2
@@ -24,6 +24,12 @@ _LEAF_ENTRY_OVERHEAD = 4
 _INTERNAL_ENTRY_OVERHEAD = 6
 #: leftmost child pointer of an internal node.
 _INTERNAL_FIRST_CHILD_BYTES = 4
+
+#: precompiled codecs for the hand-rolled (de)serializers below.
+_HEADER = struct.Struct("<BH")
+_LEAF_ENTRY = struct.Struct("<HH")
+_INTERNAL_ENTRY = struct.Struct("<HI")
+_U32 = struct.Struct("<I")
 
 
 @dataclass
@@ -68,48 +74,83 @@ class Node:
     # ------------------------------------------------------------------
     def to_bytes(self, page_size: int) -> bytes:
         """Serialize the node, zero-padded to ``page_size``."""
-        packer = Packer(capacity=page_size)
-        packer.u8(self.kind)
-        packer.u16(len(self.keys))
-        if self.is_leaf:
+        parts = [_HEADER.pack(self.kind, len(self.keys))]
+        if self.kind == LEAF:
             if len(self.keys) != len(self.values):
                 raise CorruptMetadata("leaf keys/values length mismatch")
+            pack_entry = _LEAF_ENTRY.pack
             for key, value in zip(self.keys, self.values):
-                packer.u16(len(key))
-                packer.u16(len(value))
-                packer.raw(key)
-                packer.raw(value)
+                parts.append(pack_entry(len(key), len(value)))
+                parts.append(key)
+                parts.append(value)
         else:
             if len(self.children) != len(self.keys) + 1:
                 raise CorruptMetadata("internal children/keys length mismatch")
-            packer.u32(self.children[0])
+            parts.append(_U32.pack(self.children[0]))
+            pack_entry = _INTERNAL_ENTRY.pack
             for key, child in zip(self.keys, self.children[1:]):
-                packer.u16(len(key))
-                packer.u32(child)
-                packer.raw(key)
-        return packer.bytes(pad_to=page_size)
+                parts.append(pack_entry(len(key), child))
+                parts.append(key)
+        data = b"".join(parts)
+        if len(data) > page_size:
+            raise ValueError(
+                f"packed structure overflows capacity {page_size}"
+            )
+        return data.ljust(page_size, b"\x00")
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Node":
-        reader = Unpacker(data)
-        kind = reader.u8()
+        # Hand-rolled parse: node reads dominate the host-CPU profile,
+        # so this avoids the per-field Unpacker calls.  Truncation
+        # still raises CorruptMetadata, matching the Unpacker path.
+        size = len(data)
+        if size < _NODE_HEADER_BYTES:
+            raise CorruptMetadata(
+                f"truncated structure: wanted {_NODE_HEADER_BYTES} bytes "
+                f"at offset 0 of {size}"
+            )
+        kind = data[0]
         if kind not in (LEAF, INTERNAL):
             raise CorruptMetadata(f"bad node kind byte {kind}")
-        count = reader.u16()
-        node = cls(kind=kind)
-        if kind == LEAF:
-            for _ in range(count):
-                klen = reader.u16()
-                vlen = reader.u16()
-                node.keys.append(reader.raw(klen))
-                node.values.append(reader.raw(vlen))
-        else:
-            node.children.append(reader.u32())
-            for _ in range(count):
-                klen = reader.u16()
-                child = reader.u32()
-                node.keys.append(reader.raw(klen))
-                node.children.append(child)
+        count = data[1] | (data[2] << 8)
+        offset = _NODE_HEADER_BYTES
+        keys: list[bytes] = []
+        node = cls(kind=kind, keys=keys)
+        try:
+            if kind == LEAF:
+                values = node.values
+                for _ in range(count):
+                    klen = data[offset] | (data[offset + 1] << 8)
+                    vlen = data[offset + 2] | (data[offset + 3] << 8)
+                    offset += 4
+                    end = offset + klen + vlen
+                    if end > size:
+                        raise IndexError
+                    keys.append(data[offset:offset + klen])
+                    values.append(data[offset + klen:end])
+                    offset = end
+            else:
+                children = node.children
+                children.append(
+                    int.from_bytes(data[offset:offset + 4], "little")
+                )
+                offset += 4
+                for _ in range(count):
+                    klen = data[offset] | (data[offset + 1] << 8)
+                    children.append(
+                        int.from_bytes(data[offset + 2:offset + 6], "little")
+                    )
+                    offset += 6
+                    end = offset + klen
+                    if end > size:
+                        raise IndexError
+                    keys.append(data[offset:end])
+                    offset = end
+        except IndexError:
+            raise CorruptMetadata(
+                f"truncated structure: wanted more bytes at "
+                f"offset {offset} of {size}"
+            ) from None
         return node
 
 

@@ -32,6 +32,7 @@ only :meth:`write_nt`/:meth:`write_leader` can change cache state.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -86,6 +87,19 @@ class MetadataCache:
         self._leader_writer = leader_writer
         self._vam_writer = vam_writer
         self._entries: dict[tuple[int, int], CacheEntry] = {}
+        #: entries with ``needs_log`` set, maintained incrementally so
+        #: the admission/pressure checks on every operation are O(1)
+        #: instead of a full cache scan.
+        self._dirty: dict[tuple[int, int], CacheEntry] = {}
+        #: recency order (oldest first), kept in lockstep with
+        #: ``lru_tick``: iterating from the front visits entries in
+        #: exactly ascending-tick order, so eviction walks a prefix
+        #: instead of sorting the whole cache on every miss.
+        self._lru: OrderedDict[tuple[int, int], CacheEntry] = OrderedDict()
+        #: lazily bound handle for the ``cache.hits`` counter (the
+        #: hottest metric in the system); ``read_nt`` binds it on the
+        #: first hit with a live observer attached.
+        self._hit_counter = None
         self._tick = 0
         self.hits = 0
         self.misses = 0
@@ -93,6 +107,16 @@ class MetadataCache:
         self.home_writes = 0
         #: observability attach point (``FSD.mount`` rebinds it).
         self.obs = NULL_OBS
+
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        # Rebinding the observer invalidates any bound counter handle.
+        self._obs = value
+        self._hit_counter = None
 
     # ------------------------------------------------------------------
     # name-table pages
@@ -103,7 +127,17 @@ class MetadataCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
-            self.obs.count("cache.hits")
+            counter = self._hit_counter
+            if counter is not None:
+                counter.value += 1
+            else:
+                # First hit goes through the normal path (so the
+                # counter is created lazily, exactly as before), then
+                # the handle is bound for every later hit.
+                obs = self.obs
+                obs.count("cache.hits")
+                if obs.enabled:
+                    self._hit_counter = obs.metrics.counter("cache.hits")
             self._touch(entry)
             return entry.data
         self.misses += 1
@@ -126,6 +160,7 @@ class MetadataCache:
             self._entries[key] = entry
         entry.data = data
         entry.needs_log = True
+        self._dirty[key] = entry
         self._touch(entry)
 
     # ------------------------------------------------------------------
@@ -140,6 +175,7 @@ class MetadataCache:
             self._entries[key] = entry
         entry.data = data
         entry.needs_log = True
+        self._dirty[key] = entry
         self._touch(entry)
 
     def leader_pending_piggyback(self, address: int) -> bytes | None:
@@ -162,6 +198,8 @@ class MetadataCache:
     def drop_leader(self, address: int) -> None:
         """Forget a leader (its file was deleted before writeback)."""
         self._entries.pop((PAGE_LEADER, address), None)
+        self._dirty.pop((PAGE_LEADER, address), None)
+        self._lru.pop((PAGE_LEADER, address), None)
 
     # ------------------------------------------------------------------
     # VAM pages (§5.3 extension, only used when log_vam is enabled)
@@ -175,6 +213,7 @@ class MetadataCache:
             self._entries[key] = entry
         entry.data = data
         entry.needs_log = True
+        self._dirty[key] = entry
         self._touch(entry)
 
     # ------------------------------------------------------------------
@@ -182,14 +221,10 @@ class MetadataCache:
     # ------------------------------------------------------------------
     def pages_needing_log(self) -> list[LoggedPage]:
         """Everything modified since the last force, ready to batch."""
-        out = []
-        for entry in self._entries.values():
-            if entry.needs_log:
-                out.append(
-                    LoggedPage(
-                        kind=entry.kind, page_id=entry.page_id, data=entry.data
-                    )
-                )
+        out = [
+            LoggedPage(kind=entry.kind, page_id=entry.page_id, data=entry.data)
+            for entry in self._dirty.values()
+        ]
         out.sort(key=lambda page: (page.kind, page.page_id))
         return out
 
@@ -203,6 +238,7 @@ class MetadataCache:
                 )
             if entry.data == page.data:
                 entry.needs_log = False
+                self._dirty.pop((page.kind, page.page_id), None)
             # else: modified again while the force was in progress —
             # it stays dirty for the next commit.
             entry.logged_image = page.data
@@ -245,7 +281,7 @@ class MetadataCache:
 
     def pending_log_pages(self) -> int:
         """Pages modified since the last force (awaiting commit)."""
-        return sum(1 for e in self._entries.values() if e.needs_log)
+        return len(self._dirty)
 
     # ------------------------------------------------------------------
     # crash simulation
@@ -253,6 +289,8 @@ class MetadataCache:
     def discard_all(self) -> None:
         """A crash: volatile state vanishes."""
         self._entries.clear()
+        self._dirty.clear()
+        self._lru.clear()
 
     def rollback_uncommitted(self) -> int:
         """Degraded-mode switch: abandon every update not yet logged.
@@ -266,16 +304,15 @@ class MetadataCache:
         Returns the number of pages rolled back.
         """
         rolled_back = 0
-        for key in list(self._entries):
-            entry = self._entries[key]
-            if not entry.needs_log:
-                continue
+        for key, entry in list(self._dirty.items()):
             rolled_back += 1
             if entry.logged_image is None:
                 del self._entries[key]
+                self._lru.pop(key, None)
             else:
                 entry.data = entry.logged_image
                 entry.needs_log = False
+        self._dirty.clear()
         self.obs.count("cache.rollbacks", rolled_back)
         return rolled_back
 
@@ -285,17 +322,31 @@ class MetadataCache:
     def _touch(self, entry: CacheEntry) -> None:
         self._tick += 1
         entry.lru_tick = self._tick
+        key = (entry.kind, entry.page_id)
+        lru = self._lru
+        lru[key] = entry
+        lru.move_to_end(key)
 
     def _evict_if_needed(self) -> None:
-        if len(self._entries) <= self.capacity:
-            return
-        victims = sorted(
-            (e for e in self._entries.values() if e.evictable),
-            key=lambda e: e.lru_tick,
-        )
         excess = len(self._entries) - self.capacity
-        for entry in victims[:excess]:
-            del self._entries[(entry.kind, entry.page_id)]
+        if excess <= 0:
+            return
+        # Walk the recency order oldest-first, skipping pinned entries
+        # (inline evictable predicate: no property dispatch).  This
+        # selects exactly the entries a sort by ``lru_tick`` would,
+        # without scanning the whole cache on every miss.
+        victims = []
+        for key, entry in self._lru.items():
+            if not entry.needs_log and (
+                entry.logged_image is None
+                or entry.logged_image == entry.home_image
+            ):
+                victims.append(key)
+                if len(victims) == excess:
+                    break
+        for key in victims:
+            del self._entries[key]
+            del self._lru[key]
             self.evictions += 1
             self.obs.count("cache.evictions")
 

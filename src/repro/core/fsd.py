@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocator import RunAllocator
 from repro.core.cache import MetadataCache
+from repro.core.checkpoint import Checkpointer
 from repro.core.data_cache import DEFAULT_READAHEAD_PAGES, DataPageCache
 from repro.core.group_commit import CommitCoordinator
 from repro.core.layout import RootPage, VolumeLayout, VolumeParams
@@ -112,6 +113,7 @@ class FSD:
         io: IoScheduler | None = None,
         nt_home: NameTableHome | None = None,
         data_cache: DataPageCache | None = None,
+        checkpoint_interval_ms: float | None = None,
     ):
         self.disk = disk
         self.io = io if io is not None else as_scheduler(disk)
@@ -144,6 +146,21 @@ class FSD:
             max_op_pages=layout.params.max_record_pages,
             obs=obs,
         )
+        #: optional background checkpointer (mount-time opt-in): keeps
+        #: the next log third clean and the anchor advanced so commits
+        #: never stall on third-entry write-home.
+        self.checkpointer = (
+            Checkpointer(
+                self.clock,
+                wal,
+                cache,
+                self.io,
+                interval_ms=checkpoint_interval_ms,
+                obs=obs,
+            )
+            if checkpoint_interval_ms is not None
+            else None
+        )
         self.mount_report = mount_report
         self.data_cache = (
             data_cache
@@ -172,6 +189,8 @@ class FSD:
         self.vam.obs = obs
         self.coordinator.obs = obs
         self.txn.obs = obs
+        if self.checkpointer is not None:
+            self.checkpointer.obs = obs
         self.name_table.tree.pager.obs = obs
         if self.nt_home is not None:
             self.nt_home.obs = obs
@@ -230,6 +249,7 @@ class FSD:
         sched: str = "fifo",
         data_cache_pages: int = 0,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        checkpoint_interval_ms: float | None = None,
     ) -> "FSD":
         """Mount (and, if needed, recover) the FSD volume on ``disk``.
 
@@ -244,6 +264,10 @@ class FSD:
         ``data_cache_pages`` sizes the data-page buffer cache (0, the
         default, disables it — the bit-compatibility mode);
         ``readahead_pages`` caps the sequential prefetch window.
+        ``checkpoint_interval_ms`` enables the background checkpointer
+        (:mod:`repro.core.checkpoint`) at that simulated-clock cadence;
+        None (the default) keeps the synchronous third-entry writeback
+        of the paper — the bit-compatibility mode.
         """
         obs = obs if obs is not None else NULL_OBS
         obs.bind_clock(disk.clock)
@@ -338,6 +362,7 @@ class FSD:
                 sector_bytes=disk.geometry.sector_bytes,
                 obs=obs,
             ),
+            checkpoint_interval_ms=checkpoint_interval_ms,
         )
         if report.log_records_lost:
             # Committed records sit beyond a damage hole the scan could
@@ -373,6 +398,8 @@ class FSD:
         )
         write_root(self.io, self.layout, self.root)
         self.coordinator.shutdown()
+        if self.checkpointer is not None:
+            self.checkpointer.shutdown()
         self.data_cache.discard_all()
         self._mounted = False
 
@@ -383,6 +410,8 @@ class FSD:
         self.cache.discard_all()
         self.data_cache.discard_all()
         self.coordinator.shutdown()
+        if self.checkpointer is not None:
+            self.checkpointer.shutdown()
         self._mounted = False
 
     # ==================================================================

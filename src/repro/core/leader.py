@@ -20,11 +20,15 @@ real leader from data-page bytes that happen to start with the magic.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.core.types import FileKind, FileProperties, Run, RunTable
 from repro.errors import CorruptMetadata
-from repro.serial import Packer, Unpacker, checksum
+from repro.serial import Unpacker, checksum
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
 
 _LEADER_MAGIC = 0x4C454144  # "LEAD"
 _LEADER_FORMAT = 2
@@ -36,42 +40,63 @@ PREAMBLE_RUNS = 4
 MAX_LEADER_RUNS = 64
 
 
+#: fixed-width body prefix: uid u64, version u16, kind u8, keep u8,
+#: byte_size u64, create_time f64.
+_BODY_PREFIX = struct.Struct("<QHBBQd")
+#: one (start u32, count u16) stored run.
+_RUN_RECORD = struct.Struct("<IH")
+#: sector header: magic u32, format u8, payload length u16, crc u32.
+_HEADER = struct.Struct("<IBHI")
+
+
 def _run_table_digest(runs: RunTable) -> int:
-    packer = Packer()
-    for run in runs.runs:
-        packer.u32(run.start)
-        packer.u16(run.count)
-    return checksum(packer.bytes())
+    pack_run = _RUN_RECORD.pack
+    return checksum(
+        b"".join(pack_run(run.start, run.count) for run in runs.runs)
+    )
 
 
 def encode_leader(
     props: FileProperties, runs: RunTable, sector_bytes: int
 ) -> bytes:
-    """Build the leader sector for a file."""
-    body = Packer()
-    body.u64(props.uid)
-    body.u16(props.version)
-    body.u8(props.kind.value)
-    body.u8(props.keep)
-    body.u64(props.byte_size)
-    body.f64(props.create_time_ms)
-    body.string(props.name, max_len=64)
-    body.u16(len(runs.runs))
-    stored = runs.runs[:MAX_LEADER_RUNS]
-    body.u8(len(stored))
-    for run in stored:
-        body.u32(run.start)
-        body.u16(run.count)
-    body.u32(_run_table_digest(runs))
-    payload = body.bytes()
+    """Build the leader sector for a file.
 
-    packer = Packer(capacity=sector_bytes)
-    packer.u32(_LEADER_MAGIC)
-    packer.u8(_LEADER_FORMAT)
-    packer.u16(len(payload))
-    packer.u32(checksum(payload))
-    packer.raw(payload)
-    return packer.bytes(pad_to=sector_bytes)
+    Hand-rolled with precompiled structs (every create/extend rebuilds
+    the leader); emits exactly the bytes of the Packer-based layout."""
+    name = props.name.encode("utf-8")
+    if len(name) > 64:
+        raise ValueError(f"string longer than 64 bytes: {props.name!r}")
+    stored = runs.runs[:MAX_LEADER_RUNS]
+    pack_run = _RUN_RECORD.pack
+    parts = [
+        _BODY_PREFIX.pack(
+            props.uid,
+            props.version,
+            props.kind.value,
+            props.keep,
+            props.byte_size,
+            props.create_time_ms,
+        ),
+        bytes((len(name),)),
+        name,
+        _U16.pack(len(runs.runs)),
+        bytes((len(stored),)),
+    ]
+    parts.extend(pack_run(run.start, run.count) for run in stored)
+    parts.append(_U32.pack(_run_table_digest(runs)))
+    payload = b"".join(parts)
+
+    data = (
+        _HEADER.pack(
+            _LEADER_MAGIC, _LEADER_FORMAT, len(payload), checksum(payload)
+        )
+        + payload
+    )
+    if len(data) > sector_bytes:
+        raise ValueError(
+            f"packed structure overflows capacity {sector_bytes}"
+        )
+    return data.ljust(sector_bytes, b"\x00")
 
 
 @dataclass

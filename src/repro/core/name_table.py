@@ -189,17 +189,46 @@ class NameTablePager:
         #: observability attach point (``FSD.mount`` rebinds it).
         self.obs = NULL_OBS
 
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        # Rebinding the observer invalidates any bound counter handle.
+        self._obs = value
+        self._read_counter = None
+        self._write_counter = None
+
     # -- Pager protocol -------------------------------------------------
     def read(self, page_no: int) -> bytes:
         """B-tree pager read: one cached name-table page."""
-        self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
-        self.obs.count("btree.page_reads")
+        clock = self.clock
+        clock.advance_cpu(clock.cpu.btree_node_ms)
+        counter = self._read_counter
+        if counter is not None:
+            counter.value += 1
+        else:
+            # First read creates the counter through the normal path,
+            # then binds the handle for every later read.
+            obs = self._obs
+            obs.count("btree.page_reads")
+            if obs.enabled:
+                self._read_counter = obs.metrics.counter("btree.page_reads")
         return self.cache.read_nt(page_no)
 
     def write(self, page_no: int, data: bytes) -> None:
         """B-tree pager write: stage the page for the next commit."""
-        self.clock.advance_cpu(self.clock.cpu.btree_node_ms)
-        self.obs.count("btree.page_writes")
+        clock = self.clock
+        clock.advance_cpu(clock.cpu.btree_node_ms)
+        counter = self._write_counter
+        if counter is not None:
+            counter.value += 1
+        else:
+            obs = self._obs
+            obs.count("btree.page_writes")
+            if obs.enabled:
+                self._write_counter = obs.metrics.counter("btree.page_writes")
         self.cache.write_nt(page_no, data)
 
     def allocate(self) -> int:

@@ -13,6 +13,7 @@ two boots share a boot count, so uniqueness survives any crash.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, replace
 from enum import IntEnum
 
@@ -80,14 +81,22 @@ class RunTable:
         """Contiguous disk extents covering pages [page, page+count)."""
         out: list[Run] = []
         remaining = count
-        cursor = page
-        while remaining > 0:
-            sector = self.sector_of_page(cursor)
-            run = next(r for r in self.runs if sector in r)
-            take = min(remaining, run.end - sector)
-            out.append(Run(sector, take))
-            cursor += take
+        skip = page
+        for run in self.runs:
+            if remaining <= 0:
+                break
+            if skip >= run.count:
+                skip -= run.count
+                continue
+            take = min(remaining, run.count - skip)
+            out.append(Run(run.start + skip, take))
             remaining -= take
+            skip = 0
+        if remaining > 0:
+            cursor = page + count - remaining
+            raise FsError(
+                f"page {cursor} beyond run table ({self.total_sectors})"
+            )
         return out
 
     def append(self, run: Run) -> None:
@@ -209,7 +218,42 @@ def _unpack_runs(reader: Unpacker) -> list[Run]:
 
 
 def encode_main_entry(props: FileProperties, runs: RunTable) -> bytes:
-    """Serialize the chunk-0 name-table entry for a file."""
+    """Serialize the chunk-0 name-table entry for a file.
+
+    Emits exactly the bytes the :class:`Packer`-based reference
+    (:func:`_reference_encode_main_entry`) would, via precompiled
+    structs — this encoder runs on every name-table update.
+    """
+    inline = runs.runs[:MAX_INLINE_RUNS]
+    target = props.remote_target.encode("utf-8")
+    if len(target) > MAX_NAME_BYTES:
+        raise ValueError(
+            f"string longer than {MAX_NAME_BYTES} bytes: "
+            f"{props.remote_target!r}"
+        )
+    pack_run = _RUN_RECORD.pack
+    parts = [
+        _MAIN_PREFIX.pack(
+            int(props.kind),
+            props.uid,
+            props.byte_size,
+            props.create_time_ms,
+            props.last_used_ms,
+            props.keep,
+            props.leader_addr,
+            len(runs.runs),
+        ),
+        bytes((len(target),)),
+        target,
+        bytes((len(inline),)),
+    ]
+    parts.extend(pack_run(run.start, run.count) for run in inline)
+    return b"".join(parts)
+
+
+def _reference_encode_main_entry(props: FileProperties, runs: RunTable) -> bytes:
+    """The original Packer-based encoder, kept as the property-test
+    reference for the struct fast path above."""
     inline = runs.runs[:MAX_INLINE_RUNS]
     packer = Packer()
     packer.u8(int(props.kind))
@@ -225,6 +269,20 @@ def encode_main_entry(props: FileProperties, runs: RunTable) -> bytes:
     return packer.bytes()
 
 
+#: fixed-width prefix of a chunk-0 entry, matching the Packer calls in
+#: :func:`encode_main_entry` field for field.
+_MAIN_PREFIX = struct.Struct("<BQQddBIH")
+#: one (start u32, count u16) run record.
+_RUN_RECORD = struct.Struct("<IH")
+
+#: parse memo for chunk-0 entries, keyed by entry bytes: every ``list``
+#: re-decodes the same entries, so the field tuple is cached and only
+#: the (mutable) FileProperties / RunTable wrappers are rebuilt per
+#: call.  Run objects are frozen and safely shared.
+_MAIN_MEMO: dict[bytes, tuple] = {}
+_MAIN_MEMO_LIMIT = 4096
+
+
 def decode_main_entry(
     name: str, version: int, value: bytes
 ) -> tuple[FileProperties, RunTable, int]:
@@ -233,18 +291,73 @@ def decode_main_entry(
     Returns (properties, inline run table, total run count); when the
     total exceeds the inline count, the caller must read continuation
     chunks to complete the run table.
+
+    Parsed with precompiled structs rather than an :class:`Unpacker`
+    and memoised by entry bytes: this runs once per entry of every
+    ``enumerate``, making it one of the hottest metadata parses in the
+    system.
     """
-    reader = Unpacker(value)
-    kind = FileKind(reader.u8())
-    uid = reader.u64()
-    byte_size = reader.u64()
-    create_time = reader.f64()
-    last_used = reader.f64()
-    keep = reader.u8()
-    leader_addr = reader.u32()
-    total_runs = reader.u16()
-    remote_target = reader.string()
-    runs = RunTable(_unpack_runs(reader))
+    fields = _MAIN_MEMO.get(value)
+    if fields is None:
+        try:
+            (
+                kind_byte,
+                uid,
+                byte_size,
+                create_time,
+                last_used,
+                keep,
+                leader_addr,
+                total_runs,
+            ) = _MAIN_PREFIX.unpack_from(value, 0)
+            offset = _MAIN_PREFIX.size
+            name_len = value[offset]
+            offset += 1
+            if offset + name_len > len(value):
+                raise struct.error
+            remote_target = value[offset:offset + name_len].decode("utf-8")
+            offset += name_len
+            run_count = value[offset]
+            offset += 1
+            unpack_run = _RUN_RECORD.unpack_from
+            if offset + 6 * run_count > len(value):
+                raise struct.error
+            run_tuple = tuple(
+                Run(*unpack_run(value, offset + 6 * index))
+                for index in range(run_count)
+            )
+        except (struct.error, IndexError):
+            raise CorruptMetadata(
+                f"truncated main entry of {len(value)} bytes"
+            ) from None
+        fields = (
+            FileKind(kind_byte),
+            uid,
+            byte_size,
+            create_time,
+            last_used,
+            keep,
+            leader_addr,
+            total_runs,
+            remote_target,
+            run_tuple,
+        )
+        if len(_MAIN_MEMO) >= _MAIN_MEMO_LIMIT:
+            _MAIN_MEMO.clear()
+        _MAIN_MEMO[value] = fields
+    (
+        kind,
+        uid,
+        byte_size,
+        create_time,
+        last_used,
+        keep,
+        leader_addr,
+        total_runs,
+        remote_target,
+        run_tuple,
+    ) = fields
+    runs = RunTable(list(run_tuple))
     props = FileProperties(
         name=name,
         version=version,
@@ -269,7 +382,18 @@ def encode_continuation(runs: list[Run]) -> bytes:
 
 def decode_continuation(value: bytes) -> list[Run]:
     """Parse a run-table continuation chunk."""
-    return _unpack_runs(Unpacker(value))
+    try:
+        count = value[0]
+        if 1 + 6 * count > len(value):
+            raise struct.error
+        unpack_run = _RUN_RECORD.unpack_from
+        return [
+            Run(*unpack_run(value, 1 + 6 * index)) for index in range(count)
+        ]
+    except (struct.error, IndexError):
+        raise CorruptMetadata(
+            f"truncated continuation chunk of {len(value)} bytes"
+        ) from None
 
 
 def make_uid(boot_count: int, sequence: int) -> int:

@@ -73,14 +73,36 @@ class VolumeAllocationMap:
     # ------------------------------------------------------------------
     # allocation bookkeeping
     # ------------------------------------------------------------------
+    def _run_segment(self, run: Run) -> tuple[int, int, int, int]:
+        """Byte window and bit mask covering ``run`` for whole-extent
+        bit surgery: (first_byte, byte_count, segment_value, mask)."""
+        first_byte = run.start >> 3
+        last_byte = (run.end - 1) >> 3
+        byte_count = last_byte - first_byte + 1
+        segment = int.from_bytes(
+            self._bits[first_byte:first_byte + byte_count], "little"
+        )
+        mask = ((1 << run.count) - 1) << (run.start - (first_byte << 3))
+        return first_byte, byte_count, segment, mask
+
+    def _note_dirty_range(self, first_byte: int, byte_count: int) -> None:
+        first_page = first_byte // self.PAGE_BYTES
+        last_page = (first_byte + byte_count - 1) // self.PAGE_BYTES
+        self._dirty_pages.update(range(first_page, last_page + 1))
+
     def mark_allocated(self, run: Run) -> None:
         """Claim every sector of ``run`` (double allocation raises)."""
-        for sector in range(run.start, run.end):
-            if self._is_set(sector):
-                raise CorruptMetadata(
-                    f"double allocation of sector {sector}"
-                )
-            self._set(sector)
+        first_byte, byte_count, segment, mask = self._run_segment(run)
+        if segment & mask:
+            for sector in range(run.start, run.end):
+                if self._is_set(sector):
+                    raise CorruptMetadata(
+                        f"double allocation of sector {sector}"
+                    )
+        self._bits[first_byte:first_byte + byte_count] = (
+            segment | mask
+        ).to_bytes(byte_count, "little")
+        self._note_dirty_range(first_byte, byte_count)
         self.free_count -= run.count
         self.obs.count("vam.allocs")
         self.obs.count("vam.sectors_allocated", run.count)
@@ -88,10 +110,15 @@ class VolumeAllocationMap:
 
     def mark_free(self, run: Run) -> None:
         """Release every sector of ``run`` (double free raises)."""
-        for sector in range(run.start, run.end):
-            if not self._is_set(sector):
-                raise CorruptMetadata(f"double free of sector {sector}")
-            self._clear(sector)
+        first_byte, byte_count, segment, mask = self._run_segment(run)
+        if (segment & mask) != mask:
+            for sector in range(run.start, run.end):
+                if not self._is_set(sector):
+                    raise CorruptMetadata(f"double free of sector {sector}")
+        self._bits[first_byte:first_byte + byte_count] = (
+            segment & ~mask
+        ).to_bytes(byte_count, "little")
+        self._note_dirty_range(first_byte, byte_count)
         self.free_count += run.count
         self.obs.count("vam.frees")
         self.obs.count("vam.sectors_freed", run.count)

@@ -57,7 +57,7 @@ def model_apply(stacks: dict[str, list[bytes]], op: Op) -> None:
             stack.pop()
             if not stack:
                 del stacks[op.name]
-    # "force" has no namespace effect
+    # "force" and "checkpoint" have no namespace effect
 
 
 def model_state(ops: list[Op]) -> dict[str, list[bytes]]:
@@ -114,7 +114,7 @@ class OracleContext:
         stacks = {name: list(stack) for name, stack in self.committed.items()}
         for applied in self.pending:
             op = applied.op
-            if op.kind == "force":
+            if op.kind in ("force", "checkpoint"):
                 continue
             allowed.setdefault(op.name, {top(stacks, op.name)})
             model_apply(stacks, op)

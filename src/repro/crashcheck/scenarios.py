@@ -58,6 +58,12 @@ class CrashScenario:
     scale: Scale
     setup: tuple[Op, ...]
     body: tuple[Op, ...]
+    #: mount the recorded volume with the background checkpointer at
+    #: this interval (parked far out: ``"checkpoint"`` ops drive it
+    #: explicitly, keeping the recording deterministic).  ``None``
+    #: mounts without a checkpointer, as every pre-existing scenario
+    #: did.
+    checkpoint_interval_ms: float | None = None
 
 
 def _aged_setup(count: int, seed: int = 1987) -> tuple[Op, ...]:
@@ -190,9 +196,60 @@ def _concurrent_burst() -> CrashScenario:
     )
 
 
+def _mid_checkpoint() -> CrashScenario:
+    """Crash points inside background checkpoints: the window between
+    the checkpointer's write-home pass and the anchor advance is where
+    home pages are already durable but the log still claims the records
+    covering them — recovery must replay those records idempotently
+    over the installed pages.  Later rounds keep mutating the same
+    files so installed home images are genuinely stale by the next
+    checkpoint, and an un-forced tail rides the final tick."""
+    body: list[Op] = []
+    for round_index in range(3):
+        for index in range(4):
+            body.append(
+                Op(
+                    "create",
+                    f"ckpt/r{round_index}-{index}",
+                    payload(220 + 67 * index + 31 * round_index,
+                            round_index * 10 + index),
+                )
+            )
+        # Re-create a shared name every round: its home page is
+        # re-dirtied after each install, so every checkpoint has real
+        # write-home work, not just the first.
+        body.append(
+            Op("create", "ckpt/hot", payload(900 + 130 * round_index,
+                                             round_index))
+        )
+        if round_index == 2:
+            body.append(Op("delete", "ckpt/r1-0"))
+        body.append(Op("force"))
+        # The recorded checkpoint: flush_all_home's background writes
+        # followed by the sync anchor write.  Every I/O boundary in
+        # between is a mid-checkpoint crash.
+        body.append(Op("checkpoint"))
+    body.append(Op("create", "ckpt/never-forced", payload(500, 77)))
+    return CrashScenario(
+        name="mid_checkpoint",
+        description="background checkpoints crashed between write-home "
+        "and anchor advance (redo idempotence over installed pages)",
+        scale=CRASH_SCALE,
+        setup=_aged_setup(16),
+        body=tuple(body),
+        checkpoint_interval_ms=1e12,
+    )
+
+
 SCENARIOS: dict[str, CrashScenario] = {
     scenario.name: scenario
-    for scenario in (_quickstart(), _churn(), _wrap(), _concurrent_burst())
+    for scenario in (
+        _quickstart(),
+        _churn(),
+        _wrap(),
+        _concurrent_burst(),
+        _mid_checkpoint(),
+    )
 }
 
 

@@ -40,8 +40,11 @@ class Op:
     """One step of a workload script.
 
     ``kind`` is ``"create"`` (next version of ``name`` holding
-    ``data``), ``"delete"`` (newest version of ``name``) or ``"force"``
-    (an explicit group commit; the script's durability points).
+    ``data``), ``"delete"`` (newest version of ``name``), ``"force"``
+    (an explicit group commit; the script's durability points) or
+    ``"checkpoint"`` (one background checkpointer tick: write-home of
+    every logged image plus the anchor advance — only legal in
+    scenarios mounted with a checkpoint interval).
     """
 
     kind: str
@@ -50,7 +53,7 @@ class Op:
     keep: int = 0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("create", "delete", "force"):
+        if self.kind not in ("create", "delete", "force", "checkpoint"):
             raise ValueError(f"unknown op kind {self.kind!r}")
 
 
@@ -243,7 +246,11 @@ def _build_volume(
 ) -> tuple[SimDisk, FSD, FsdAdapter]:
     disk = SimDisk(geometry=scenario.scale.geometry)
     FSD.format(disk, scenario.scale.fsd_params)
-    fs = FSD.mount(disk, data_cache_pages=data_cache_pages)
+    fs = FSD.mount(
+        disk,
+        data_cache_pages=data_cache_pages,
+        checkpoint_interval_ms=scenario.checkpoint_interval_ms,
+    )
     return disk, fs, FsdAdapter(fs)
 
 
@@ -253,6 +260,8 @@ def apply_op(adapter, op: Op) -> None:
         adapter.create(op.name, op.data, keep=op.keep)
     elif op.kind == "delete":
         adapter.delete(op.name)
+    elif op.kind == "checkpoint":
+        adapter.fs.checkpointer.tick()
     else:  # force
         adapter.settle()
 

@@ -60,14 +60,19 @@ class SimDisk:
         self.tracer: IoTracer | None = None
         self._data: dict[int, bytes] = {}
         self._labels: dict[int, bytes] = {}
+        self._zero_sector = b"\x00" * self.geometry.sector_bytes
 
     # ------------------------------------------------------------------
     # positioning and timing
     # ------------------------------------------------------------------
     def _position(self, address: int) -> None:
-        """Seek to the target cylinder and wait for the target sector."""
+        """Seek to the target cylinder and wait for the target sector.
+
+        ``address`` was range-checked by the caller's prologue, so the
+        cylinder/slot arithmetic is inlined (no re-validation).
+        """
         geo, timing = self.geometry, self.timing
-        target_cylinder = geo.cylinder_of(address)
+        target_cylinder = address // geo.sectors_per_cylinder
         distance = abs(target_cylinder - self.head_cylinder)
         if distance:
             seek = timing.seek_ms(distance)
@@ -80,17 +85,18 @@ class SimDisk:
             self.head_cylinder = target_cylinder
         wait = timing.rotational_wait_ms(
             self.clock.now_ms,
-            geo.rotational_slot(address),
+            address % geo.sectors_per_track,
             geo.sectors_per_track,
         )
         self.clock.advance_disk(wait)
         self.stats.rotational_ms += wait
 
     def _transfer(self, address: int, count: int) -> None:
-        time = self.timing.transfer_ms(count, self.geometry.sectors_per_track)
+        geo = self.geometry
+        time = self.timing.transfer_ms(count, geo.sectors_per_track)
         self.clock.advance_disk(time)
         self.stats.transfer_ms += time
-        self.head_cylinder = self.geometry.cylinder_of(address + count - 1)
+        self.head_cylinder = (address + count - 1) // geo.sectors_per_cylinder
 
     def _trace_begin(self, address: int) -> tuple[float, float, float, int, float] | None:
         if self.tracer is None:
@@ -170,9 +176,10 @@ class SimDisk:
         overlaps the media transfer.
         """
         sectors = self.read_maybe(address, count, expect_labels, cpu_overlap)
-        for offset, sector in enumerate(sectors):
-            if sector is None:
-                raise DamagedSectorError(address + offset)
+        if None in sectors:
+            for offset, sector in enumerate(sectors):
+                if sector is None:
+                    raise DamagedSectorError(address + offset)
         return sectors  # type: ignore[return-value]
 
     def read_maybe(
@@ -195,6 +202,23 @@ class SimDisk:
         self._trace_end(marker, "read", address, count)
         self.stats.reads += 1
         self.stats.sectors_read += count
+        data = self._data
+        if not self.faults.any_read_faults:
+            # The batched fast path: no fault anywhere can fail a read,
+            # so the extent needs no per-sector consult at all.
+            if expect_labels is not None:
+                labels = self._labels
+                for offset in range(count):
+                    sector_address = address + offset
+                    stored = labels.get(sector_address, FREE_LABEL)
+                    if stored != _pad_label(expect_labels[offset]):
+                        raise LabelCheckError(
+                            sector_address, expect_labels[offset], stored
+                        )
+            zero = self._zero()
+            return [data.get(a, zero) for a in range(address, address + count)]
+        # Faults armed: consult per sector, label checks interleaved in
+        # address order exactly as the microcode would hit them.
         out: list[bytes | None] = []
         for offset in range(count):
             sector_address = address + offset
@@ -207,7 +231,7 @@ class SimDisk:
             if self.faults.read_fails(sector_address):
                 out.append(None)
             else:
-                out.append(self._data.get(sector_address, self._zero()))
+                out.append(data.get(sector_address, self._zero()))
         return out
 
     def write(
@@ -228,11 +252,12 @@ class SimDisk:
         count = len(sectors)
         if count == 0:
             raise DiskRangeError("empty write")
+        sector_bytes = self.geometry.sector_bytes
         for sector in sectors:
-            if len(sector) > self.geometry.sector_bytes:
+            if len(sector) > sector_bytes:
                 raise DiskRangeError(
                     f"sector payload of {len(sector)} bytes > "
-                    f"{self.geometry.sector_bytes}"
+                    f"{sector_bytes}"
                 )
         if expect_labels is not None and len(expect_labels) != count:
             raise DiskRangeError("expect_labels length != sector count")
@@ -266,12 +291,17 @@ class SimDisk:
         self._trace_end(marker, "write", address, persist if plan else count)
         self.stats.writes += 1
         self.stats.sectors_written += persist
-        for offset in range(persist):
-            sector_address = address + offset
-            self._data[sector_address] = self._pad(sectors[offset])
-            if set_labels is not None:
-                self._labels[sector_address] = _pad_label(set_labels[offset])
-            self.faults.repair(sector_address)
+        # Extent-batched install: one dict update per extent, labels
+        # alongside, and a single batched fault consult (a no-op truth
+        # test when nothing is armed).
+        self._data.update(
+            zip(range(address, address + persist), map(self._pad, sectors))
+        )
+        if set_labels is not None:
+            labels = self._labels
+            for offset in range(persist):
+                labels[address + offset] = _pad_label(set_labels[offset])
+        self.faults.repair_range(address, persist)
 
         if plan is not None:
             for offset in range(plan.damage_tail):
@@ -340,7 +370,7 @@ class SimDisk:
     # helpers
     # ------------------------------------------------------------------
     def _zero(self) -> bytes:
-        return b"\x00" * self.geometry.sector_bytes
+        return self._zero_sector
 
     def _pad(self, sector: bytes) -> bytes:
         return sector.ljust(self.geometry.sector_bytes, b"\x00")

@@ -101,6 +101,29 @@ class FaultInjector:
         """True when ``address`` is detectably damaged (permanently)."""
         return address in self.damaged
 
+    @property
+    def any_read_faults(self) -> bool:
+        """True when *some* sector somewhere could fail a read.
+
+        The batched-consult guard: when False (the common case), an
+        extent read skips the per-sector :meth:`read_fails` consult
+        entirely — one truth-value test instead of N dict probes.
+        """
+        return bool(self.damaged or self.transient or self.latent)
+
+    def repair_range(self, address: int, count: int) -> None:
+        """Repair every sector of an extent write in one consult.
+
+        Equivalent to calling :meth:`repair` per sector; when no fault
+        of any kind is armed it is a single truth-value test.
+        """
+        if not (self.damaged or self.transient or self.latent):
+            return
+        for sector in range(address, address + count):
+            self.damaged.discard(sector)
+            self.transient.pop(sector, None)
+            self.latent.discard(sector)
+
     def read_fails(self, address: int) -> bool:
         """Consult (and advance) fault state for one sector read.
 

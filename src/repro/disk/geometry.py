@@ -26,17 +26,22 @@ class DiskGeometry:
             raise ValueError("geometry dimensions must be positive")
         if self.sector_bytes <= 0:
             raise ValueError("sector size must be positive")
+        # Derived sizes, cached once: the range checks below run on
+        # every simulated I/O.
+        spc = self.heads * self.sectors_per_track
+        object.__setattr__(self, "_sectors_per_cylinder", spc)
+        object.__setattr__(self, "_total_sectors", self.cylinders * spc)
 
     # ------------------------------------------------------------------
     # derived sizes
     # ------------------------------------------------------------------
     @property
     def sectors_per_cylinder(self) -> int:
-        return self.heads * self.sectors_per_track
+        return self._sectors_per_cylinder
 
     @property
     def total_sectors(self) -> int:
-        return self.cylinders * self.sectors_per_cylinder
+        return self._total_sectors
 
     @property
     def total_bytes(self) -> int:
@@ -54,16 +59,16 @@ class DiskGeometry:
         """Raise DiskRangeError unless [address, address+count) fits the disk."""
         if count <= 0:
             raise DiskRangeError(f"non-positive sector count {count}")
-        if address < 0 or address + count > self.total_sectors:
+        if address < 0 or address + count > self._total_sectors:
             raise DiskRangeError(
                 f"sectors [{address}, {address + count}) outside disk of "
-                f"{self.total_sectors} sectors"
+                f"{self._total_sectors} sectors"
             )
 
     def chs(self, address: int) -> tuple[int, int, int]:
         """Decompose a linear sector address into (cylinder, head, sector)."""
         self.check_range(address)
-        cylinder, rest = divmod(address, self.sectors_per_cylinder)
+        cylinder, rest = divmod(address, self._sectors_per_cylinder)
         head, sector = divmod(rest, self.sectors_per_track)
         return cylinder, head, sector
 
@@ -84,7 +89,7 @@ class DiskGeometry:
     def cylinder_of(self, address: int) -> int:
         """Cylinder containing linear sector ``address``."""
         self.check_range(address)
-        return address // self.sectors_per_cylinder
+        return address // self._sectors_per_cylinder
 
     def rotational_slot(self, address: int) -> int:
         """Angular position (sector index within the track) of a sector."""

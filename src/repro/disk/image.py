@@ -24,16 +24,21 @@ v1 image meant.
 
 from __future__ import annotations
 
+import struct
 import zlib
 from pathlib import Path
 
 from repro.disk.disk import LABEL_BYTES, SimDisk
 from repro.disk.geometry import DiskGeometry
-from repro.errors import DiskError
-from repro.serial import Packer, Unpacker
+from repro.errors import CorruptMetadata, DiskError
 
 _MAGIC = b"FSDIMG2\n"
 _MAGIC_V1 = b"FSDIMG1\n"
+
+_GEO = struct.Struct("<IIII")
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+_ADDR_REMAINING = struct.Struct("<IH")
 
 
 def save_disk(disk: SimDisk, path: str | Path) -> int:
@@ -51,36 +56,40 @@ def save_disk(disk: SimDisk, path: str | Path) -> int:
             "disk images hold a single unit; MirroredDisk cannot be "
             "saved without losing its shadow"
         )
-    body = Packer()
+    # Extent-batched serialization: one part list joined once, with
+    # precompiled structs — the per-sector Packer calls dominated image
+    # saves of full-size volumes.
     geo = disk.geometry
-    body.u32(geo.cylinders)
-    body.u32(geo.heads)
-    body.u32(geo.sectors_per_track)
-    body.u32(geo.sector_bytes)
-
-    body.u32(len(disk._data))
-    for address in sorted(disk._data):
-        body.u32(address)
-        body.raw(disk._data[address])
-    body.u32(len(disk._labels))
-    for address in sorted(disk._labels):
-        body.u32(address)
-        body.raw(disk._labels[address])
+    pack32 = _U32.pack
+    parts = [
+        _GEO.pack(
+            geo.cylinders, geo.heads, geo.sectors_per_track, geo.sector_bytes
+        ),
+        pack32(len(disk._data)),
+    ]
+    data = disk._data
+    for address in sorted(data):
+        parts.append(pack32(address))
+        parts.append(data[address])
+    labels = disk._labels
+    parts.append(pack32(len(labels)))
+    for address in sorted(labels):
+        parts.append(pack32(address))
+        parts.append(labels[address])
     damaged = sorted(disk.faults.damaged)
-    body.u32(len(damaged))
-    for address in damaged:
-        body.u32(address)
+    parts.append(pack32(len(damaged)))
+    parts.extend(map(pack32, damaged))
     transient = sorted(disk.faults.transient.items())
-    body.u32(len(transient))
-    for address, remaining in transient:
-        body.u32(address)
-        body.u16(remaining)
+    parts.append(pack32(len(transient)))
+    parts.extend(
+        _ADDR_REMAINING.pack(address, remaining)
+        for address, remaining in transient
+    )
     latent = sorted(disk.faults.latent)
-    body.u32(len(latent))
-    for address in latent:
-        body.u32(address)
+    parts.append(pack32(len(latent)))
+    parts.extend(map(pack32, latent))
 
-    blob = _MAGIC + zlib.compress(body.bytes(), level=6)
+    blob = _MAGIC + zlib.compress(b"".join(parts), level=6)
     Path(path).write_bytes(blob)
     return len(blob)
 
@@ -94,26 +103,76 @@ def load_disk(path: str | Path) -> SimDisk:
         version = 1
     else:
         raise DiskError(f"{path}: not a repro disk image")
-    reader = Unpacker(zlib.decompress(blob[len(_MAGIC):]))
+    buf = zlib.decompress(blob[len(_MAGIC):])
+    size = len(buf)
+
+    def need(offset: int, count: int) -> None:
+        if offset + count > size:
+            raise CorruptMetadata(
+                f"truncated structure: wanted {count} bytes at "
+                f"offset {offset} of {size}"
+            )
+
+    need(0, _GEO.size)
+    cylinders, heads, sectors_per_track, sector_bytes = _GEO.unpack_from(
+        buf, 0
+    )
+    offset = _GEO.size
     geometry = DiskGeometry(
-        cylinders=reader.u32(),
-        heads=reader.u32(),
-        sectors_per_track=reader.u32(),
-        sector_bytes=reader.u32(),
+        cylinders=cylinders,
+        heads=heads,
+        sectors_per_track=sectors_per_track,
+        sector_bytes=sector_bytes,
     )
     disk = SimDisk(geometry=geometry)
-    for _ in range(reader.u32()):
-        address = reader.u32()
-        disk._data[address] = reader.raw(geometry.sector_bytes)
-    for _ in range(reader.u32()):
-        address = reader.u32()
-        disk._labels[address] = reader.raw(LABEL_BYTES)
-    for _ in range(reader.u32()):
-        disk.faults.damaged.add(reader.u32())
+    unpack32 = _U32.unpack_from
+
+    need(offset, 4)
+    (count,) = unpack32(buf, offset)
+    offset += 4
+    record = 4 + sector_bytes
+    need(offset, count * record)
+    data = disk._data
+    for _ in range(count):
+        (address,) = unpack32(buf, offset)
+        data[address] = buf[offset + 4:offset + record]
+        offset += record
+
+    need(offset, 4)
+    (count,) = unpack32(buf, offset)
+    offset += 4
+    record = 4 + LABEL_BYTES
+    need(offset, count * record)
+    labels = disk._labels
+    for _ in range(count):
+        (address,) = unpack32(buf, offset)
+        labels[address] = buf[offset + 4:offset + record]
+        offset += record
+
+    need(offset, 4)
+    (count,) = unpack32(buf, offset)
+    offset += 4
+    need(offset, count * 4)
+    disk.faults.damaged.update(
+        unpack32(buf, offset + 4 * index)[0] for index in range(count)
+    )
+    offset += count * 4
+
     if version >= 2:
-        for _ in range(reader.u32()):
-            address = reader.u32()
-            disk.faults.transient[address] = reader.u16()
-        for _ in range(reader.u32()):
-            disk.faults.latent.add(reader.u32())
+        need(offset, 4)
+        (count,) = unpack32(buf, offset)
+        offset += 4
+        need(offset, count * 6)
+        transient = disk.faults.transient
+        for _ in range(count):
+            address, remaining = _ADDR_REMAINING.unpack_from(buf, offset)
+            transient[address] = remaining
+            offset += 6
+        need(offset, 4)
+        (count,) = unpack32(buf, offset)
+        offset += 4
+        need(offset, count * 4)
+        disk.faults.latent.update(
+            unpack32(buf, offset + 4 * index)[0] for index in range(count)
+        )
     return disk

@@ -23,7 +23,7 @@ served by either, and the loss of an entire unit loses nothing.
 
 from __future__ import annotations
 
-from repro.disk.disk import SimDisk
+from repro.disk.disk import FREE_LABEL, SimDisk
 from repro.disk.faults import FaultInjector
 from repro.errors import DiskError
 from repro.obs import NULL_OBS
@@ -117,15 +117,19 @@ class MirroredDisk(SimDisk):
             set_labels=set_labels,
             cpu_overlap=cpu_overlap,
         )
-        # The shadow write happens in lock-step on the second unit.
+        # The shadow write happens in lock-step on the second unit —
+        # extent-batched like the primary install.
         if not self._unit_b_dead:
-            for offset, sector in enumerate(sectors):
-                self._mirror_data[address + offset] = self._pad(sector)
-                if set_labels is not None:
-                    self._mirror_labels[address + offset] = (
-                        self._labels[address + offset]
-                    )
-                self.mirror_faults.repair(address + offset)
+            count = len(sectors)
+            self._mirror_data.update(
+                zip(range(address, address + count), map(self._pad, sectors))
+            )
+            if set_labels is not None:
+                labels = self._labels
+                self._mirror_labels.update(
+                    (a, labels[a]) for a in range(address, address + count)
+                )
+            self.mirror_faults.repair_range(address, count)
 
     def read_maybe(self, address, count=1, expect_labels=None,
                    cpu_overlap=False):
@@ -133,12 +137,16 @@ class MirroredDisk(SimDisk):
             address, count, expect_labels=expect_labels,
             cpu_overlap=cpu_overlap,
         )
+        if not self._unit_a_dead and None not in sectors:
+            # Fast path: primary healthy, nothing to shadow-read.
+            return sectors
         out = []
-        damaged_recovery = False
+        repairs: list[tuple[int, bytes]] = []
+        unit_a_dead = self._unit_a_dead
+        mirror_data = self._mirror_data
         for offset, sector in enumerate(sectors):
             sector_address = address + offset
-            dead_primary = self._unit_a_dead or sector is None
-            if not dead_primary:
+            if not (unit_a_dead or sector is None):
                 out.append(sector)
                 continue
             if self._unit_b_dead or self.mirror_faults.is_damaged(
@@ -146,22 +154,22 @@ class MirroredDisk(SimDisk):
             ):
                 out.append(None)  # both sides bad
                 continue
-            out.append(self._mirror_data.get(sector_address, self._zero()))
-            if not self._unit_a_dead:
-                damaged_recovery = True
-        if damaged_recovery:
+            recovered = mirror_data.get(sector_address, self._zero())
+            out.append(recovered)
+            if not unit_a_dead:
+                repairs.append((sector_address, recovered))
+        if repairs:
             # The primary is alive but had damaged sectors: one extra
-            # positioning pass reads the mirror, and the good copy is
-            # repaired onto the primary in place.
+            # positioning pass reads the mirror, and the good copies
+            # are repaired onto the primary in place (extent-batched).
             self._position(address)
             self._transfer(address, count)
             self.mirror_recoveries += 1
             self.obs.count("mirror.recoveries")
-            for offset, sector in enumerate(out):
-                if sector is not None and sectors[offset] is None:
-                    self._data[address + offset] = sector
-                    self.faults.repair(address + offset)
-                    self.obs.count("mirror.repairs")
+            self._data.update(repairs)
+            for sector_address, _ in repairs:
+                self.faults.repair(sector_address)
+                self.obs.count("mirror.repairs")
         # A dead primary costs nothing extra: the read was simply
         # served by the mirror unit's identical positioning pass.
         return out
@@ -170,12 +178,18 @@ class MirroredDisk(SimDisk):
         """Label writes are shadowed too (CFS on mirrored hardware)."""
         super().write_labels(address, labels)
         if not self._unit_b_dead:
-            for offset in range(len(labels)):
-                self._mirror_labels[address + offset] = self._labels[
-                    address + offset
-                ]
+            stored = self._labels
+            self._mirror_labels.update(
+                (a, stored[a])
+                for a in range(address, address + len(labels))
+            )
 
     def peek_mirror(self, address: int) -> bytes:
         """Inspect the shadow copy (tests only)."""
         self.geometry.check_range(address)
         return self._mirror_data.get(address, self._zero())
+
+    def peek_mirror_label(self, address: int) -> bytes:
+        """Inspect the shadow label (tests only)."""
+        self.geometry.check_range(address)
+        return self._mirror_labels.get(address, FREE_LABEL)

@@ -84,6 +84,9 @@ class IoRequest:
     #: when this write must be durable (group-commit deadline); None
     #: marks an opportunistic write (writeback) with no client waiting.
     deadline_ms: float | None = None
+    #: background work (checkpointer write-home): yields to every
+    #: foreground request in the same flush under scan/deadline.
+    background: bool = False
     submitted_ms: float = 0.0
     #: number of submitted requests merged into this one at dispatch.
     merged: int = 1
@@ -135,7 +138,20 @@ class ScanPolicy:
         self, batch: list[IoRequest], head_cylinder: int, geometry, now_ms: float
     ) -> list[IoRequest]:
         """Sort ascending from the head's cylinder, then the rest
-        descending — one sweep up, one sweep back."""
+        descending — one sweep up, one sweep back.  Background requests
+        (checkpointer write-home) take their own sweep after every
+        foreground request has been serviced."""
+        foreground = [r for r in batch if not r.background]
+        background = [r for r in batch if r.background]
+        ordered = self._sweep(foreground, head_cylinder, geometry)
+        if background:
+            ordered += self._sweep(background, head_cylinder, geometry)
+        return ordered
+
+    @staticmethod
+    def _sweep(
+        batch: list[IoRequest], head_cylinder: int, geometry
+    ) -> list[IoRequest]:
         ahead = [
             r for r in batch
             if geometry.cylinder_of(r.address) >= head_cylinder
@@ -249,6 +265,10 @@ class IoScheduler:
         self.sched_stats = SchedStats()
         self._queue: list[IoRequest] = []
         self._next_tag = 1
+        #: while set, every submitted write is tagged background (the
+        #: checkpointer flips this around its write-home pass, so the
+        #: cache's writeback callables need no extra plumbing).
+        self.background_mode = False
 
     # -- disk passthrough ----------------------------------------------
     @property
@@ -363,11 +383,14 @@ class IoScheduler:
         expect_labels=None,
         cpu_overlap=False,
         deadline_ms=None,
+        background=None,
     ) -> int:
         """Queue a write for policy-ordered dispatch; returns its tag.
 
         Under an ``immediate`` policy (fifo) the write dispatches right
-        here, preserving program order exactly.
+        here, preserving program order exactly.  ``background`` (default:
+        the scheduler's ``background_mode``) marks checkpoint write-home
+        traffic that must yield to foreground requests at the flush.
         """
         tag = self._next_tag
         self._next_tag += 1
@@ -393,6 +416,9 @@ class IoScheduler:
                 expect_labels=list(expect_labels) if expect_labels else None,
                 cpu_overlap=cpu_overlap,
                 deadline_ms=deadline_ms,
+                background=(
+                    self.background_mode if background is None else background
+                ),
                 submitted_ms=self.clock.now_ms,
                 trace_id=current.trace_id if current is not None else None,
             )

@@ -30,18 +30,33 @@ class DiskTiming:
     #: in the paper's model ("a few cylinders").
     short_seek_cylinders: int = 4
 
+    def __post_init__(self) -> None:
+        # Memo tables (plain dicts, not dataclass fields, so equality
+        # and repr are untouched).  Entries hold exactly the float the
+        # formula below would produce, so memoised timing is
+        # bit-identical to computed timing.
+        object.__setattr__(self, "_seek_table", {})
+        object.__setattr__(self, "_slot_angle_table", {})
+
     # ------------------------------------------------------------------
     # primitive times (the model's vocabulary)
     # ------------------------------------------------------------------
     def seek_ms(self, cylinder_distance: int) -> float:
         """Time to move the heads ``cylinder_distance`` cylinders."""
+        table = self._seek_table
+        cached = table.get(cylinder_distance)
+        if cached is not None:
+            return cached
         if cylinder_distance < 0:
             raise ValueError("negative cylinder distance")
         if cylinder_distance == 0:
-            return 0.0
-        return self.seek_settle_ms + self.seek_coeff_ms * math.sqrt(
-            cylinder_distance
-        )
+            value = 0.0
+        else:
+            value = self.seek_settle_ms + self.seek_coeff_ms * math.sqrt(
+                cylinder_distance
+            )
+        table[cylinder_distance] = value
+        return value
 
     @property
     def short_seek_ms(self) -> float:
@@ -96,10 +111,16 @@ class DiskTiming:
         self, now_ms: float, target_slot: int, sectors_per_track: int
     ) -> float:
         """Time until the start of sector ``target_slot`` is under the head."""
-        target_angle = target_slot / sectors_per_track
-        current_angle = self.angle_at(now_ms)
+        key = (target_slot, sectors_per_track)
+        table = self._slot_angle_table
+        target_angle = table.get(key)
+        if target_angle is None:
+            target_angle = target_slot / sectors_per_track
+            table[key] = target_angle
+        rotation = self.rotation_ms
+        current_angle = (now_ms % rotation) / rotation
         wait = (target_angle - current_angle) % 1.0
-        return wait * self.rotation_ms
+        return wait * rotation
 
 
 #: Timing used throughout the benchmarks.

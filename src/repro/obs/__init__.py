@@ -59,6 +59,10 @@ class Observer:
         #: crash-sweep harnesses can reuse one observer across volumes.
         self.clock = clock
         self.metrics = MetricsRegistry()
+        #: per-observer counter handle cache: ``count`` is the hottest
+        #: obs call, so it skips the registry's type-checked lookup
+        #: after the first touch of each name.
+        self._counter_handles: dict = {}
         self.spans = SpanLog(now=self._now)
         #: optional :class:`~repro.obs.attribution.AttributionRecorder`;
         #: instrumented layers guard every note with one ``is None``
@@ -78,7 +82,13 @@ class Observer:
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1) -> None:
         """Increment the counter ``name`` by ``amount``."""
-        self.metrics.counter(name).add(amount)
+        counter = self._counter_handles.get(name)
+        if counter is None:
+            counter = self.metrics.counter(name)
+            self._counter_handles[name] = counter
+        if amount < 0:
+            counter.add(amount)  # raises: counters cannot decrease
+        counter.value += amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to its newest reading."""

@@ -37,6 +37,7 @@ def _run(args, trace_io: bool):
         sched=args.sched,
         data_cache_pages=getattr(args, "data_cache_pages", 0),
         readahead_pages=getattr(args, "readahead", DEFAULT_READAHEAD_PAGES),
+        checkpoint_interval_ms=getattr(args, "checkpoint_ms", None),
     )
     run_scripted_workload(fs, ops=args.ops)
     fs.unmount()
@@ -96,6 +97,19 @@ def cmd_stats(args) -> int:
         print(
             f"group commit: batching factor {absorbed.mean:.2f} "
             f"updates/force over {absorbed.count} forces"
+        )
+    wal = snapshot.layers().get("wal", {})
+    if "wal.third_entries" in wal:
+        ckpt = snapshot.layers().get("ckpt", {})
+        pages = ckpt.get("ckpt.pages_written", 0)
+        suffix = (
+            f"; checkpointer wrote {_fmt_value(pages)} pages in background"
+            if ckpt else "; checkpointer off"
+        )
+        print(
+            f"log stall: {wal.get('wal.stall_ms', 0.0):.2f} ms "
+            f"write-home across {_fmt_value(wal['wal.third_entries'])} "
+            f"third entries{suffix}"
         )
     durable = commit.get("commit.durable_latency_ms")
     if isinstance(durable, HistogramSnapshot) and durable.count:
@@ -175,6 +189,10 @@ def add_subparsers(sub) -> None:
                    default=DEFAULT_READAHEAD_PAGES, metavar="N",
                    help="sequential read-ahead window in pages "
                         f"(default: {DEFAULT_READAHEAD_PAGES})")
+    p.add_argument("--checkpoint-ms", type=float, default=None,
+                   metavar="MS",
+                   help="run the background checkpointer every MS "
+                        "simulated ms (default: off)")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(
@@ -203,4 +221,8 @@ def add_subparsers(sub) -> None:
                    default=DEFAULT_READAHEAD_PAGES, metavar="N",
                    help="sequential read-ahead window in pages "
                         f"(default: {DEFAULT_READAHEAD_PAGES})")
+    p.add_argument("--checkpoint-ms", type=float, default=None,
+                   metavar="MS",
+                   help="run the background checkpointer every MS "
+                        "simulated ms (default: off)")
     p.set_defaults(fn=cmd_trace)

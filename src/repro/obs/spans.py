@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SpanRecord:
     """One finished span."""
 

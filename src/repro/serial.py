@@ -93,6 +93,14 @@ class Packer:
         return data
 
 
+#: precompiled scalar codecs — ``Struct.unpack_from`` avoids both the
+#: per-call format parse and the intermediate slice of ``_take``.
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
 class Unpacker:
     """Sequential binary reader matching :class:`Packer`.
 
@@ -101,39 +109,64 @@ class Unpacker:
     class the software cross-checks use.
     """
 
+    __slots__ = ("_data", "_offset")
+
     def __init__(self, data: bytes, offset: int = 0):
         self._data = data
         self._offset = offset
 
+    def _truncated(self, count: int) -> CorruptMetadata:
+        return CorruptMetadata(
+            f"truncated structure: wanted {count} bytes at "
+            f"offset {self._offset} of {len(self._data)}"
+        )
+
     def _take(self, count: int) -> bytes:
         if self._offset + count > len(self._data):
-            raise CorruptMetadata(
-                f"truncated structure: wanted {count} bytes at "
-                f"offset {self._offset} of {len(self._data)}"
-            )
+            raise self._truncated(count)
         chunk = self._data[self._offset:self._offset + count]
         self._offset += count
         return chunk
 
     def u8(self) -> int:
         """Read an unsigned byte."""
-        return struct.unpack("<B", self._take(1))[0]
+        offset = self._offset
+        if offset + 1 > len(self._data):
+            raise self._truncated(1)
+        self._offset = offset + 1
+        return self._data[offset]
 
     def u16(self) -> int:
         """Read a little-endian unsigned 16-bit integer."""
-        return struct.unpack("<H", self._take(2))[0]
+        offset = self._offset
+        if offset + 2 > len(self._data):
+            raise self._truncated(2)
+        self._offset = offset + 2
+        return _U16.unpack_from(self._data, offset)[0]
 
     def u32(self) -> int:
         """Read a little-endian unsigned 32-bit integer."""
-        return struct.unpack("<I", self._take(4))[0]
+        offset = self._offset
+        if offset + 4 > len(self._data):
+            raise self._truncated(4)
+        self._offset = offset + 4
+        return _U32.unpack_from(self._data, offset)[0]
 
     def u64(self) -> int:
         """Read a little-endian unsigned 64-bit integer."""
-        return struct.unpack("<Q", self._take(8))[0]
+        offset = self._offset
+        if offset + 8 > len(self._data):
+            raise self._truncated(8)
+        self._offset = offset + 8
+        return _U64.unpack_from(self._data, offset)[0]
 
     def f64(self) -> float:
         """Read a little-endian IEEE-754 double."""
-        return struct.unpack("<d", self._take(8))[0]
+        offset = self._offset
+        if offset + 8 > len(self._data):
+            raise self._truncated(8)
+        self._offset = offset + 8
+        return _F64.unpack_from(self._data, offset)[0]
 
     def raw(self, count: int) -> bytes:
         """Read ``count`` raw bytes."""

@@ -71,8 +71,9 @@ __all__ = [
 #: bumped whenever the shape of ``TrafficReport.as_dict()`` changes,
 #: so downstream tooling (bench diff, dashboards) can detect format
 #: drift.  1 = PR 6 shape; 2 = adds ``schema_version`` itself and the
-#: optional ``attribution`` section.
-TRAFFIC_SCHEMA_VERSION = 2
+#: optional ``attribution`` section; 3 = adds the ``wal`` section
+#: (commit-path stall from the third-entry protocol).
+TRAFFIC_SCHEMA_VERSION = 3
 
 #: latency histogram bounds (ms) for ``traffic.op_ms``.
 TRAFFIC_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
@@ -203,6 +204,11 @@ class TrafficReport:
     batching_factor: float
     admission_waits: int
     commit_waits: int
+    #: simulated ms commits spent blocked in the synchronous
+    #: third-entry write-home, and how many entries the run crossed
+    #: (0 ms in steady state with the background checkpointer).
+    wal_stall_ms: float = 0.0
+    wal_third_entries: int = 0
     clock: dict[str, float] = field(default_factory=dict)
     #: per-phase latency attribution (``repro traffic --attrib``);
     #: ``None`` when the run was not attributed.
@@ -235,6 +241,10 @@ class TrafficReport:
                 "deferred_forces": self.deferred_forces,
                 "updates_absorbed": self.updates_absorbed,
                 "batching_factor": round(self.batching_factor, 3),
+            },
+            "wal": {
+                "stall_ms": round(self.wal_stall_ms, 3),
+                "third_entries": self.wal_third_entries,
             },
             "txn": {
                 "admission_waits": self.admission_waits,
@@ -280,6 +290,8 @@ class TrafficReport:
             batching_factor=commit["batching_factor"],
             admission_waits=txn["admission_waits"],
             commit_waits=txn["commit_waits"],
+            wal_stall_ms=data.get("wal", {}).get("stall_ms", 0.0),
+            wal_third_entries=data.get("wal", {}).get("third_entries", 0),
             clock=dict(data.get("clock", {})),
             attribution=data.get("attribution"),
             schema_version=version,
@@ -308,6 +320,8 @@ class TrafficReport:
             f"batching factor {self.batching_factor:.2f}",
             f"txn: {self.admission_waits} admission waits, "
             f"{self.commit_waits} commit waits",
+            f"log stall: {self.wal_stall_ms:.2f} ms write-home across "
+            f"{self.wal_third_entries} third entries",
         ]
         if self.sync_latency.get("count"):
             sync = self.sync_latency
@@ -815,9 +829,10 @@ class TrafficEngine:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def _counter_snapshot(self) -> dict[str, int]:
+    def _counter_snapshot(self) -> dict[str, float]:
         coord = self.fs.coordinator
         txn = self.fs.txn
+        wal = self.fs.wal
         return {
             "forces": coord.forces,
             "empty_forces": coord.empty_forces,
@@ -826,6 +841,8 @@ class TrafficEngine:
             "updates_absorbed": coord.updates_absorbed,
             "admission_waits": txn.admission_waits,
             "commit_waits": txn.commit_waits,
+            "wal_stall_ms": wal.stall_ms,
+            "wal_third_entries": wal.third_entries,
         }
 
     def _report(self, start: dict[str, int], start_ms: float,
@@ -871,6 +888,8 @@ class TrafficEngine:
             batching_factor=batching,
             admission_waits=delta["admission_waits"],
             commit_waits=delta["commit_waits"],
+            wal_stall_ms=delta["wal_stall_ms"],
+            wal_third_entries=int(delta["wal_third_entries"]),
             clock=self.fs.clock.snapshot(),
             attribution=attribution,
         )

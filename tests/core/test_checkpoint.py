@@ -1,0 +1,210 @@
+"""Background checkpointer: stall elimination, incremental REDO,
+idempotence of the install/anchor window, and scheduler yielding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fsd import FSD
+from repro.disk.disk import SimDisk
+from repro.disk.sched import IoRequest, IoScheduler
+from repro.harness.scenarios import SMALL
+from repro.obs import Observer
+from repro.workloads.generators import payload
+from repro.workloads.traffic import TrafficConfig, TrafficEngine
+
+
+def _volume(checkpoint_interval_ms=None, obs=None):
+    disk = SimDisk(geometry=SMALL.geometry)
+    FSD.format(disk, SMALL.fsd_params)
+    fs = FSD.mount(
+        disk, obs=obs, checkpoint_interval_ms=checkpoint_interval_ms
+    )
+    return disk, fs
+
+
+class TestCheckpointerOff:
+    def test_default_mount_has_no_checkpointer(self):
+        _, fs = _volume()
+        assert fs.checkpointer is None
+        fs.unmount()
+
+    def test_stall_accrues_without_checkpointer(self):
+        obs = Observer()
+        _, fs = _volume(obs=obs)
+        for index in range(400):
+            fs.create(f"w/f-{index:04d}", payload(1200, index))
+        fs.unmount()
+        snap = obs.snapshot()
+        assert snap.counters["wal.third_entries"] > 0
+        # The synchronous protocol pays write-home on the commit path.
+        assert snap.counters["wal.stall_ms"] > 0
+        assert fs.wal.stall_ms == pytest.approx(
+            snap.counters["wal.stall_ms"]
+        )
+
+
+class TestCheckpointerTick:
+    def test_tick_installs_and_advances_anchor(self):
+        obs = Observer()
+        _, fs = _volume(checkpoint_interval_ms=1e12, obs=obs)
+        for index in range(20):
+            fs.create(f"w/f-{index:02d}", payload(900, index))
+        fs.force()
+        assert fs.wal.anchor_offset != fs.wal.write_offset
+        written = fs.checkpointer.tick()
+        assert written > 0
+        assert fs.wal.anchor_offset == fs.wal.write_offset
+        assert fs.wal.anchor_record_number == fs.wal.next_record_number
+        snap = obs.snapshot()
+        assert snap.counters["ckpt.pages_written"] == written
+        assert snap.counters["ckpt.anchor_advances"] == 1
+        assert snap.gauges["ckpt.lsn"] == fs.wal.anchor_record_number
+        fs.unmount()
+
+    def test_idle_tick_is_free(self):
+        obs = Observer()
+        _, fs = _volume(checkpoint_interval_ms=1e12, obs=obs)
+        fs.create("one", payload(600, 1))
+        fs.force()
+        fs.checkpointer.tick()
+        checkpoints = obs.snapshot().counters["wal.checkpoints"]
+        assert fs.checkpointer.tick() == 0
+        # No new anchor write: the volume was idle since the last tick.
+        assert obs.snapshot().counters["wal.checkpoints"] == checkpoints
+        fs.unmount()
+
+    def test_checkpointed_state_survives_crash(self):
+        disk, fs = _volume(checkpoint_interval_ms=1e12)
+        for index in range(30):
+            fs.create(f"keep/f-{index:02d}", payload(1500, index))
+        fs.force()
+        fs.checkpointer.tick()
+        fs.crash()
+        recovered = FSD.mount(disk)
+        # Everything up to the checkpoint LSN is already home: redo has
+        # nothing newer to replay.
+        assert recovered.mount_report.log_records_replayed == 0
+        for index in range(30):
+            handle = recovered.open(f"keep/f-{index:02d}")
+            assert recovered.read(handle, 0, 1500) == payload(1500, index)
+        recovered.unmount()
+
+    def test_crash_between_install_and_anchor_is_idempotent(self):
+        """The mid-checkpoint window: home writes durable, anchor not
+        yet advanced.  Recovery replays the still-anchored records over
+        the already-installed pages — redo must be idempotent."""
+        disk, fs = _volume(checkpoint_interval_ms=1e12)
+        for index in range(30):
+            fs.create(f"keep/f-{index:02d}", payload(1500, index))
+        fs.force()
+        # First half of a checkpoint only: install every logged image
+        # and make it durable, but crash before the anchor advances.
+        fs.cache.flush_all_home()
+        fs.io.barrier()
+        fs.crash()
+        recovered = FSD.mount(disk)
+        assert recovered.mount_report.log_records_replayed > 0
+        for index in range(30):
+            handle = recovered.open(f"keep/f-{index:02d}")
+            assert recovered.read(handle, 0, 1500) == payload(1500, index)
+        recovered.unmount()
+
+    def test_unmount_removes_timer(self):
+        disk, fs = _volume(checkpoint_interval_ms=500.0)
+        fs.create("one", payload(600, 1))
+        fs.unmount()
+        assert disk.clock.next_timer_due_ms() is None
+
+    def test_crash_removes_timer(self):
+        disk, fs = _volume(checkpoint_interval_ms=500.0)
+        fs.crash()
+        assert disk.clock.next_timer_due_ms() is None
+
+
+class TestStallElimination:
+    def test_steady_state_stall_is_zero_under_traffic(self):
+        """The acceptance criterion: with the checkpointer keeping
+        ahead of the append cursor, third entries find the third clean
+        and the anchor already advanced — commits never block."""
+        obs = Observer()
+        _, fs = _volume(checkpoint_interval_ms=500.0, obs=obs)
+        engine = TrafficEngine(
+            fs,
+            TrafficConfig(
+                clients=8,
+                ops_per_client=60,
+                mean_think_ms=30.0,
+                seed=7,
+            ),
+        )
+        engine.run()
+        fs.unmount()
+        snap = obs.snapshot()
+        assert snap.counters["wal.third_entries"] > 0
+        assert snap.counters["wal.stall_ms"] == 0.0
+        assert snap.counters["ckpt.anchor_advances"] > 0
+
+    def test_same_traffic_stalls_without_checkpointer(self):
+        obs = Observer()
+        _, fs = _volume(obs=obs)
+        engine = TrafficEngine(
+            fs,
+            TrafficConfig(
+                clients=8,
+                ops_per_client=60,
+                mean_think_ms=30.0,
+                seed=7,
+            ),
+        )
+        engine.run()
+        fs.unmount()
+        assert obs.snapshot().counters["wal.stall_ms"] > 0
+
+
+class TestBackgroundYield:
+    def _flush_order(self, policy: str) -> list[int]:
+        disk = SimDisk(geometry=SMALL.geometry)
+        io = IoScheduler(disk, policy=policy)
+        sector = b"\x00" * disk.geometry.sector_bytes
+        # Background writeback lands in the queue first, at low
+        # addresses the elevator would otherwise prefer.
+        io.background_mode = True
+        io.submit_write(100, [sector])
+        io.submit_write(200, [sector])
+        io.background_mode = False
+        io.submit_write(5_000, [sector])
+        io.submit_write(6_000, [sector], deadline_ms=0.0)
+        order: list[int] = []
+        original = disk.write
+
+        def spy(address, sectors, **kwargs):
+            order.append(address)
+            return original(address, sectors, **kwargs)
+
+        disk.write = spy
+        io.flush()
+        return order
+
+    def test_scan_services_foreground_first(self):
+        order = self._flush_order("scan")
+        assert order.index(5_000) < order.index(100)
+        assert order.index(5_000) < order.index(200)
+
+    def test_deadline_services_foreground_first(self):
+        order = self._flush_order("deadline")
+        assert order[0] == 6_000  # expired deadline leads
+        assert order.index(5_000) < order.index(100)
+
+    def test_explicit_flag_overrides_mode(self):
+        disk = SimDisk(geometry=SMALL.geometry)
+        io = IoScheduler(disk, policy="scan")
+        sector = b"\x00" * disk.geometry.sector_bytes
+        io.submit_write(100, [sector], background=True)
+        assert io._queue[-1].background
+        io.submit_write(200, [sector])
+        assert not io._queue[-1].background
+
+    def test_request_default_is_foreground(self):
+        request = IoRequest(tag=1, address=0, sectors=[b""])
+        assert not request.background

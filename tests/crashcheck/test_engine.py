@@ -146,6 +146,42 @@ class TestSweeps:
                    if op.kind == "create"}
         assert len(clients) >= 2
 
+    def test_mid_checkpoint_clean_with_data_cache(self):
+        """Crashes inside background checkpoints — between write-home
+        and the anchor advance — pass the full oracle stack (structural,
+        cache coherence, semantic) with the data cache live."""
+        summary = explore(
+            "mid_checkpoint", max_points=48, data_cache_pages=16
+        )
+        assert summary.ok, [str(v) for v in summary.violations]
+        assert summary.checked > 0
+
+    def test_mid_checkpoint_records_the_install_anchor_window(self):
+        """Guard the scenario's premise: every checkpoint op records
+        home-page writes *followed by* the anchor write, so boundaries
+        in between are genuine mid-checkpoint crashes."""
+        from repro.crashcheck.workload import record_scenario
+
+        from repro.core.layout import VolumeLayout
+
+        recording = record_scenario(get_scenario("mid_checkpoint"))
+        scale = recording.scenario.scale
+        anchor = VolumeLayout.compute(
+            scale.geometry, scale.fsd_params
+        ).log_start
+        spans = [
+            recording.records[a.start_io:a.end_io]
+            for a in recording.applied
+            if a.op.kind == "checkpoint"
+        ]
+        assert spans, "scenario lost its checkpoint ops"
+        for span in spans:
+            assert all(rec.is_write for rec in span)
+            # Home writes first, then exactly one anchor write, last.
+            assert span[-1].address == anchor
+            assert len(span) > 1
+            assert all(rec.address != anchor for rec in span[:-1])
+
     def test_dedup_skips_identical_images(self, quickstart_recording):
         summary = explore(
             get_scenario("quickstart"), recording=quickstart_recording
