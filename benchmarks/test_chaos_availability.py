@@ -1,0 +1,95 @@
+"""Availability under chaos: the degraded-mode contract, measured.
+
+The paper's robustness story (§5) is qualitative; this bench makes it
+a gated number.  One seeded chaos campaign — faults injected *while*
+the concurrent traffic engine serves load, with mid-run crash/recover
+cycles — must end with every op resolved (no hangs), zero silent
+corruption, and the volume recovered; the availability numbers
+(goodput, retry amplification, time-to-restored-SLO) are written as a
+``BENCH_chaos.json``-shaped document that ``repro bench diff
+--fail-over`` gates in CI.
+
+Environment knobs (CI sets these):
+
+* ``BENCH_CHAOS_SCALE`` — ``full`` (default: the CLI campaign) or
+  ``small`` (smoke)
+* ``BENCH_CHAOS_SEED``  — campaign seed (default 1987, the CLI's)
+* ``BENCH_CHAOS_OUT``   — output path (default BENCH_chaos_ci.json)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.harness.report import Table
+from repro.workloads.chaos import ChaosConfig, chaos_bench_doc, run_chaos
+from repro.workloads.traffic import TrafficConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SCALE = os.environ.get("BENCH_CHAOS_SCALE", "full")
+SEED = int(os.environ.get("BENCH_CHAOS_SEED", "1987"))
+OUT_PATH = Path(
+    os.environ.get("BENCH_CHAOS_OUT", REPO_ROOT / "BENCH_chaos_ci.json")
+)
+
+# ``full`` mirrors the ``repro chaos`` CLI defaults exactly, so the
+# document diffs cleanly against the committed BENCH_chaos.json.
+CAMPAIGNS = {
+    "full": (
+        dict(clients=32, ops_per_client=12, mean_think_ms=150.0,
+             sync_fraction=0.25, max_retries=4),
+        dict(faults=120, fault_interval_ms=60.0, crash_cycles=3),
+    ),
+    "small": (
+        dict(clients=8, ops_per_client=6, mean_think_ms=80.0,
+             sync_fraction=0.25, max_retries=4),
+        dict(faults=30, fault_interval_ms=60.0, crash_cycles=2),
+    ),
+}
+
+
+def test_chaos_availability(once):
+    traffic_knobs, chaos_knobs = CAMPAIGNS[SCALE]
+    traffic = TrafficConfig(
+        seed=SEED, max_file_bytes=8_000, settle=False, **traffic_knobs
+    )
+    chaos = ChaosConfig(**chaos_knobs)
+
+    report = once(lambda: run_chaos(traffic, chaos))
+
+    doc = chaos_bench_doc(report)
+    OUT_PATH.write_text(json.dumps(doc, indent=2))
+
+    avail = report.traffic["availability"]
+    table = Table(f"chaos availability (scale={SCALE}, seed={SEED})")
+    table.add("ops resolved", "all issued",
+              f"{report.ops_completed}/{report.ops_issued}")
+    table.add("faults injected", str(chaos.faults),
+              str(report.faults_injected))
+    table.add("crash/recover cycles", str(chaos.crash_cycles),
+              str(report.crashes))
+    table.add("silent corruptions", "0",
+              str(len(report.silent_corruptions)))
+    table.add("goodput", "-", f"{doc['goodput_ops_per_s']:.1f} ops/s")
+    table.add("retry amplification", "-",
+              f"{doc['retry_amplification']:.3f}x")
+    table.add("errors", "-", f"{doc['errors_per_1k_ops']:.1f}/1k ops")
+    table.print()
+
+    # The availability contract, gated: every op resolves to success
+    # or a typed failure, the oracle finds no silent corruption, and
+    # the volume comes back.
+    assert report.hung_ops == 0, "an op never resolved"
+    assert not report.silent_corruptions, report.silent_corruptions
+    assert report.verdict in ("recovered", "degraded", "salvaged")
+    assert report.ok, report.summary_lines()
+    assert report.crashes >= 1, "campaign exercised no crash/recover"
+    # Retries happened and were bounded: amplification in (1, 1+budget].
+    amp = doc["retry_amplification"]
+    assert 1.0 <= amp <= 1.0 + traffic.max_retries
+    # Every recovery row reports its SLO restoration (or honest None).
+    for recovery in avail["recoveries"]:
+        assert "time_to_restored_slo_ms" in recovery

@@ -177,6 +177,34 @@ def error6_bad_log_sector() -> tuple[bool, bool]:
     return fsd_ok, True  # CFS has no log
 
 
+def error7_cache_thrash() -> tuple[bool, bool]:
+    """Beyond the paper's list: an adversarial working set sized just
+    past the data-page cache.  Thrashing must cost only speed — every
+    client op completes, nothing is misread, the volume stays intact.
+    """
+    from repro.obs import Observer
+    from repro.workloads.traffic import TrafficEngine, cache_thrash_config
+
+    cache_pages = 24
+    disk = SimDisk(geometry=GEO)
+    FSD.format(disk, FSD_PARAMS)
+    obs = Observer()
+    fs = FSD.mount(disk, obs=obs, data_cache_pages=cache_pages)
+    config = cache_thrash_config(
+        cache_pages, page_bytes=disk.geometry.sector_bytes
+    )
+    engine = TrafficEngine(fs, config)
+    report = engine.run()
+    # The mix must actually thrash (misses keep coming), yet complete.
+    thrashed = fs.data_cache.misses > cache_pages * 4
+    clean = (
+        report.ops_completed == report.ops_issued and report.errors == 0
+    )
+    fs.unmount()
+    fsd_ok = clean and thrashed and _fsd_intact(disk, {})
+    return fsd_ok, True  # CFS has no data cache to thrash
+
+
 def test_robustness_matrix(once):
     def run():
         return {
@@ -186,6 +214,7 @@ def test_robustness_matrix(once):
             "4 VAM disk error": error4_vam_disk_error(),
             "5 bad boot page": error5_bad_boot_page(),
             "6 bad log sector": error6_bad_log_sector(),
+            "7 cache thrash under load": error7_cache_thrash(),
         }
 
     results = once(run)

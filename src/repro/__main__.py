@@ -15,6 +15,7 @@
     python -m repro bench diff BEFORE.json AFTER.json [--fail-over FRAC]
     python -m repro salvage vol.img rebuilt.img
     python -m repro soak [--seed N] [--runs N] [--json FILE]
+    python -m repro chaos [--clients N] [--faults N] [--mirror] [--json FILE]
 
 Each command loads the image, mounts the volume (recovering it if the
 last session crashed), performs the operation, unmounts cleanly, and
@@ -276,6 +277,54 @@ def cmd_soak(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.workloads.chaos import ChaosConfig, run_chaos
+    from repro.workloads.traffic import TrafficConfig
+
+    traffic = TrafficConfig(
+        clients=args.clients,
+        ops_per_client=args.ops,
+        seed=args.seed,
+        mean_think_ms=args.think_ms,
+        sync_fraction=args.sync_fraction,
+        max_file_bytes=8_000,
+        settle=False,
+        max_retries=args.max_retries,
+        deadline_ms=args.deadline_ms,
+        slo_ms=args.slo_ms,
+    )
+    chaos = ChaosConfig(
+        faults=args.faults,
+        fault_interval_ms=args.fault_interval_ms,
+        crash_cycles=args.crashes,
+        mirror=args.mirror,
+        slo_ms=args.slo_ms if args.slo_ms is not None else 50.0,
+    )
+    report = run_chaos(
+        traffic,
+        chaos,
+        sched=args.sched,
+        data_cache_pages=args.data_cache_pages,
+        checkpoint_interval_ms=args.checkpoint_ms,
+    )
+    if not args.quiet:
+        for line in report.summary_lines():
+            print(line)
+    if args.json:
+        Path(args.json).write_text(report.to_json())
+        print(f"report written to {args.json}")
+    if args.bench:
+        import json
+
+        from repro.workloads.chaos import chaos_bench_doc
+
+        Path(args.bench).write_text(
+            json.dumps(chaos_bench_doc(report), indent=2)
+        )
+        print(f"bench doc written to {args.bench}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -416,6 +465,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress lines")
     p.set_defaults(fn=cmd_soak)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault injection under live multi-client traffic, with "
+             "the client error contract and recovery oracle",
+    )
+    p.add_argument("--clients", type=int, default=32)
+    p.add_argument("--ops", type=int, default=12,
+                   help="operations per client (default: 12)")
+    p.add_argument("--seed", type=int, default=1987)
+    p.add_argument("--faults", type=int, default=120,
+                   help="faults injected during the run (default: 120)")
+    p.add_argument("--fault-interval-ms", type=float, default=60.0,
+                   help="simulated ms between injections (default: 60)")
+    p.add_argument("--crashes", type=int, default=3,
+                   help="mid-run crash/recover cycles (default: 3)")
+    p.add_argument("--mirror", action="store_true",
+                   help="run on a shadowed pair and lose one unit "
+                        "mid-run")
+    p.add_argument("--think-ms", type=float, default=150.0,
+                   help="mean client think time (default: 150)")
+    p.add_argument("--sync-fraction", type=float, default=0.25,
+                   help="mutations that wait for durability "
+                        "(default: 0.25)")
+    p.add_argument("--max-retries", type=int, default=4,
+                   help="per-op retry budget (default: 4)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   help="per-op deadline; exceeding it resolves the op "
+                        "as a typed timeout (default: none)")
+    p.add_argument("--slo-ms", type=float, default=None,
+                   help="latency bar for time-to-restored-SLO "
+                        "(default: 50)")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the campaign report as JSON")
+    p.add_argument("--bench", metavar="PATH",
+                   help="write the flat bench-gating doc as JSON")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the summary lines")
+    _sched_arg(p)
+    p.set_defaults(fn=cmd_chaos)
 
     from repro.crashcheck.cli import add_subparser as add_crashcheck
     from repro.harness.benchdiff import add_subparser as add_bench

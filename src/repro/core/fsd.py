@@ -173,6 +173,9 @@ class FSD:
         #: non-None once the escalation ladder has been exhausted: the
         #: volume only serves reads until salvaged.
         self.degraded_reason: str | None = None
+        #: disk address of the failing read (when known) — carried on
+        #: every :class:`DegradedVolumeError` the volume raises.
+        self.degraded_site: int | None = None
         self.nt_home = nt_home
         if nt_home is not None:
             nt_home.on_degraded = self._note_degraded
@@ -409,6 +412,7 @@ class FSD:
         self.io.discard()
         self.cache.discard_all()
         self.data_cache.discard_all()
+        self.txn.discard_waiters()
         self.coordinator.shutdown()
         if self.checkpointer is not None:
             self.checkpointer.shutdown()
@@ -651,20 +655,28 @@ class FSD:
         if not self._mounted:
             raise NotMounted("volume is not mounted")
         if write and self.degraded_reason is not None:
-            raise DegradedVolumeError(self.degraded_reason)
+            raise DegradedVolumeError(
+                self.degraded_reason, fault_site=self.degraded_site
+            )
         self.clock.fire_due_timers()
         self.coordinator.check_pressure()
 
-    def _note_degraded(self, reason: str) -> None:
+    def _note_degraded(
+        self, reason: str, fault_site: int | None = None
+    ) -> None:
         """Final rung of the escalation ladder: go read-only.
 
         Any mutation in flight is abandoned — its unlogged cache pages
         roll back to their last logged images, so the half-applied
         update can never reach the log or the home copies.
+        ``fault_site`` is the disk address whose read exhausted the
+        ladder; the write-rejection error keeps reporting it so clients
+        see *where* the volume died, not just that it did.
         """
         if self.degraded_reason is not None:
             return
         self.degraded_reason = reason
+        self.degraded_site = fault_site
         self.cache.rollback_uncommitted()
         self.obs.count("ladder.degraded_marks")
 

@@ -90,11 +90,13 @@ class NameTableHome:
             self.obs.count("ladder.retry_successes")
         return data
 
-    def _degrade(self, reason: str) -> DegradedVolumeError:
+    def _degrade(
+        self, reason: str, fault_site: int | None = None
+    ) -> DegradedVolumeError:
         self.obs.count("ladder.nt_read_failures")
         if self.on_degraded is not None:
-            self.on_degraded(reason)
-        return DegradedVolumeError(reason)
+            self.on_degraded(reason, fault_site)
+        return DegradedVolumeError(reason, fault_site=fault_site)
 
     def read_page(self, page_no: int) -> bytes:
         """Read both copies and cross-check (the paper's double read).
@@ -109,7 +111,8 @@ class NameTableHome:
             data = self._read_copy(addr_a)
             if data is None:
                 raise self._degrade(
-                    f"name-table page {page_no} damaged and unreplicated"
+                    f"name-table page {page_no} damaged and unreplicated",
+                    fault_site=addr_a,
                 )
             return data
         copy_a = self._read_copy(addr_a)
@@ -117,13 +120,15 @@ class NameTableHome:
         if copy_a is not None and copy_b is not None:
             if copy_a != copy_b:
                 raise self._degrade(
-                    f"name-table page {page_no}: copies differ"
+                    f"name-table page {page_no}: copies differ",
+                    fault_site=addr_a,
                 )
             return copy_a
         survivor = copy_a if copy_a is not None else copy_b
         if survivor is None:
             raise self._degrade(
-                f"name-table page {page_no}: both copies damaged"
+                f"name-table page {page_no}: both copies damaged",
+                fault_site=addr_a,
             )
         bad_addr = addr_a if copy_a is None else addr_b
         self.io.write(bad_addr, [survivor])

@@ -263,6 +263,23 @@ class TxnManager:
             waiter(now_ms)
         self._wake_admissions()
 
+    def discard_waiters(self) -> int:
+        """A crash vaporized the volume's volatile state: every open
+        bracket and parked waiter belongs to a dead mount and must
+        never run.  Returns how many waiters were dropped so a driver
+        (the chaos engine) can re-drive those clients itself with a
+        typed crash-interruption instead of leaving them hung.
+        """
+        dropped = len(self._admission_waiters) + len(self._commit_waiters)
+        self._admission_waiters.clear()
+        self._commit_waiters.clear()
+        self.outstanding = 0
+        self.committing = False
+        self.commit_pending = False
+        if dropped:
+            self.obs.count("txn.waiters_discarded", dropped)
+        return dropped
+
     @property
     def waiting(self) -> int:
         """Clients currently parked (admission + commit waiters)."""

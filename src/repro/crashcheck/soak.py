@@ -47,14 +47,18 @@ from repro.errors import (
 #: fault kinds and their selection weights.  ``nt_pair`` destroys both
 #: home copies of one name-table page — deliberately past the paper's
 #: single-fault model, so the escalation ladder's degraded rung and the
-#: salvager actually get exercised.
-_FAULT_KINDS = (
+#: salvager actually get exercised.  Shared with the chaos engine
+#: (:mod:`repro.workloads.chaos`), which fires the same mix *under*
+#: live multi-client traffic.
+FAULT_KINDS = (
     ("permanent", 0.30),
     ("transient", 0.20),
     ("latent", 0.15),
     ("wild_write", 0.20),
     ("nt_pair", 0.15),
 )
+
+_FAULT_KINDS = FAULT_KINDS  # backwards-compatible alias
 
 
 @dataclass(frozen=True)
@@ -227,81 +231,100 @@ def _install_watermark(fs: FSD, state: _RunState) -> list[int]:
     return ops_done
 
 
-def _nt_page(fs: FSD, rng: random.Random) -> int:
+def nt_page(layout, rng: random.Random) -> int:
     """A name-table page number, biased toward the low pages a small
     volume actually uses (uniform hits over thousands of blank pages
     would never stress anything)."""
-    nt_pages = fs.layout.params.nt_pages
+    nt_pages = layout.params.nt_pages
     if rng.random() < 0.6:
         return rng.randrange(min(32, nt_pages))
     return rng.randrange(nt_pages)
 
 
-def _fault_targets(fs: FSD, state: _RunState, rng: random.Random) -> int:
+def pick_fault_kind(rng: random.Random) -> str:
+    """One kind from :data:`FAULT_KINDS` by weight."""
+    roll = rng.random()
+    cumulative = 0.0
+    kind = FAULT_KINDS[-1][0]
+    for name, weight in FAULT_KINDS:
+        cumulative += weight
+        if roll < cumulative:
+            kind = name
+            break
+    return kind
+
+
+def fault_target(
+    layout, leader_addrs: dict, rng: random.Random
+) -> int:
     """Pick a sector for a damage fault: name-table copies, the log,
-    or a live file's sectors — the places recovery has to care about."""
-    layout = fs.layout
+    or a live file's sectors — the places recovery has to care about.
+    ``leader_addrs`` maps live (name, version) pairs to their leader
+    sectors."""
     choice = rng.random()
     if choice < 0.3:
-        return layout.nt_a_start + _nt_page(fs, rng)
+        return layout.nt_a_start + nt_page(layout, rng)
     if choice < 0.5 and not layout.params.single_nt_copy:
-        return layout.nt_b_start + _nt_page(fs, rng)
+        return layout.nt_b_start + nt_page(layout, rng)
     if choice < 0.75:
         return layout.log_start + rng.randrange(
             3 + layout.params.log_record_sectors
         )
-    if state.leader_addrs and choice < 0.9:
-        return rng.choice(sorted(state.leader_addrs.values()))
+    if leader_addrs and choice < 0.9:
+        return rng.choice(sorted(leader_addrs.values()))
     area = layout.big_area if rng.random() < 0.5 else layout.small_area
     return area.start + rng.randrange(area.count)
 
 
-def _wild_write_target(fs: FSD, state: _RunState, rng: random.Random) -> int:
+def wild_write_target(
+    layout, leader_addrs: dict, rng: random.Random
+) -> int:
     """Wild writes model software scribbling over mapped metadata: they
     land only on name-table extents or leader sectors (paper §5.3's
     read-protection motivation)."""
-    layout = fs.layout
-    if state.leader_addrs and rng.random() < 0.4:
-        return rng.choice(sorted(state.leader_addrs.values()))
+    if leader_addrs and rng.random() < 0.4:
+        return rng.choice(sorted(leader_addrs.values()))
     base = (
         layout.nt_a_start
         if layout.params.single_nt_copy or rng.random() < 0.5
         else layout.nt_b_start
     )
-    return base + _nt_page(fs, rng)
+    return base + nt_page(layout, rng)
+
+
+def inject_fault(
+    disk: SimDisk, layout, leader_addrs: dict, rng: random.Random
+) -> str:
+    """Inject one weighted fault against ``disk``; returns its kind."""
+    kind = pick_fault_kind(rng)
+    if kind == "permanent":
+        disk.faults.damage(
+            fault_target(layout, leader_addrs, rng),
+            count=rng.choice((1, 2)),
+        )
+    elif kind == "transient":
+        disk.faults.damage_transient(
+            fault_target(layout, leader_addrs, rng),
+            failures=rng.choice((1, 2)),
+        )
+    elif kind == "latent":
+        disk.faults.damage_latent(fault_target(layout, leader_addrs, rng))
+    elif kind == "nt_pair":
+        page_no = nt_page(layout, rng)
+        address_a, address_b = layout.nt_page_addresses(page_no)
+        disk.faults.damage(address_a)
+        if not layout.params.single_nt_copy:
+            disk.faults.damage(address_b)
+    else:  # wild_write
+        junk = bytes(rng.getrandbits(8) for _ in range(48))
+        disk.write(wild_write_target(layout, leader_addrs, rng), [junk])
+    return kind
 
 
 def _inject_fault(
     disk: SimDisk, fs: FSD, state: _RunState, rng: random.Random
 ) -> str:
-    roll = rng.random()
-    cumulative = 0.0
-    kind = _FAULT_KINDS[-1][0]
-    for name, weight in _FAULT_KINDS:
-        cumulative += weight
-        if roll < cumulative:
-            kind = name
-            break
-    if kind == "permanent":
-        disk.faults.damage(
-            _fault_targets(fs, state, rng), count=rng.choice((1, 2))
-        )
-    elif kind == "transient":
-        disk.faults.damage_transient(
-            _fault_targets(fs, state, rng), failures=rng.choice((1, 2))
-        )
-    elif kind == "latent":
-        disk.faults.damage_latent(_fault_targets(fs, state, rng))
-    elif kind == "nt_pair":
-        page_no = _nt_page(fs, rng)
-        address_a, address_b = fs.layout.nt_page_addresses(page_no)
-        disk.faults.damage(address_a)
-        if not fs.layout.params.single_nt_copy:
-            disk.faults.damage(address_b)
-    else:  # wild_write
-        junk = bytes(rng.getrandbits(8) for _ in range(48))
-        disk.write(_wild_write_target(fs, state, rng), [junk])
-    return kind
+    return inject_fault(disk, fs.layout, state.leader_addrs, rng)
 
 
 def _note_mount_honesty(fs: FSD, state: _RunState) -> None:

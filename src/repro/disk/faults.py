@@ -168,6 +168,20 @@ class FaultInjector:
         """Cancel any armed crash plan."""
         self.crash_plan = None
 
+    def counters(self) -> dict[str, int]:
+        """Lifetime injection/surface counters as a plain dict (the
+        chaos report embeds this so a campaign's fault mix is part of
+        the artifact)."""
+        return {
+            "injected_media_faults": self.injected_media_faults,
+            "injected_transient_faults": self.injected_transient_faults,
+            "injected_latent_faults": self.injected_latent_faults,
+            "injected_wild_writes": self.injected_wild_writes,
+            "transient_reads_failed": self.transient_reads_failed,
+            "latent_surfaced": self.latent_surfaced,
+            "crashes_fired": self.crashes_fired,
+        }
+
     def crash_due(self) -> CrashPlan | None:
         """Count down an armed crash; return the plan when it fires."""
         plan = self.crash_plan

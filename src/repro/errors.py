@@ -92,12 +92,18 @@ class DegradedVolumeError(CorruptMetadata):
     handlers still classify it as detected (never silent) corruption.
     """
 
-    def __init__(self, reason: str):
+    def __init__(self, reason: str, fault_site: int | None = None):
+        site = f" (fault site: sector {fault_site})" if fault_site is not None else ""
         super().__init__(
-            f"{reason}; volume degraded to read-only "
+            f"{reason}{site}; volume degraded to read-only "
             "(run `python -m repro salvage` to rebuild)"
         )
         self.reason = reason
+        #: disk address of the read that exhausted the ladder, when the
+        #: failing rung knew one (both-copies-damaged, copies-differ).
+        #: ``None`` for degradations without a single site (lost log
+        #: records at mount time).
+        self.fault_site = fault_site
 
 
 class LogFull(FsError):
@@ -110,3 +116,28 @@ class LogFull(FsError):
 
 class NotMounted(FsError):
     """An operation was attempted on an unmounted or crashed volume."""
+
+
+#: the client-visible error classes of the traffic engine's contract.
+ERROR_CLASSES = ("retryable", "fatal", "degraded")
+
+
+def classify_error(error: BaseException) -> str:
+    """Classify an operation failure for the client retry contract.
+
+    * ``retryable`` — media-level failures that a later attempt may not
+      see again: transient sector damage, label mismatches, any disk
+      error, and ``NotMounted`` (the op raced a crash/recover cycle).
+      Permanent damage also lands here; the retry budget exhausts and
+      the op resolves as a typed failure.
+    * ``degraded`` — the escalation ladder dropped the volume to
+      read-only; retrying cannot help and clients must fail fast.
+    * ``fatal`` — semantic errors (no such file, version collision,
+      volume full, detected metadata corruption) where a retry would
+      deterministically repeat the failure.
+    """
+    if isinstance(error, DegradedVolumeError):
+        return "degraded"
+    if isinstance(error, (DiskError, NotMounted)):
+        return "retryable"
+    return "fatal"

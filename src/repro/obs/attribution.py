@@ -10,8 +10,12 @@ cache and the group-commit machinery, and the operation's end-to-end
 latency is partitioned into named **phases** on the simulated clock:
 
 =============  =====================================================
-``admission``  issue → transaction-bracket entry (log-space admission
-               wait, plus any daemon force that ran at arrival)
+``retry``      issue → final attempt start: failed attempts plus the
+               backoff waits between them (the client error contract;
+               0 for ops that succeed first try)
+``admission``  attempt start → transaction-bracket entry (log-space
+               admission wait, plus any daemon force that ran at
+               arrival)
 ``service``    the operation body: FSD work including disk I/O
 ``hold``       bracket held open for client processing (``hold_ms``)
 ``commit``     ``end_op`` → durable: waiting for the covering group
@@ -47,7 +51,7 @@ from repro.errors import FsError
 
 #: the top-level phases, in timeline order.  Every operation's latency
 #: is partitioned across exactly these (missing phases are 0.0).
-PHASES = ("admission", "service", "hold", "commit", "slack")
+PHASES = ("retry", "admission", "service", "hold", "commit", "slack")
 
 #: detail keys always present in a finished trace's ``detail`` dict.
 DETAIL_KEYS = (
@@ -97,6 +101,15 @@ class OpTrace:
     admission_blocks: int = 0
     block_reasons: dict[str, int] | None = None
     error: bool = False
+    #: how the op resolved under the error contract: ``None`` for a
+    #: first-try success, else "retryable"/"fatal"/"degraded"/"timeout"
+    #: (or ``None`` again when a retry eventually succeeded).
+    error_class: str | None = None
+    #: total attempts (1 = no retry); bumped by :meth:`op_retry`.
+    attempts: int = 1
+    #: when the *final* attempt began (issue_ms unless retried): the
+    #: retry phase is everything before it.
+    attempt_start_ms: float | None = None
     phases: dict[str, float] = field(default_factory=dict)
     disk_seek_ms: float = 0.0
     disk_rotation_ms: float = 0.0
@@ -131,6 +144,8 @@ class OpTrace:
             "name": self.name,
             "sync": self.sync,
             "error": self.error,
+            "error_class": self.error_class,
+            "attempts": self.attempts,
             "issue_ms": self.issue_ms,
             "admitted_ms": self.admitted_ms,
             "body_end_ms": self.body_end_ms,
@@ -263,9 +278,30 @@ class AttributionRecorder:
         """
         return _Segment(self, trace)
 
-    def op_error(self, trace: OpTrace) -> None:
+    def op_error(self, trace: OpTrace, error_class: str | None = None) -> None:
         """The body raised (file vanished mid-stream, etc.)."""
         trace.error = True
+        if error_class is not None:
+            trace.error_class = error_class
+
+    def op_retry(self, trace: OpTrace, resume_ms: float) -> None:
+        """The error contract scheduled another attempt at
+        ``resume_ms``: everything accumulated so far — the failed
+        attempt's service and the backoff wait about to elapse — folds
+        into the ``retry`` phase, and the per-attempt marks reset so
+        the final attempt's phases are attributed cleanly."""
+        trace.attempts += 1
+        trace.attempt_start_ms = resume_ms
+        trace.error = False
+        trace.error_class = None
+        trace.service_ms = 0.0
+        trace.admitted_ms = None
+        trace.body_end_ms = None
+        trace.end_op_ms = None
+        trace.durable_ms = None
+        trace.disk_seek_ms = 0.0
+        trace.disk_rotation_ms = 0.0
+        trace.disk_transfer_ms = 0.0
 
     def op_end(self, trace: OpTrace, now_ms: float) -> None:
         """``end_op`` is about to run: the hold phase ends here."""
@@ -293,8 +329,15 @@ class AttributionRecorder:
         """
         trace.finish_ms = trace.issue_ms + latency_ms
         trace.latency_ms = latency_ms
-        admitted = trace.admitted_ms if trace.admitted_ms is not None else trace.issue_ms
-        admission = admitted - trace.issue_ms
+        attempt_start = (
+            trace.attempt_start_ms
+            if trace.attempt_start_ms is not None
+            else trace.issue_ms
+        )
+        attempt_start = min(attempt_start, trace.finish_ms)
+        retry = attempt_start - trace.issue_ms
+        admitted = trace.admitted_ms if trace.admitted_ms is not None else attempt_start
+        admission = max(0.0, admitted - attempt_start)
         service = trace.service_ms
         # An async mutation's latency window closes at body end while
         # its bracket stays open for hold_ms more: clip the hold (and
@@ -312,8 +355,9 @@ class AttributionRecorder:
                 0.0,
                 min(trace.durable_ms, trace.finish_ms) - trace.end_op_ms,
             )
-        slack = latency_ms - (admission + service + hold + commit)
+        slack = latency_ms - (retry + admission + service + hold + commit)
         trace.phases = {
+            "retry": retry,
             "admission": admission,
             "service": service,
             "hold": hold,

@@ -1,0 +1,927 @@
+"""Chaos under load: fault injection inside the live traffic engine.
+
+The soak campaign (:mod:`repro.crashcheck.soak`) mixes faults into a
+*serial* workload; the crash-point explorer is exhaustive over single
+crashes.  What neither answers is the paper's operational claim — that
+a Cedar file server keeps *serving* through media decay and machine
+crashes, clients see typed errors rather than hangs, and recovery is
+"a minute or so" (§1) rather than a multi-hour scavenge.  The chaos
+engine closes that gap: it drives the multi-client traffic engine
+while a weighted fault mix (the soak campaign's own
+:data:`~repro.crashcheck.soak.FAULT_KINDS`) lands on the platter
+between operations, machine crashes fire *mid-I/O* via the armed
+crash plan, and — on a mirrored volume — an entire shadow unit dies
+and is later resilvered.
+
+On top of the traffic engine's client error contract (typed error
+classes, capped-backoff retries, deadlines, degraded fast-fail) the
+chaos engine adds what only a crash needs:
+
+* every scheduled client continuation is **token-guarded**, so a
+  pre-crash hold timer, read chunk, or retry never fires against the
+  post-crash mount;
+* a :class:`~repro.errors.SimulatedCrash` unwinds to the event loop,
+  which crashes the volume (discarding every parked waiter), truncates
+  the oracle to the committed watermark, remounts, and re-drives each
+  interrupted client through the ordinary retry path with a typed
+  :class:`~repro.errors.NotMounted` failure;
+* if the remount itself refuses (the volume is past mounting), the
+  run flips to **volume-lost** mode: every remaining operation
+  resolves immediately with a ``degraded`` error — clients never hang
+  — and the campaign ends in the salvage oracle.
+
+The oracle is the soak campaign's, extended for in-place writes: FSD
+logs *metadata* only, so a file's data sectors are not crash-atomic.
+Any name touched by an operation that failed with an explicit error,
+was interrupted by a crash, or sat in the uncommitted oplog suffix
+when a crash hit is marked **torn**: its content may honestly be a
+blend, because the client was *told* the op did not cleanly succeed.
+Everything else must read back exactly (or a historical value, or
+fail with an explicit error).  Silent corruption — junk content or a
+vanished file on a mount that claims health, with no explicit error
+anywhere in its story — is the one verdict that fails a campaign.
+
+Everything is deterministic: faults come from one seeded RNG, crashes
+from deterministic I/O countdowns, backoff jitter from per-(client,
+op, attempt) keyed RNGs.  The same seed replays the same campaign to
+a bit-identical disk, metrics snapshot, and report.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.core.salvage import salvage_volume
+from repro.crashcheck.soak import inject_fault
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mirror import MirroredDisk
+from repro.errors import (
+    CorruptMetadata,
+    DegradedVolumeError,
+    DiskError,
+    FileNotFound,
+    FsError,
+    NotMounted,
+    SimulatedCrash,
+)
+from repro.harness.adapters import FsdAdapter
+from repro.harness.fingerprint import fingerprint
+from repro.obs import Observer
+from repro.workloads.generators import payload
+from repro.workloads.traffic import (
+    MUTATING,
+    TrafficConfig,
+    TrafficEngine,
+    TrafficReport,
+)
+
+__all__ = [
+    "CHAOS_GEOMETRY",
+    "CHAOS_PARAMS",
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosReport",
+    "chaos_bench_doc",
+    "run_chaos",
+]
+
+#: default volume scale for chaos campaigns: the CLI's SMALL drive
+#: (enough data area for dozens of clients), with the crashcheck
+#: scale's appetite for log wrap.
+CHAOS_GEOMETRY = DiskGeometry(cylinders=200, heads=8, sectors_per_track=48)
+CHAOS_PARAMS = VolumeParams(
+    nt_pages=1024, log_record_sectors=600, cache_pages=96
+)
+
+#: report schema version for ``BENCH_chaos.json`` / ``--json`` output.
+CHAOS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Shape of the fault campaign riding on one traffic run."""
+
+    faults: int = 60                 # total faults to inject
+    fault_interval_ms: float = 120.0  # simulated ms between injections
+    crash_cycles: int = 2            # mid-run crash/recover cycles
+    crash_io_window: int = 40        # crash arms 1..window I/Os out
+    mirror: bool = False             # run on a shadowed pair
+    resilver_delay_ms: float = 2_500.0  # unit loss -> resilver start
+    slo_ms: float = 50.0             # "restored" latency bar
+    slo_window: int = 5              # consecutive ok ops under the bar
+
+    def __post_init__(self) -> None:
+        if self.faults < 0:
+            raise FsError("faults must be >= 0")
+        if self.fault_interval_ms <= 0.0:
+            raise FsError("fault_interval_ms must be positive")
+        if self.crash_cycles < 0:
+            raise FsError("crash_cycles must be >= 0")
+        if self.crash_io_window < 2:
+            raise FsError("crash_io_window must be at least 2")
+        if self.resilver_delay_ms < 0.0:
+            raise FsError("resilver_delay_ms must be >= 0")
+        if self.slo_ms <= 0.0 or self.slo_window < 1:
+            raise FsError("slo_ms must be positive, slo_window >= 1")
+
+    @property
+    def crash_points(self) -> frozenset[int]:
+        """Fault counts at which a crash is armed, spaced evenly."""
+        if not self.crash_cycles or not self.faults:
+            return frozenset()
+        spacing = self.faults // (self.crash_cycles + 1)
+        if spacing == 0:
+            return frozenset()
+        return frozenset(
+            spacing * (cycle + 1) for cycle in range(self.crash_cycles)
+        )
+
+    @property
+    def mirror_fail_point(self) -> int | None:
+        """Fault count at which the shadow unit dies (mirror runs)."""
+        if not self.mirror or not self.faults:
+            return None
+        return max(1, self.faults // 3)
+
+
+class ChaosEngine(TrafficEngine):
+    """The traffic engine with a fault campaign and crash recovery."""
+
+    def __init__(
+        self,
+        disk: SimDisk,
+        fs: FSD,
+        config: TrafficConfig,
+        chaos: ChaosConfig,
+        mount_kwargs: dict | None = None,
+    ):
+        super().__init__(fs, config)
+        self.disk = disk
+        self.chaos = chaos
+        #: kwargs every post-crash remount reuses, so recovery comes
+        #: back with the same scheduler/cache/checkpoint posture.
+        self.mount_kwargs = dict(mount_kwargs or {})
+        self.mount_kwargs.setdefault("obs", self.obs)
+        self._chaos_rng = random.Random(f"{config.seed}:chaos")
+        # fault campaign state
+        self._faults_injected = 0
+        self._faults_by_kind: dict[str, int] = {}
+        self._crashes = 0
+        self._recoveries: list[dict] = []
+        self._mirror_events: list[dict] = []
+        self._volume_lost = False
+        self._lost_reason: str | None = None
+        self._run_start_ms = 0.0
+        # the soak oracle, grown a torn-name set for in-place writes
+        self.oplog: list[tuple[str, str, bytes]] = []
+        self.history: dict[str, set[bytes]] = {}
+        self.committed = 0
+        self.honesty_flag = False
+        self._torn: set[str] = set()
+        self._content: dict[str, list[bytes]] = {}
+        self._leader_addrs: dict[tuple[str, int], int] = {}
+        fs.coordinator.add_commit_hook(self._commit_hook)
+
+    # ------------------------------------------------------------------
+    # oracle bookkeeping
+    # ------------------------------------------------------------------
+    def _commit_hook(self) -> None:
+        # Operation bodies are atomic and a force runs between them, so
+        # every oplog entry present when a commit returns is durable.
+        self.committed = max(self.committed, len(self.oplog))
+
+    def _replay_content(self) -> None:
+        """Rebuild the live content model from the (truncated) oplog."""
+        stacks: dict[str, list[bytes]] = {}
+        for kind, name, data in self.oplog:
+            if kind == "create":
+                stack = stacks.setdefault(name, [])
+                stack.append(data)
+                del stack[: -FSD.DEFAULT_KEEP]
+            elif kind == "write":
+                if stacks.get(name):
+                    stacks[name][-1] = data
+            elif kind == "delete" and stacks.get(name):
+                stacks[name].pop()
+        self._content = stacks
+
+    def expected_visible(self) -> dict[str, bytes]:
+        """Replay the committed oplog prefix: name -> newest content."""
+        saved = self.oplog
+        try:
+            self.oplog = saved[: self.committed]
+            self._replay_content()
+            return {
+                name: stack[-1]
+                for name, stack in self._content.items()
+                if stack
+            }
+        finally:
+            self.oplog = saved
+            self._replay_content()
+
+    def uncommitted_touches(self, name: str) -> bool:
+        """True when ``name`` appears in the oplog's uncommitted
+        suffix — its on-disk content was never acknowledged durable."""
+        return any(
+            entry[1] == name for entry in self.oplog[self.committed:]
+        )
+
+    def _oracle_create(self, name: str, data: bytes, handle) -> None:
+        self.oplog.append(("create", name, data))
+        stack = self._content.setdefault(name, [])
+        stack.append(data)
+        del stack[: -FSD.DEFAULT_KEEP]
+        props = handle.props
+        self._leader_addrs[(name, props.version)] = props.leader_addr
+        # Versions past the keep limit were trimmed: their leaders are
+        # free and must never be wild-write targets again.
+        for key in [
+            k
+            for k in self._leader_addrs
+            if k[0] == name and k[1] <= props.version - FSD.DEFAULT_KEEP
+        ]:
+            del self._leader_addrs[key]
+
+    def _oracle_write(self, name: str, result: bytes) -> None:
+        self.oplog.append(("write", name, result))
+        if self._content.get(name):
+            self._content[name][-1] = result
+
+    def _oracle_delete(self, name: str) -> None:
+        self.oplog.append(("delete", name, b""))
+        if self._content.get(name):
+            self._content[name].pop()
+        live = [k for k in self._leader_addrs if k[0] == name]
+        if live:
+            del self._leader_addrs[max(live, key=lambda k: k[1])]
+
+    # ------------------------------------------------------------------
+    # population + bodies (oracle-recording variants)
+    # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Create the shared population and record it as the oracle's
+        committed baseline (same RNG draws as the base engine)."""
+        if self._prepared or self.config.population == 0:
+            self._prepared = True
+            return
+        rng = random.Random(f"{self.config.seed}:population")
+        for rank in range(self.config.population):
+            name = self._pop_name(rank)
+            data = payload(self._sample_size(rng), seed=rank)
+            self.history.setdefault(name, set()).add(data)
+            handle = self.adapter.create(name, data)
+            self._oracle_create(name, data, handle)
+        self.adapter.settle()
+        self.committed = len(self.oplog)
+        self._prepared = True
+
+    def _body(self, op) -> None:
+        if op.kind == "create":
+            data = payload(op.size, op.seed)
+            # Record the payload *before* the call: a create that fails
+            # after materializing is then still a known content.
+            self.history.setdefault(op.name, set()).add(data)
+            handle = self.adapter.create(op.name, data)
+            self._oracle_create(op.name, data, handle)
+        elif op.kind == "write":
+            handle = self.adapter.open(op.name)
+            data = payload(op.size, op.seed)
+            old = (self._content.get(op.name) or [b""])[-1]
+            result = data + old[len(data):]
+            self.history.setdefault(op.name, set()).add(result)
+            self.adapter.write(handle, 0, data)
+            self._oracle_write(op.name, result)
+        elif op.kind == "delete":
+            self.adapter.delete(op.name)
+            self._oracle_delete(op.name)
+        else:
+            super()._body(op)
+
+    # ------------------------------------------------------------------
+    # crash-safe event plumbing
+    # ------------------------------------------------------------------
+    def _client_event(self, client, due_ms, fn) -> None:
+        token = client.token
+
+        def guarded() -> None:
+            if client.token == token:
+                fn()
+
+        self._schedule(due_ms, guarded)
+
+    def _loop(self) -> None:
+        clock = self.fs.clock
+        while self._heap:
+            due_ms, _, fn = heapq.heappop(self._heap)
+            if due_ms > clock.now_ms:
+                clock.advance_idle(due_ms - clock.now_ms)
+            try:
+                fn()
+            except SimulatedCrash:
+                self._recover()
+                continue
+            if not self._heap and self._parked:
+                try:
+                    self._drain_parked()
+                except SimulatedCrash:
+                    self._recover()
+            clock = self.fs.clock
+
+    def _attempt(self, client) -> None:
+        if self._volume_lost:
+            self._resolve_lost(client)
+            return
+        super()._attempt(client)
+
+    def _op_failed(self, client, op, error, in_bracket=False) -> bool:
+        if in_bracket and op.kind in MUTATING:
+            # The body raised partway: FSD logs metadata, not data, so
+            # this name's content is no longer pinned by the oracle.
+            self._torn.add(op.name)
+        return super()._op_failed(client, op, error, in_bracket=in_bracket)
+
+    def _resolve_lost(self, client) -> None:
+        op = client.ops[client.index]
+        error = DegradedVolumeError(
+            self._lost_reason or "volume lost under chaos"
+        )
+        if not self._op_failed(client, op, error):
+            self._finish(
+                client, op, self.fs.clock.now_ms - client.issue_ms
+            )
+
+    # ------------------------------------------------------------------
+    # the fault campaign tick
+    # ------------------------------------------------------------------
+    def run(self) -> TrafficReport:
+        self.prepare()
+        self._run_start_ms = self.fs.clock.now_ms
+        if self.chaos.faults:
+            self._schedule(
+                self._run_start_ms + self.chaos.fault_interval_ms,
+                self._tick,
+            )
+        return super().run()
+
+    def _tick(self) -> None:
+        if self._volume_lost or self._faults_injected >= self.chaos.faults:
+            return
+        clock = self.fs.clock
+        # Reschedule *before* injecting: a wild write can trip an armed
+        # crash mid-tick, and the campaign must survive its own fault.
+        if self._faults_injected + 1 < self.chaos.faults:
+            self._schedule(
+                clock.now_ms + self.chaos.fault_interval_ms, self._tick
+            )
+        clock.fire_due_timers()
+        kind = inject_fault(
+            self.disk, self.fs.layout, self._leader_addrs,
+            self._chaos_rng,
+        )
+        self._faults_injected += 1
+        self._faults_by_kind[kind] = self._faults_by_kind.get(kind, 0) + 1
+        self.obs.count("chaos.faults")
+        self.obs.count(f"chaos.faults.{kind}")
+        if (
+            self._faults_injected in self.chaos.crash_points
+            and self.disk.faults.crash_plan is None
+        ):
+            self.disk.faults.arm_crash(
+                after_ios=self._chaos_rng.randrange(
+                    1, self.chaos.crash_io_window
+                )
+            )
+            self.obs.count("chaos.crashes_armed")
+        if self._faults_injected == self.chaos.mirror_fail_point:
+            self._fail_mirror()
+
+    def _fail_mirror(self) -> None:
+        if not isinstance(self.disk, MirroredDisk) or self.disk.degraded:
+            return
+        clock = self.fs.clock
+        self.disk.massive_failure("b")
+        self.obs.count("chaos.mirror_failures")
+        self._mirror_events.append(
+            {"event": "unit_b_lost", "at_ms": round(clock.now_ms, 3)}
+        )
+        self._schedule(
+            clock.now_ms + self.chaos.resilver_delay_ms, self._resilver
+        )
+
+    def _resilver(self) -> None:
+        if self._volume_lost or not isinstance(self.disk, MirroredDisk):
+            return
+        if not self.disk.degraded:
+            return
+        copied = self.disk.resilver()
+        self.obs.count("chaos.resilvers")
+        self._mirror_events.append(
+            {
+                "event": "resilvered",
+                "at_ms": round(self.fs.clock.now_ms, 3),
+                "sectors": copied,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        clock = self.fs.clock
+        at_ms = clock.now_ms
+        self._crashes += 1
+        self.obs.count("chaos.crashes")
+        self.fs.crash()
+        # The armed plan *was* this crash; it dies with the machine.
+        self.disk.faults.disarm_crash()
+        self._parked = 0
+        # Ops past the committed watermark died with the crash — and
+        # because data sectors are written in place outside the log,
+        # their names' contents are torn, not merely rolled back.
+        for _, name, _ in self.oplog[self.committed:]:
+            self._torn.add(name)
+        del self.oplog[self.committed:]
+        self._replay_content()
+        interrupted = [c for c in self.clients if c.inflight]
+        for client in interrupted:
+            client.token += 1
+            op = client.ops[client.index]
+            if op.kind in MUTATING:
+                self._torn.add(op.name)
+        try:
+            fs = FSD.mount(self.disk, **self.mount_kwargs)
+        except (DegradedVolumeError, CorruptMetadata) as error:
+            self._volume_lost = True
+            self._lost_reason = str(error)
+            self.honesty_flag = True
+            self.obs.count("chaos.volume_lost")
+            self._recoveries.append(
+                {
+                    "at_ms": at_ms,
+                    "recover_ms": clock.now_ms - at_ms,
+                    "mounted": 0,
+                    "records_replayed": 0,
+                }
+            )
+            for client in interrupted:
+                self._resolve_lost(client)
+            return
+        self._rebind(fs)
+        self._recoveries.append(
+            {
+                "at_ms": at_ms,
+                "recover_ms": clock.now_ms - at_ms,
+                "mounted": 1,
+                "records_replayed": fs.mount_report.log_records_replayed,
+            }
+        )
+        try:
+            self._leader_addrs = {
+                (props.name, props.version): props.leader_addr
+                for props in fs.list()
+            }
+        except (FsError, DiskError):
+            self._leader_addrs = {}
+        if isinstance(self.disk, MirroredDisk) and self.disk.degraded:
+            self._schedule(
+                clock.now_ms + self.chaos.resilver_delay_ms,
+                self._resilver,
+            )
+        # Re-drive every interrupted client through the contract: the
+        # crash is a retryable, *typed* failure, never a hang.
+        for client in interrupted:
+            op = client.ops[client.index]
+            error = NotMounted("crash interrupted the operation")
+            if not self._op_failed(client, op, error):
+                self._finish(
+                    client, op, clock.now_ms - client.issue_ms
+                )
+
+    def _rebind(self, fs: FSD) -> None:
+        self.fs = fs
+        self.adapter = FsdAdapter(fs)
+        if self.recorder is not None:
+            self.recorder.bind(fs)
+        fs.coordinator.add_commit_hook(self._commit_hook)
+        report = fs.mount_report
+        if report.log_damage or report.log_records_lost or fs.degraded:
+            self.honesty_flag = True
+
+    # ------------------------------------------------------------------
+    # availability reporting
+    # ------------------------------------------------------------------
+    def _availability_section(self) -> dict:
+        section = self._availability_body()
+        section["faults"] = {
+            "injected": self._faults_injected,
+            "by_kind": dict(sorted(self._faults_by_kind.items())),
+            "injector": self.disk.faults.counters(),
+        }
+        section["crashes"] = self._crashes
+        section["volume_lost"] = self._volume_lost
+        section["recoveries"] = [
+            {
+                "at_ms": round(entry["at_ms"], 3),
+                "recover_ms": round(entry["recover_ms"], 3),
+                "mounted": entry["mounted"],
+                "records_replayed": entry["records_replayed"],
+                "time_to_restored_slo_ms": self._ttr_slo(entry["at_ms"]),
+            }
+            for entry in self._recoveries
+        ]
+        section["epochs"] = self._epochs()
+        section["goodput"] = self._goodput_timeline()
+        if self._mirror_events:
+            section["mirror"] = list(self._mirror_events)
+        return section
+
+    def _ttr_slo(self, at_ms: float) -> float | None:
+        """Simulated ms from a recovery until ``slo_window``
+        consecutive ops finished ok under ``slo_ms``; None when the
+        run ended before service was restored to SLO."""
+        streak = 0
+        for finish_ms, _, outcome, latency in self._outcomes:
+            if finish_ms < at_ms:
+                continue
+            if outcome == "ok" and latency <= self.chaos.slo_ms:
+                streak += 1
+                if streak >= self.chaos.slo_window:
+                    return round(finish_ms - at_ms, 3)
+            else:
+                streak = 0
+        return None
+
+    def _epochs(self) -> list[dict]:
+        """Per-epoch (between crashes) op counts and failures."""
+        bounds = (
+            [self._run_start_ms]
+            + [entry["at_ms"] for entry in self._recoveries]
+            + [self.fs.clock.now_ms]
+        )
+        epochs = []
+        for i in range(len(bounds) - 1):
+            low, high = bounds[i], bounds[i + 1]
+            last = i == len(bounds) - 2
+            ops = [
+                o for o in self._outcomes
+                if low <= o[0] and (o[0] < high or last)
+            ]
+            failed = sum(1 for o in ops if o[2] != "ok")
+            epochs.append(
+                {
+                    "start_ms": round(low, 3),
+                    "end_ms": round(high, 3),
+                    "ops": len(ops),
+                    "failed": failed,
+                }
+            )
+        return epochs
+
+    def _goodput_timeline(self, buckets: int = 12) -> list[dict]:
+        if not self._outcomes:
+            return []
+        start = self._run_start_ms
+        end = max(o[0] for o in self._outcomes)
+        span = max(end - start, 1e-9)
+        rows = [
+            {
+                "t_ms": round(start + span * (i + 1) / buckets, 3),
+                "ok": 0,
+                "failed": 0,
+            }
+            for i in range(buckets)
+        ]
+        for finish_ms, _, outcome, _ in self._outcomes:
+            index = min(
+                buckets - 1, int((finish_ms - start) / span * buckets)
+            )
+            rows[index]["ok" if outcome == "ok" else "failed"] += 1
+        return rows
+
+
+# ----------------------------------------------------------------------
+# campaign report
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosReport:
+    """One chaos campaign: the traffic run, the fault story, and the
+    oracle's verdict."""
+
+    seed: int
+    clients: int
+    ops_issued: int
+    ops_completed: int
+    faults_injected: int
+    faults_by_kind: dict[str, int]
+    crashes: int
+    volume_lost: bool
+    verdict: str = ""  # "recovered" | "degraded" | "salvaged"
+    files_expected: int = 0
+    files_verified: int = 0
+    files_honestly_lost: int = 0
+    silent_corruptions: list[str] = field(default_factory=list)
+    salvage_summary: str | None = None
+    traffic: dict = field(default_factory=dict)
+    fingerprint: dict = field(default_factory=dict)
+    schema_version: int = CHAOS_SCHEMA_VERSION
+
+    @property
+    def hung_ops(self) -> int:
+        """Issued ops that never resolved — the contract demands 0."""
+        return self.ops_issued - self.ops_completed
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.silent_corruptions
+            and self.hung_ops == 0
+            and self.verdict in ("recovered", "degraded", "salvaged")
+        )
+
+    def as_dict(self) -> dict:
+        """The campaign as a JSON-ready document (``--json`` output)."""
+        return {
+            "schema_version": self.schema_version,
+            "seed": self.seed,
+            "clients": self.clients,
+            "ops_issued": self.ops_issued,
+            "ops_completed": self.ops_completed,
+            "hung_ops": self.hung_ops,
+            "faults_injected": self.faults_injected,
+            "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "crashes": self.crashes,
+            "volume_lost": self.volume_lost,
+            "verdict": self.verdict,
+            "files_expected": self.files_expected,
+            "files_verified": self.files_verified,
+            "files_honestly_lost": self.files_honestly_lost,
+            "silent_corruptions": list(self.silent_corruptions),
+            "salvage": self.salvage_summary,
+            "ok": self.ok,
+            "traffic": self.traffic,
+            "fingerprint": self.fingerprint,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize :meth:`as_dict`; bit-identical for equal seeds."""
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable campaign summary (the CLI's default output)."""
+        avail = self.traffic.get("availability") or {}
+        failed = avail.get("ops_failed", {})
+        failed_parts = ", ".join(
+            f"{cls} x{count}" for cls, count in sorted(failed.items())
+        ) or "none"
+        status = "OK" if self.ok else "FAILED"
+        lines = [
+            f"chaos seed={self.seed}: {self.clients} clients, "
+            f"{self.faults_injected} faults, {self.crashes} crashes "
+            f"— {status}",
+            f"ops {self.ops_completed}/{self.ops_issued} resolved "
+            f"({self.hung_ops} hung), failures: {failed_parts}, "
+            f"{avail.get('retries', 0)} retries",
+            f"verdict {self.verdict}: {self.files_verified}/"
+            f"{self.files_expected} files verified, "
+            f"{self.files_honestly_lost} honestly lost, "
+            f"{len(self.silent_corruptions)} silent corruptions",
+        ]
+        for recovery in avail.get("recoveries", []):
+            ttr = recovery.get("time_to_restored_slo_ms")
+            ttr_text = f"{ttr:.0f} ms" if ttr is not None else "not restored"
+            lines.append(
+                f"  crash at {recovery['at_ms']:.0f} ms: recovered in "
+                f"{recovery['recover_ms']:.1f} ms "
+                f"({recovery['records_replayed']} records), "
+                f"SLO back in {ttr_text}"
+            )
+        for event in (self.traffic.get("availability") or {}).get(
+            "mirror", []
+        ):
+            lines.append(
+                f"  mirror: {event['event']} at {event['at_ms']:.0f} ms"
+            )
+        if self.salvage_summary:
+            lines.append(f"salvage: {self.salvage_summary}")
+        for finding in self.silent_corruptions:
+            lines.append(f"SILENT CORRUPTION: {finding}")
+        return lines
+
+
+# ----------------------------------------------------------------------
+# final verification (the soak oracle, torn-aware)
+# ----------------------------------------------------------------------
+def _honest_absence(engine: ChaosEngine, name: str) -> bool:
+    return (
+        engine.honesty_flag
+        or engine.uncommitted_touches(name)
+        or name in engine._torn
+    )
+
+
+def _acceptable(engine: ChaosEngine, name: str, got: bytes,
+                want: bytes) -> bool:
+    # An op past the committed watermark died with the final power-off;
+    # like a mid-run crash (the torn set) it leaves unlogged data
+    # sectors half-applied, so the name's content is honestly
+    # indeterminate — the client never saw that op acknowledged as
+    # durable.
+    return (
+        got == want
+        or got in engine.history.get(name, ())
+        or name in engine._torn
+        or engine.uncommitted_touches(name)
+    )
+
+
+def _verify_mounted(fs: FSD, engine: ChaosEngine,
+                    report: ChaosReport) -> None:
+    expected = engine.expected_visible()
+    report.files_expected = len(expected)
+    for name, want in sorted(expected.items()):
+        try:
+            handle = fs.open(name)
+            got = fs.read(handle)
+        except FileNotFound:
+            if _honest_absence(engine, name):
+                report.files_honestly_lost += 1
+            else:
+                report.silent_corruptions.append(
+                    f"committed file {name} vanished from a mount that "
+                    "claims to be healthy"
+                )
+            continue
+        except (DiskError, CorruptMetadata):
+            report.files_honestly_lost += 1
+            continue
+        if _acceptable(engine, name, got, want):
+            report.files_verified += 1
+        else:
+            report.silent_corruptions.append(
+                f"file {name} returned {len(got)} bytes that were "
+                "never written to it"
+            )
+
+
+def _verify_salvage(disk: SimDisk, engine: ChaosEngine,
+                    report: ChaosReport,
+                    params: VolumeParams | None = None) -> None:
+    # params_hint lets salvage locate the layout even when chaos has
+    # destroyed both root-page copies (the worst allowed outcome).
+    try:
+        destination, salvage_report = salvage_volume(disk, params_hint=params)
+    except (DegradedVolumeError, CorruptMetadata) as error:
+        report.silent_corruptions.append(f"salvage failed: {error}")
+        return
+    report.salvage_summary = salvage_report.summary()
+    fs = FSD.mount(destination)
+    expected = engine.expected_visible()
+    if not report.files_expected:
+        report.files_expected = len(expected)
+    for name, want in sorted(expected.items()):
+        try:
+            handle = fs.open(name)
+            got = fs.read(handle)
+        except (FileNotFound, DiskError, CorruptMetadata):
+            report.files_honestly_lost += 1
+            continue
+        if _acceptable(engine, name, got, want):
+            report.files_verified += 1
+        else:
+            report.silent_corruptions.append(
+                f"salvaged file {name} returned {len(got)} bytes that "
+                "were never written to it"
+            )
+    fs.crash()
+
+
+def _classify(disk: SimDisk, engine: ChaosEngine,
+              report: ChaosReport, mount_kwargs: dict) -> None:
+    params = mount_kwargs.get("params")
+    if engine._volume_lost:
+        report.verdict = "salvaged"
+        _verify_salvage(disk, engine, report, params)
+        return
+    try:
+        fs = FSD.mount(disk, **mount_kwargs)
+    except (DegradedVolumeError, CorruptMetadata):
+        report.verdict = "salvaged"
+        engine.honesty_flag = True
+        _verify_salvage(disk, engine, report, params)
+        return
+    mount_report = fs.mount_report
+    if mount_report.log_damage or mount_report.log_records_lost or fs.degraded:
+        engine.honesty_flag = True
+    report.verdict = "degraded" if fs.degraded else "recovered"
+    _verify_mounted(fs, engine, report)
+    fs.crash()
+    if report.verdict == "degraded":
+        _verify_salvage(disk, engine, report, params)
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+def run_chaos(
+    traffic: TrafficConfig | None = None,
+    chaos: ChaosConfig | None = None,
+    *,
+    geometry: DiskGeometry | None = None,
+    params: VolumeParams | None = None,
+    sched: str = "fifo",
+    data_cache_pages: int = 0,
+    checkpoint_interval_ms: float | None = None,
+    observer=None,
+) -> ChaosReport:
+    """One seeded chaos campaign: traffic + faults + final oracle."""
+    traffic = traffic or TrafficConfig(max_retries=4)
+    chaos = chaos or ChaosConfig()
+    if traffic.settle:
+        # The engine must never force a volume that may be degraded or
+        # lost; the final classification settles things its own way.
+        traffic = replace(traffic, settle=False)
+    geometry = geometry or CHAOS_GEOMETRY
+    params = params or CHAOS_PARAMS
+    disk_cls = MirroredDisk if chaos.mirror else SimDisk
+    disk = disk_cls(geometry=geometry)
+    FSD.format(disk, params)
+    obs = observer if observer is not None else Observer()
+    mount_kwargs = {
+        "params": params,
+        "obs": obs,
+        "sched": sched,
+        "data_cache_pages": data_cache_pages,
+        "checkpoint_interval_ms": checkpoint_interval_ms,
+    }
+    fs = FSD.mount(disk, **mount_kwargs)
+    engine = ChaosEngine(disk, fs, traffic, chaos, mount_kwargs)
+    traffic_report = engine.run()
+    if not engine._volume_lost:
+        engine.fs.crash()
+    # A still-armed crash died with the final power-off; the oracle's
+    # classification mounts must not trip over it.
+    disk.faults.disarm_crash()
+    report = ChaosReport(
+        seed=traffic.seed,
+        clients=traffic.clients,
+        ops_issued=traffic_report.ops_issued,
+        ops_completed=traffic_report.ops_completed,
+        faults_injected=engine._faults_injected,
+        faults_by_kind=dict(engine._faults_by_kind),
+        crashes=engine._crashes,
+        volume_lost=engine._volume_lost,
+        traffic=traffic_report.as_dict(),
+    )
+    _classify(disk, engine, report, mount_kwargs)
+    report.fingerprint = fingerprint(disk, obs).as_dict()
+    return report
+
+
+def chaos_bench_doc(report: ChaosReport) -> dict:
+    """Flat gating document for ``BENCH_chaos.json``.  Key names are
+    chosen for the bench-diff direction table: ``goodput_ops_per_s``
+    gates higher-is-better, ``*_ms`` and ``errors_per_1k_ops`` gate
+    lower-is-better, counts stay neutral."""
+    avail = report.traffic.get("availability") or {}
+    elapsed_ms = report.traffic.get("elapsed_ms", 0.0)
+    ok_ops = avail.get("ops_ok", report.ops_completed)
+    goodput = (
+        ok_ops / (elapsed_ms / 1000.0) if elapsed_ms > 0 else 0.0
+    )
+    failed = sum(avail.get("ops_failed", {}).values())
+    errors_per_1k = (
+        1000.0 * failed / report.ops_completed
+        if report.ops_completed
+        else 0.0
+    )
+    ttrs = [
+        entry["time_to_restored_slo_ms"]
+        for entry in avail.get("recoveries", [])
+        if entry.get("time_to_restored_slo_ms") is not None
+    ]
+    return {
+        "schema_version": CHAOS_SCHEMA_VERSION,
+        "seed": report.seed,
+        "clients": report.clients,
+        "faults_injected": report.faults_injected,
+        "crashes": report.crashes,
+        "verdict": report.verdict,
+        "goodput_ops_per_s": round(goodput, 3),
+        "errors_per_1k_ops": round(errors_per_1k, 3),
+        "retry_amplification": avail.get("retry_amplification", 1.0),
+        "mean_time_to_restored_slo_ms": (
+            round(sum(ttrs) / len(ttrs), 3) if ttrs else 0.0
+        ),
+        "files_verified_share": (
+            round(report.files_verified / report.files_expected, 4)
+            if report.files_expected
+            else 0.0
+        ),
+    }

@@ -40,6 +40,20 @@ With one client the engine never blocks and never defers a commit, and
 :meth:`TrafficEngine.run_serial` executes the same script as a plain
 adapter loop; the integration tests pin that both produce bit-identical
 disks and clocks.
+
+The engine also carries the **client error contract** the chaos
+campaigns (:mod:`repro.workloads.chaos`) exercise: every operation
+failure is classified (:func:`repro.errors.classify_error` —
+``retryable`` / ``fatal`` / ``degraded``), retryable failures are
+retried with capped exponential backoff and deterministic jitter on
+the simulated clock (``max_retries``, ``retry_base_ms``,
+``retry_cap_ms``, ``retry_jitter``), an optional per-op
+``deadline_ms`` bounds the total attempt budget (exceeding it resolves
+the op as a typed ``timeout``), and a volume degraded to read-only
+rejects mutations *fast* — before entering a bracket — so writers
+never park against a log that will refuse them.  With the knobs at
+their defaults (``max_retries=0``, no deadline) the contract is inert
+and runs are bit-identical to earlier versions.
 """
 
 from __future__ import annotations
@@ -51,7 +65,12 @@ from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.errors import FsError
+from repro.errors import (
+    DegradedVolumeError,
+    DiskError,
+    FsError,
+    classify_error,
+)
 from repro.harness.adapters import FsdAdapter
 from repro.obs.attribution import build_report, report_lines
 from repro.obs.metrics import percentile
@@ -63,6 +82,7 @@ __all__ = [
     "TrafficEngine",
     "TrafficReport",
     "ZipfSampler",
+    "cache_thrash_config",
     "percentile",
     "TRAFFIC_MS_BUCKETS",
     "TRAFFIC_SCHEMA_VERSION",
@@ -72,8 +92,10 @@ __all__ = [
 #: so downstream tooling (bench diff, dashboards) can detect format
 #: drift.  1 = PR 6 shape; 2 = adds ``schema_version`` itself and the
 #: optional ``attribution`` section; 3 = adds the ``wal`` section
-#: (commit-path stall from the third-entry protocol).
-TRAFFIC_SCHEMA_VERSION = 3
+#: (commit-path stall from the third-entry protocol); 4 = adds the
+#: optional ``availability`` section (error taxonomy, retries, and —
+#: for chaos runs — the fault/recovery timeline).
+TRAFFIC_SCHEMA_VERSION = 4
 
 #: latency histogram bounds (ms) for ``traffic.op_ms``.
 TRAFFIC_MS_BUCKETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
@@ -130,6 +152,12 @@ class TrafficConfig:
     settle: bool = True             # force once when the run ends
     weights: dict[str, float] | None = None
     slo_ms: float | None = None     # per-op latency SLO (attribution)
+    # --- client error contract (all inert at the defaults) ---
+    max_retries: int = 0            # retry budget per op (0: no retries)
+    retry_base_ms: float = 5.0      # first backoff; doubles per attempt
+    retry_cap_ms: float = 200.0     # backoff ceiling
+    retry_jitter: float = 0.5       # backoff spread: factor in [1-j, 1]
+    deadline_ms: float | None = None  # per-op budget issue -> resolution
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -146,6 +174,60 @@ class TrafficConfig:
             raise FsError("sync_fraction must be in [0, 1]")
         if self.read_chunk_bytes < 1:
             raise FsError("read_chunk_bytes must be positive")
+        if self.max_retries < 0:
+            raise FsError("max_retries must be >= 0")
+        if self.retry_base_ms <= 0.0 or self.retry_cap_ms <= 0.0:
+            raise FsError("retry backoff bounds must be positive")
+        if not 0.0 <= self.retry_jitter <= 1.0:
+            raise FsError("retry_jitter must be in [0, 1]")
+        if self.deadline_ms is not None and self.deadline_ms <= 0.0:
+            raise FsError("deadline_ms must be positive")
+
+    @property
+    def contract_active(self) -> bool:
+        """True when any error-contract knob departs from the inert
+        defaults (retries or deadlines are in play)."""
+        return self.max_retries > 0 or self.deadline_ms is not None
+
+
+def cache_thrash_config(
+    data_cache_pages: int,
+    *,
+    seed: int = 4242,
+    clients: int = 8,
+    ops_per_client: int = 25,
+    page_bytes: int = 512,
+) -> TrafficConfig:
+    """An adversarial mix for the data-page cache: a *uniform* shared
+    working set sized just past ``data_cache_pages``, read-dominated
+    with small chunks, so every page is re-requested soon but LRU can
+    never hold them all.  The robustness claim under test is not speed
+    — it is that a thrashing cache stays correct and every operation
+    still completes."""
+    if data_cache_pages < 1:
+        raise FsError("cache_thrash_config needs a positive cache size")
+    # Mean generated file size under a 1000-byte cap is ~650 bytes
+    # (~2 pages with the leader); aim the population's footprint at
+    # ~1.25x the cache so eviction never stops.
+    target_bytes = int(1.25 * data_cache_pages * page_bytes)
+    population = max(8, target_bytes // 650)
+    return TrafficConfig(
+        clients=clients,
+        ops_per_client=ops_per_client,
+        seed=seed,
+        population=population,
+        shared_fraction=1.0,
+        zipf_theta=0.0,
+        # Zeros matter: weights merge over the default mix, and churn
+        # (create/delete) would let the working set drift off-plan.
+        weights={"create": 0.0, "write": 0.15, "read": 0.85,
+                 "delete": 0.0, "list": 0.0},
+        max_file_bytes=1_000,
+        mean_think_ms=5.0,
+        hold_ms=0.5,
+        read_chunk_bytes=page_bytes,
+        chunk_think_ms=0.5,
+    )
 
 
 class ZipfSampler:
@@ -213,6 +295,9 @@ class TrafficReport:
     #: per-phase latency attribution (``repro traffic --attrib``);
     #: ``None`` when the run was not attributed.
     attribution: dict | None = None
+    #: error-contract and (for chaos runs) fault/recovery availability
+    #: section; ``None`` when the contract was inert.
+    availability: dict | None = None
     schema_version: int = TRAFFIC_SCHEMA_VERSION
 
     def as_dict(self) -> dict:
@@ -252,6 +337,7 @@ class TrafficReport:
             },
             "clock": {k: round(v, 3) for k, v in self.clock.items()},
             "attribution": self.attribution,
+            "availability": self.availability,
         }
 
     @classmethod
@@ -294,6 +380,7 @@ class TrafficReport:
             wal_third_entries=data.get("wal", {}).get("third_entries", 0),
             clock=dict(data.get("clock", {})),
             attribution=data.get("attribution"),
+            availability=data.get("availability"),
             schema_version=version,
         )
 
@@ -332,13 +419,34 @@ class TrafficReport:
             )
         if self.attribution is not None:
             lines.extend(report_lines(self.attribution))
+        if self.availability is not None:
+            avail = self.availability
+            failed = avail.get("ops_failed", {})
+            failed_parts = ", ".join(
+                f"{cls} x{count}" for cls, count in sorted(failed.items())
+            ) or "none"
+            lines.append(
+                f"availability: {avail.get('ops_ok', 0)} ok ops, "
+                f"failures: {failed_parts}; "
+                f"{avail.get('retries', 0)} retries "
+                f"(amplification {avail.get('retry_amplification', 1.0):.3f})"
+            )
+            for recovery in avail.get("recoveries", []):
+                ttr = recovery.get("time_to_restored_slo_ms")
+                ttr_text = (f"{ttr:.0f} ms" if ttr is not None
+                            else "not restored")
+                lines.append(
+                    f"  recovery at {recovery['at_ms']:.0f} ms: "
+                    f"SLO restored in {ttr_text}"
+                )
         return lines
 
 
 class _Client:
     """Run state of one scripted client inside the event loop."""
 
-    __slots__ = ("cid", "ops", "index", "issue_ms", "trace")
+    __slots__ = ("cid", "ops", "index", "issue_ms", "trace",
+                 "attempts", "failed", "inflight", "token")
 
     def __init__(self, cid: int, ops: list[ClientOp]):
         self.cid = cid
@@ -346,6 +454,10 @@ class _Client:
         self.index = 0
         self.issue_ms = 0.0
         self.trace = None       # OpTrace of the op in flight (attrib)
+        self.attempts = 1       # attempts made on the op in flight
+        self.failed = None      # error class when the op resolved failed
+        self.inflight = False   # an op is issued and unresolved
+        self.token = 0          # invalidates stale continuations (chaos)
 
 
 class TrafficEngine:
@@ -391,6 +503,7 @@ class TrafficEngine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._eventseq = 0
         self._parked = 0
+        self.clients: list[_Client] = []
         # measurements
         self._lat_all: list[float] = []
         self._lat_by_kind: dict[str, list[float]] = {}
@@ -398,6 +511,12 @@ class TrafficEngine:
         self._ops_by_kind: dict[str, int] = {}
         self._completed = 0
         self._errors = 0
+        # error-contract bookkeeping
+        self._errors_by_class: dict[str, int] = {}
+        self._retries = 0
+        #: every resolved op: (finish_ms, kind, "ok" | error class,
+        #: latency_ms) — the availability timeline's raw material.
+        self._outcomes: list[tuple[float, str, str, float]] = []
 
     # ------------------------------------------------------------------
     # script generation (content rng only — arrival-independent)
@@ -519,6 +638,15 @@ class TrafficEngine:
         self._eventseq += 1
         heapq.heappush(self._heap, (due_ms, self._eventseq, fn))
 
+    def _client_event(self, client: _Client, due_ms: float,
+                      fn: Callable[[], None]) -> None:
+        """Schedule a continuation belonging to ``client``.  The base
+        engine schedules directly; the chaos engine overrides this to
+        token-guard the callback so continuations of a pre-crash mount
+        (a stale bracket close, a read chunk against a dead handle)
+        never fire after a crash/recover cycle."""
+        self._schedule(due_ms, fn)
+
     def run(self) -> TrafficReport:
         """Interleave every client script to completion."""
         cfg = self.config
@@ -530,12 +658,25 @@ class TrafficEngine:
         start_ms = clock.now_ms
         issued = cfg.clients * cfg.ops_per_client
         self.obs.gauge("traffic.clients", cfg.clients)
-        for cid in range(cfg.clients):
-            client = _Client(cid, self.scripts[cid])
-            self._schedule(
+        self.clients = [_Client(cid, self.scripts[cid])
+                        for cid in range(cfg.clients)]
+        for client in self.clients:
+            self._client_event(
+                client,
                 start_ms + client.ops[0].think_ms,
                 lambda c=client: self._arrive(c),
             )
+        self._loop()
+        if self.fs.txn.outstanding or self.fs.txn.waiting:
+            raise FsError("traffic run ended with brackets outstanding")
+        if cfg.settle:
+            self.adapter.settle()
+        return self._report(start, start_ms, issued)
+
+    def _loop(self) -> None:
+        """Drain the event heap (the chaos engine overrides this to
+        catch :class:`~repro.errors.SimulatedCrash` and recover)."""
+        clock = self.fs.clock
         while self._heap:
             due_ms, _, fn = heapq.heappop(self._heap)
             if due_ms > clock.now_ms:
@@ -543,11 +684,6 @@ class TrafficEngine:
             fn()
             if not self._heap and self._parked:
                 self._drain_parked()
-        if self.fs.txn.outstanding or self.fs.txn.waiting:
-            raise FsError("traffic run ended with brackets outstanding")
-        if cfg.settle:
-            self.adapter.settle()
-        return self._report(start, start_ms, issued)
 
     def run_serial(self) -> TrafficReport:
         """Execute client 0's script as a plain serial adapter loop —
@@ -568,9 +704,14 @@ class TrafficEngine:
                     self._serial_read(op)
                 else:
                     self._body(op)
-            except FsError:
+            except (FsError, DiskError) as exc:
+                cls = classify_error(exc)
                 self._errors += 1
+                self._errors_by_class[cls] = (
+                    self._errors_by_class.get(cls, 0) + 1
+                )
                 self.obs.count("traffic.errors")
+                self.obs.count(f"traffic.errors.{cls}")
             self._record(op, clock.now_ms - issue_ms)
         if cfg.settle:
             self.adapter.settle()
@@ -614,6 +755,9 @@ class TrafficEngine:
     # ------------------------------------------------------------------
     def _arrive(self, client: _Client) -> None:
         client.issue_ms = self.fs.clock.now_ms
+        client.attempts = 1
+        client.failed = None
+        client.inflight = True
         if self.recorder is not None:
             client.trace = self.recorder.op_issued(
                 client.cid, client.ops[client.index], client.issue_ms
@@ -629,6 +773,18 @@ class TrafficEngine:
         clock.fire_due_timers()
         self.fs.coordinator.check_pressure()
         if op.kind in MUTATING:
+            if self.fs.degraded_reason is not None:
+                # Degraded-mode contract: the volume is read-only and
+                # says so — reject the write *before* it parks on
+                # admission or holds a bracket open.
+                error = DegradedVolumeError(
+                    self.fs.degraded_reason,
+                    fault_site=self.fs.degraded_site,
+                )
+                if not self._op_failed(client, op, error):
+                    self._finish(client, op,
+                                 clock.now_ms - client.issue_ms)
+                return
             self._attempt_mutation(client, op)
         elif op.kind == "read":
             self._start_read(client, op)
@@ -642,11 +798,9 @@ class TrafficEngine:
                         self.adapter.list(op.name)
                 else:
                     self.adapter.list(op.name)
-            except FsError:
-                self._errors += 1
-                self.obs.count("traffic.errors")
-                if trace is not None:
-                    self.recorder.op_error(trace)
+            except (FsError, DiskError) as exc:
+                if self._op_failed(client, op, exc):
+                    return
             self._finish(client, op, clock.now_ms - client.issue_ms)
 
     def _attempt_mutation(self, client: _Client, op: ClientOp) -> None:
@@ -655,8 +809,8 @@ class TrafficEngine:
         if self.config.clients > 1:
             def waiter() -> None:
                 self._parked -= 1
-                self._schedule(self.fs.clock.now_ms,
-                               lambda: self._attempt(client))
+                self._client_event(client, self.fs.clock.now_ms,
+                                   lambda: self._attempt(client))
         else:
             # Uncontended: nobody else can free log space for us, so
             # blocking is meaningless — take the serial no-wait path.
@@ -676,14 +830,13 @@ class TrafficEngine:
             else:
                 with txn.passthrough():
                     self._body(op)
-        except FsError:
-            self._errors += 1
-            self.obs.count("traffic.errors")
-            if trace is not None:
-                self.recorder.op_error(trace)
+        except (FsError, DiskError) as exc:
+            if self._op_failed(client, op, exc, in_bracket=True):
+                return
         latency = clock.now_ms - client.issue_ms
         if self.config.hold_ms > 0.0:
-            self._schedule(
+            self._client_event(
+                client,
                 clock.now_ms + self.config.hold_ms,
                 lambda: self._close_bracket(client, op, latency),
             )
@@ -755,11 +908,9 @@ class TrafficEngine:
                     handle = self.adapter.open(op.name)
             else:
                 handle = self.adapter.open(op.name)
-        except FsError:
-            self._errors += 1
-            self.obs.count("traffic.errors")
-            if trace is not None:
-                self.recorder.op_error(trace)
+        except (FsError, DiskError) as exc:
+            if self._op_failed(client, op, exc):
+                return
             self._finish(client, op,
                          self.fs.clock.now_ms - client.issue_ms)
             return
@@ -780,36 +931,120 @@ class TrafficEngine:
                     self.adapter.read_at(handle, offset, length)
             else:
                 self.adapter.read_at(handle, offset, length)
-        except FsError:
+        except (FsError, DiskError) as exc:
             # A concurrent delete/recreate can invalidate the handle
-            # mid-stream; the session ends early, like a Cedar client
-            # whose remote file vanished.
-            self._errors += 1
-            self.obs.count("traffic.errors")
-            if trace is not None:
-                self.recorder.op_error(trace)
+            # mid-stream (like a Cedar client whose remote file
+            # vanished), and under fault injection the media itself
+            # can fail the read; a retry restarts the whole op from
+            # open, never reusing the stale handle.
+            if self._op_failed(client, op, exc):
+                return
             self._finish(client, op, clock.now_ms - client.issue_ms)
             return
         offset += length
         if offset >= total:
             self._finish(client, op, clock.now_ms - client.issue_ms)
             return
-        self._schedule(
+        self._client_event(
+            client,
             clock.now_ms + self.config.chunk_think_ms,
             lambda: self._read_chunk(client, op, handle, offset),
         )
+
+    # ------------------------------------------------------------------
+    # the error contract: classification, backoff, retries
+    # ------------------------------------------------------------------
+    def _op_failed(self, client: _Client, op: ClientOp, error: Exception,
+                   in_bracket: bool = False) -> bool:
+        """One attempt of ``client``'s current op failed with ``error``.
+
+        Returns True when the contract scheduled another attempt (the
+        caller must not finish the op); False when the failure is final
+        — the error class is recorded on the client and the caller
+        resolves the op through its normal path (for a bracketed
+        mutation that means the usual hold/close flow, so async and
+        sync semantics stay identical to a successful op's).
+        """
+        cfg = self.config
+        cls = classify_error(error)
+        if cls == "retryable" and cfg.max_retries > 0:
+            if client.attempts <= cfg.max_retries:
+                delay = self._backoff_ms(client)
+                resume = self.fs.clock.now_ms + delay
+                budget_ok = (
+                    cfg.deadline_ms is None
+                    or resume - client.issue_ms <= cfg.deadline_ms
+                )
+                if budget_ok:
+                    if in_bracket:
+                        # Leave the bracket before backing off: a
+                        # failed attempt must not sit on the log's
+                        # admission budget while it sleeps.
+                        self.fs.txn.end_op()
+                    client.attempts += 1
+                    self._retries += 1
+                    self.obs.count("retry.attempts")
+                    self.obs.count(f"retry.attempts.{op.kind}")
+                    self.obs.observe("retry.backoff_ms", delay,
+                                     TRAFFIC_MS_BUCKETS)
+                    self._client_event(
+                        client, resume,
+                        lambda: self._retry_fire(client),
+                    )
+                    return True
+                cls = "timeout"
+            else:
+                self.obs.count("retry.exhausted")
+        client.failed = cls
+        self._errors += 1
+        self._errors_by_class[cls] = self._errors_by_class.get(cls, 0) + 1
+        self.obs.count("traffic.errors")
+        self.obs.count(f"traffic.errors.{cls}")
+        if client.trace is not None:
+            self.recorder.op_error(client.trace, error_class=cls)
+        return False
+
+    def _backoff_ms(self, client: _Client) -> float:
+        """Capped exponential backoff with deterministic jitter: the
+        RNG is keyed by (seed, client, op index, attempt), so the same
+        seed replays the same waits regardless of interleaving."""
+        cfg = self.config
+        backoff = min(
+            cfg.retry_cap_ms,
+            cfg.retry_base_ms * (2.0 ** (client.attempts - 1)),
+        )
+        rng = random.Random(
+            f"{cfg.seed}:{client.cid}:retry:{client.index}:"
+            f"{client.attempts}"
+        )
+        return backoff * (1.0 - cfg.retry_jitter * rng.random())
+
+    def _retry_fire(self, client: _Client) -> None:
+        """The backoff elapsed: start the next attempt from scratch
+        (reopen by name — never reuse a pre-failure handle)."""
+        if client.trace is not None:
+            self.recorder.op_retry(client.trace, self.fs.clock.now_ms)
+        self._attempt(client)
 
     def _finish(self, client: _Client, op: ClientOp,
                 latency: float) -> None:
         if client.trace is not None:
             self.recorder.op_finished(client.trace, latency)
             client.trace = None
+        self._outcomes.append(
+            (self.fs.clock.now_ms, op.kind, client.failed or "ok",
+             latency)
+        )
+        client.failed = None
+        client.attempts = 1
+        client.inflight = False
         self._record(op, latency)
         client.index += 1
         if client.index >= len(client.ops):
             return
         next_op = client.ops[client.index]
-        self._schedule(
+        self._client_event(
+            client,
             self.fs.clock.now_ms + next_op.think_ms,
             lambda: self._arrive(client),
         )
@@ -829,6 +1064,38 @@ class TrafficEngine:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def _availability_section(self) -> dict | None:
+        """The error-contract section of the report; ``None`` while the
+        contract is inert (keeps pre-contract reports byte-identical).
+        The chaos engine extends this with the fault/recovery
+        timeline."""
+        if not self.config.contract_active:
+            return None
+        return self._availability_body()
+
+    def _availability_body(self) -> dict:
+        """The error-contract numbers themselves, computed
+        unconditionally (the chaos engine reports them even when the
+        retry knobs are at their inert defaults)."""
+        cfg = self.config
+        ok_ops = sum(
+            1 for _, _, outcome, _ in self._outcomes if outcome == "ok"
+        )
+        return {
+            "contract": {
+                "max_retries": cfg.max_retries,
+                "retry_base_ms": cfg.retry_base_ms,
+                "retry_cap_ms": cfg.retry_cap_ms,
+                "deadline_ms": cfg.deadline_ms,
+            },
+            "ops_ok": ok_ops,
+            "ops_failed": dict(sorted(self._errors_by_class.items())),
+            "retries": self._retries,
+            "retry_amplification": round(
+                (self._completed + self._retries) / self._completed, 4
+            ) if self._completed else 0.0,
+        }
+
     def _counter_snapshot(self) -> dict[str, float]:
         coord = self.fs.coordinator
         txn = self.fs.txn
@@ -892,4 +1159,5 @@ class TrafficEngine:
             wal_third_entries=int(delta["wal_third_entries"]),
             clock=self.fs.clock.snapshot(),
             attribution=attribution,
+            availability=self._availability_section(),
         )

@@ -97,11 +97,13 @@ class TestDegradedRung:
         addr_a, addr_b = layout.nt_page_addresses(6)
         disk.faults.damage(addr_a)
         disk.faults.damage(addr_b)
-        reasons: list[str] = []
-        home.on_degraded = reasons.append
+        noted: list[tuple[str, int | None]] = []
+        home.on_degraded = lambda reason, site: noted.append((reason, site))
         with pytest.raises(DegradedVolumeError, match="both copies"):
             home.read_page(6)
-        assert reasons and "6" in reasons[0]
+        assert noted and "6" in noted[0][0]
+        # The hook names the fault site: one of the two dead copies.
+        assert noted[0][1] in (addr_a, addr_b)
 
     def test_fsd_flips_read_only_when_ladder_exhausts(self):
         """End to end: a mounted volume whose name-table pages all die

@@ -263,3 +263,28 @@ def test_fsd_mutations_bracket_and_balance(fsd):
     fsd.delete("t/b")
     assert txn.outstanding == 0
     assert txn.waiting == 0
+
+
+class TestDiscardWaiters:
+    def test_discard_drops_parked_and_resets_state(self):
+        coord, txn = manager(capacity=36, max_op=36)
+        fired: list[str] = []
+        assert txn.begin_op() is True
+        # Fill the budget so the next client parks on admission.
+        coord.cache.pending = 1_000
+        assert txn.begin_op(lambda: fired.append("admitted")) is False
+        txn.await_commit(lambda now: fired.append("durable"))
+        assert txn.waiting == 2
+        dropped = txn.discard_waiters()
+        # The crash vaporized both parked continuations — they belong
+        # to a dead mount and must never run.
+        assert dropped == 2
+        assert txn.waiting == 0
+        assert txn.outstanding == 0
+        assert not txn.committing and not txn.commit_pending
+        assert fired == []
+
+    def test_discard_on_idle_manager_is_a_noop(self):
+        _, txn = manager()
+        assert txn.discard_waiters() == 0
+        assert txn.waiting == 0

@@ -146,8 +146,8 @@ class TestRecorderLifecycle:
         recorder.op_durable(trace, 15.0)
         recorder.op_finished(trace, 15.0)
         assert trace.phases == pytest.approx(
-            {"admission": 2.0, "service": 5.0, "hold": 2.0,
-             "commit": 6.0, "slack": 0.0}
+            {"retry": 0.0, "admission": 2.0, "service": 5.0,
+             "hold": 2.0, "commit": 6.0, "slack": 0.0}
         )
         assert sum(trace.phases.values()) == pytest.approx(15.0)
 
@@ -347,3 +347,39 @@ class TestReporting:
         for name in PHASES:
             assert name in text
         assert "SLO burn" in text
+
+
+class TestRetryPhase:
+    """An actually-retried op charges its failed attempts and backoff
+    to the ``retry`` phase, and the partition stays exact."""
+
+    def test_retried_op_charges_backoff_to_retry_phase(self):
+        disk = SimDisk(geometry=TEST_GEOMETRY)
+        FSD.format(disk, TEST_FSD_PARAMS)
+        fs = _attributed_fs(disk)
+        config = TrafficConfig(
+            clients=1, ops_per_client=1, seed=7, population=1,
+            shared_fraction=1.0, zipf_theta=0.0,
+            weights={"create": 0.0, "write": 0.0, "read": 1.0,
+                     "delete": 0.0, "list": 0.0},
+            max_file_bytes=900, settle=False, max_retries=3,
+        )
+        engine = TrafficEngine(fs, config)
+        engine.prepare()
+        site = fs.open(engine._pop_name(0)).props.leader_addr + 1
+        # Both ladder reads fail, so the client contract retries; the
+        # transient then clears and the second attempt succeeds.
+        disk.faults.damage_transient(site, failures=2)
+        engine.run()
+        traces = [
+            t for t in fs.obs.attribution.traces
+            if t.finish_ms is not None
+        ]
+        fs.crash()
+        [trace] = traces
+        assert trace.attempts == 2
+        assert trace.error_class is None  # the retry eventually landed
+        assert trace.phases["retry"] > 0.0
+        assert sum(trace.phases.values()) == pytest.approx(
+            trace.latency_ms, abs=1e-9
+        )

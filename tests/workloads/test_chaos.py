@@ -1,0 +1,229 @@
+"""Chaos campaigns: fault injection riding on the live traffic engine.
+
+Covers the campaign-level contract the chaos engine guarantees —
+every issued op resolves (success, typed failure or timeout; never a
+hang), crash/recover cycles re-drive interrupted clients through the
+retry contract, same-seed campaigns are bit-identical, and the final
+oracle never reports silent corruption on a surviving volume.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fsd import FSD
+from repro.core.layout import VolumeParams
+from repro.disk.disk import SimDisk
+from repro.disk.geometry import DiskGeometry
+from repro.errors import FsError
+from repro.obs import Observer
+from repro.workloads.chaos import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaosReport,
+    _classify,
+    chaos_bench_doc,
+    run_chaos,
+)
+from repro.workloads.traffic import TrafficConfig
+
+SMALL_GEO = DiskGeometry(cylinders=150, heads=8, sectors_per_track=32)
+SMALL_PARAMS = VolumeParams(
+    nt_pages=512, log_record_sectors=300, cache_pages=48
+)
+
+
+def _small_traffic(seed: int = 11, **overrides) -> TrafficConfig:
+    knobs = dict(
+        clients=6,
+        ops_per_client=8,
+        seed=seed,
+        mean_think_ms=60.0,
+        population=12,
+        max_file_bytes=4_000,
+        max_retries=3,
+        settle=False,
+    )
+    knobs.update(overrides)
+    return TrafficConfig(**knobs)
+
+
+def _small_chaos(**overrides) -> ChaosConfig:
+    knobs = dict(
+        faults=24,
+        fault_interval_ms=50.0,
+        crash_cycles=2,
+        crash_io_window=30,
+    )
+    knobs.update(overrides)
+    return ChaosConfig(**knobs)
+
+
+def _small_campaign(seed: int = 11, **chaos_overrides) -> ChaosReport:
+    return run_chaos(
+        _small_traffic(seed),
+        _small_chaos(**chaos_overrides),
+        geometry=SMALL_GEO,
+        params=SMALL_PARAMS,
+    )
+
+
+class TestConfig:
+    def test_rejects_negative_faults(self):
+        with pytest.raises(FsError):
+            ChaosConfig(faults=-1)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(FsError):
+            ChaosConfig(fault_interval_ms=0.0)
+
+    def test_rejects_tiny_crash_window(self):
+        with pytest.raises(FsError):
+            ChaosConfig(crash_io_window=1)
+
+    def test_crash_points_evenly_spaced(self):
+        config = ChaosConfig(faults=60, crash_cycles=2)
+        assert config.crash_points == frozenset({20, 40})
+
+    def test_no_crash_points_without_cycles(self):
+        assert ChaosConfig(faults=60, crash_cycles=0).crash_points == frozenset()
+
+    def test_mirror_fail_point(self):
+        assert ChaosConfig(faults=60, mirror=True).mirror_fail_point == 20
+        assert ChaosConfig(faults=60).mirror_fail_point is None
+
+
+class TestCampaign:
+    def test_small_campaign_survives(self):
+        report = _small_campaign()
+        assert report.ok, report.summary_lines()
+        # Ticks stop when traffic drains, so the target is a ceiling.
+        assert 15 <= report.faults_injected <= 24
+        assert report.crashes >= 1
+        assert report.hung_ops == 0
+        assert report.verdict in ("recovered", "degraded", "salvaged")
+        assert sum(report.faults_by_kind.values()) == report.faults_injected
+
+    def test_availability_section_shape(self):
+        report = _small_campaign()
+        avail = report.traffic["availability"]
+        assert avail["faults"]["injected"] == report.faults_injected
+        assert avail["crashes"] == report.crashes
+        # Every recovery row carries the SLO-restoration metric (which
+        # may be None when the run ended first).
+        for recovery in avail["recoveries"]:
+            assert "time_to_restored_slo_ms" in recovery
+            assert recovery["mounted"] in (0, 1)
+        # Epoch and goodput rows partition the completed ops.
+        assert sum(e["ops"] for e in avail["epochs"]) == report.ops_completed
+        assert (
+            sum(r["ok"] + r["failed"] for r in avail["goodput"])
+            == report.ops_completed
+        )
+
+    def test_bench_doc_is_flat_and_numeric(self):
+        doc = chaos_bench_doc(_small_campaign())
+        for key in (
+            "goodput_ops_per_s",
+            "errors_per_1k_ops",
+            "retry_amplification",
+            "files_verified_share",
+        ):
+            assert isinstance(doc[key], (int, float)), key
+
+    def test_mirror_campaign_loses_and_resilvers_a_unit(self):
+        report = _small_campaign(seed=13, mirror=True)
+        assert report.ok, report.summary_lines()
+        events = [
+            e["event"]
+            for e in report.traffic["availability"].get("mirror", [])
+        ]
+        assert "unit_b_lost" in events
+
+
+class TestDeterminism:
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_same_seed_campaigns_bit_identical(self, seed):
+        first = _small_campaign(seed=seed)
+        second = _small_campaign(seed=seed)
+        assert first.fingerprint == second.fingerprint
+        assert first.to_json() == second.to_json()
+
+
+class TestTokenGuard:
+    def test_stale_continuations_dropped_after_token_bump(self):
+        disk = SimDisk(geometry=SMALL_GEO)
+        FSD.format(disk, SMALL_PARAMS)
+        fs = FSD.mount(disk, obs=Observer())
+        engine = ChaosEngine(
+            disk,
+            fs,
+            TrafficConfig(clients=1, ops_per_client=1, population=0,
+                          settle=False),
+            ChaosConfig(faults=0),
+        )
+        calls: list[str] = []
+        client = SimpleNamespace(token=0)
+        engine._client_event(client, 1.0, lambda: calls.append("stale"))
+        client.token += 1  # what _recover does to interrupted clients
+        engine._client_event(client, 2.0, lambda: calls.append("fresh"))
+        for _, _, fn in sorted(engine._heap):
+            fn()
+        fs.crash()
+        assert calls == ["fresh"]
+
+
+class TestVolumeLost:
+    def test_lost_volume_resolves_every_op_and_salvages(self):
+        disk = SimDisk(geometry=SMALL_GEO)
+        FSD.format(disk, SMALL_PARAMS)
+        obs = Observer()
+        mount_kwargs = {"params": SMALL_PARAMS, "obs": obs}
+        fs = FSD.mount(disk, **mount_kwargs)
+        config = _small_traffic(seed=5, clients=4, ops_per_client=6,
+                                mean_think_ms=40.0, population=8,
+                                max_file_bytes=2_000)
+        engine = ChaosEngine(
+            disk, fs, config, ChaosConfig(faults=0, crash_cycles=0),
+            mount_kwargs,
+        )
+        layout = fs.layout
+
+        def kill_volume() -> None:
+            # Both root copies gone + a crash: the remount cannot find
+            # the volume, which is the worst allowed outcome.
+            disk.faults.damage(layout.root_a)
+            disk.faults.damage(layout.root_b)
+            disk.faults.arm_crash(after_ios=0)
+
+        engine._schedule(50.0, kill_volume)
+        traffic_report = engine.run()
+        disk.faults.disarm_crash()
+        assert engine._volume_lost
+        # The availability contract: no hangs even with the volume gone.
+        assert traffic_report.ops_completed == traffic_report.ops_issued
+        assert traffic_report.errors > 0
+
+        report = ChaosReport(
+            seed=config.seed,
+            clients=config.clients,
+            ops_issued=traffic_report.ops_issued,
+            ops_completed=traffic_report.ops_completed,
+            faults_injected=2,
+            faults_by_kind={"media": 2},
+            crashes=engine._crashes,
+            volume_lost=True,
+            traffic=traffic_report.as_dict(),
+        )
+        _classify(disk, engine, report, mount_kwargs)
+        # params_hint lets the salvager locate the layout even with
+        # both root copies unreadable.
+        assert report.verdict == "salvaged"
+        assert report.salvage_summary
+        assert not report.silent_corruptions
+        assert report.ok
