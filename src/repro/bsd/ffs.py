@@ -456,7 +456,7 @@ class FFS:
     def _enter(self) -> None:
         if not self._mounted:
             raise NotMounted("FFS volume is not mounted")
-        self.clock.fire_due_timers()
+        self.clock.tick()
 
     def _group_of_inode(self, ino: int) -> int:
         return ino // self.params.inodes_per_group

@@ -35,6 +35,9 @@ _META = struct.Struct("<IIIQ")
 #: scan-heavy workloads.
 _PARSE_MEMO_LIMIT = 512
 
+#: per-page identity memo entries kept before wholesale eviction.
+_PAGE_MEMO_LIMIT = 2048
+
 
 class BTree:
     """A B-tree rooted in ``pager`` page 0 (the meta page)."""
@@ -51,6 +54,14 @@ class BTree:
         #: :meth:`_read_node` always hands out a copy — callers mutate
         #: nodes in place before writing them back).
         self._parse_memo: dict[bytes, Node] = {}
+        #: page_no -> (bytes object, template).  First-level cache in
+        #: front of :attr:`_parse_memo`: while the pager keeps handing
+        #: back the *same* bytes object for a page, the template is
+        #: reused on an ``is`` check alone — no 512-byte hash, no
+        #: re-parse.  A write (or cache eviction + re-read) yields a
+        #: fresh bytes object, so identity misses are exactly the
+        #: pages whose content may have changed.
+        self._page_memo: dict[int, tuple[bytes, Node]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -79,11 +90,25 @@ class BTree:
     # ------------------------------------------------------------------
     def get(self, key: bytes) -> bytes | None:
         """Return the value for ``key`` or ``None``."""
-        node = self._read_node_ro(self._root)
-        while not node.is_leaf:
-            node = self._read_node_ro(self._child_for(node, key))
-        index = bisect.bisect_left(node.keys, key)
-        if index < len(node.keys) and node.keys[index] == key:
+        # Point lookups dominate name-table traffic; the descent binds
+        # the pager read once and inlines the template identity-hit
+        # check (keep in sync with ``_load_template``).
+        read = self.pager.read
+        page_memo = self._page_memo
+        page_no = self._root
+        while True:
+            data = read(page_no)
+            entry = page_memo.get(page_no)
+            if entry is not None and entry[0] is data:
+                node = entry[1]
+            else:
+                node = self._template_for(page_no, data)
+            if node.kind == LEAF:
+                break
+            page_no = node.children[bisect.bisect_right(node.keys, key)]
+        keys = node.keys
+        index = bisect.bisect_left(keys, key)
+        if index < len(keys) and keys[index] == key:
             return node.values[index]
         return None
 
@@ -119,8 +144,8 @@ class BTree:
         deleted = self._delete(self._root, key)
         if not deleted:
             return False
-        root = self._read_node(self._root)
-        if not root.is_leaf and not root.keys:
+        root = self._load_template(self._root)
+        if root.kind != LEAF and not root.keys:
             # The root collapsed to a single child; shrink the tree.
             old_root = self._root
             self._root = root.children[0]
@@ -132,7 +157,9 @@ class BTree:
 
     def scan(self, start: bytes | None = None) -> Iterator[tuple[bytes, bytes]]:
         """Iterate entries in key order, beginning at ``start``."""
-        yield from self._scan(self._root, start)
+        # Return the inner iterator directly: a ``yield from`` wrapper
+        # would add one generator resume per yielded entry.
+        return self._scan(self._root, start)
 
     def scan_prefix(self, prefix: bytes) -> Iterator[tuple[bytes, bytes]]:
         """Iterate entries whose key begins with ``prefix``."""
@@ -166,8 +193,19 @@ class BTree:
     # ------------------------------------------------------------------
     # node I/O
     # ------------------------------------------------------------------
-    def _read_node(self, page_no: int) -> Node:
+    def _load_template(self, page_no: int) -> Node:
+        """Shared parse-memo template for a page (never mutate it)."""
         data = self.pager.read(page_no)
+        entry = self._page_memo.get(page_no)
+        if entry is not None and entry[0] is data:
+            return entry[1]
+        return self._template_for(page_no, data)
+
+    def _template_for(self, page_no: int, data: bytes) -> Node:
+        """Memo-miss half of :meth:`_load_template`: derive the template
+        from already-read page bytes and refresh both memo layers.  The
+        hot descent loops inline the read + identity-hit check and fall
+        back here, so keep this in sync with ``_load_template``."""
         memo = self._parse_memo
         template = memo.get(data)
         if template is None:
@@ -175,6 +213,14 @@ class BTree:
                 memo.clear()
             template = Node.from_bytes(data)
             memo[data] = template
+        page_memo = self._page_memo
+        if len(page_memo) >= _PAGE_MEMO_LIMIT:
+            page_memo.clear()
+        page_memo[page_no] = (data, template)
+        return template
+
+    def _read_node(self, page_no: int) -> Node:
+        template = self._load_template(page_no)
         return Node(
             template.kind,
             template.keys.copy(),
@@ -187,17 +233,13 @@ class BTree:
         parse-memo template directly, skipping the per-call list
         copies.  Callers must never mutate the result — mutation paths
         (insert/delete/rebalance) go through :meth:`_read_node`."""
-        data = self.pager.read(page_no)
-        memo = self._parse_memo
-        template = memo.get(data)
-        if template is None:
-            if len(memo) >= _PARSE_MEMO_LIMIT:
-                memo.clear()
-            template = Node.from_bytes(data)
-            memo[data] = template
-        return template
+        return self._load_template(page_no)
 
     def _write_node(self, page_no: int, node: Node) -> None:
+        # Drop the identity entry: the page's bytes are changing, so
+        # the next read must re-derive its template (usually via the
+        # content memo, or a fresh parse).
+        self._page_memo.pop(page_no, None)
         self.pager.write(page_no, node.to_bytes(self.pager.page_size))
 
     # ------------------------------------------------------------------
@@ -217,8 +259,14 @@ class BTree:
     def _insert(
         self, page_no: int, key: bytes, value: bytes
     ) -> tuple[bool, tuple[bytes, int] | None]:
-        node = self._read_node(page_no)
-        if node.is_leaf:
+        # Descend on the shared template; materialise a mutable copy
+        # only at the level that actually changes (leaves always do,
+        # internal nodes only when a split bubbles up).
+        template = self._load_template(page_no)
+        if template.kind == LEAF:
+            node = Node(
+                LEAF, template.keys.copy(), template.values.copy(), []
+            )
             index = bisect.bisect_left(node.keys, key)
             if index < len(node.keys) and node.keys[index] == key:
                 node.values[index] = value
@@ -228,10 +276,20 @@ class BTree:
                 node.values.insert(index, value)
                 was_new = True
         else:
-            child_index = self._child_index(node, key)
-            was_new, split = self._insert(node.children[child_index], key, value)
+            child_index = bisect.bisect_right(template.keys, key)
+            was_new, split = self._insert(
+                template.children[child_index], key, value
+            )
             if split is None:
                 return was_new, None
+            # The recursion only wrote descendant pages, so the
+            # template still matches this page's bytes; copy it now.
+            node = Node(
+                INTERNAL,
+                template.keys.copy(),
+                [],
+                template.children.copy(),
+            )
             separator, right_page = split
             node.keys.insert(child_index, separator)
             node.children.insert(child_index + 1, right_page)
@@ -253,19 +311,25 @@ class BTree:
     # delete
     # ------------------------------------------------------------------
     def _delete(self, page_no: int, key: bytes) -> bool:
-        node = self._read_node(page_no)
-        if node.is_leaf:
-            index = bisect.bisect_left(node.keys, key)
-            if index >= len(node.keys) or node.keys[index] != key:
+        # Same copy-on-write shape as _insert: mutable copies are built
+        # only for levels that change (the leaf, and the parent once
+        # the child delete succeeded and may need rebalancing).
+        template = self._load_template(page_no)
+        keys = template.keys
+        if template.kind == LEAF:
+            index = bisect.bisect_left(keys, key)
+            if index >= len(keys) or keys[index] != key:
                 return False
+            node = Node(LEAF, keys.copy(), template.values.copy(), [])
             del node.keys[index]
             del node.values[index]
             self._write_node(page_no, node)
             return True
 
-        child_index = self._child_index(node, key)
-        if not self._delete(node.children[child_index], key):
+        child_index = bisect.bisect_right(keys, key)
+        if not self._delete(template.children[child_index], key):
             return False
+        node = Node(INTERNAL, keys.copy(), [], template.children.copy())
         if self._fix_child(node, child_index):
             self._write_node(page_no, node)
         return True
@@ -278,7 +342,11 @@ class BTree:
         otherwise redistributes entries evenly between the two.
         """
         child_page = parent.children[child_index]
-        child = self._read_node(child_page)
+        # Templates suffice throughout: the rebalance builds fresh
+        # nodes (_merge_nodes / _split_node never mutate their inputs),
+        # so nothing here needs a mutable copy except ``parent``,
+        # which the caller already materialised.
+        child = self._load_template(child_page)
         if child.serialized_size() >= self._min_node_bytes and child.keys:
             return False
         if len(parent.children) == 1:
@@ -290,8 +358,8 @@ class BTree:
             left_index = child_index - 1
         left_page = parent.children[left_index]
         right_page = parent.children[left_index + 1]
-        left = child if left_page == child_page else self._read_node(left_page)
-        right = child if right_page == child_page else self._read_node(right_page)
+        left = child if left_page == child_page else self._load_template(left_page)
+        right = child if right_page == child_page else self._load_template(right_page)
         separator = parent.keys[left_index]
 
         merged = _merge_nodes(left, separator, right)
@@ -311,6 +379,42 @@ class BTree:
     # ------------------------------------------------------------------
     # scan
     # ------------------------------------------------------------------
+    def scan_leaves(
+        self, start: bytes | None = None
+    ) -> Iterator[tuple[list[bytes], list[bytes]]]:
+        """Yield (keys, values) per leaf, in key order.
+
+        Batch counterpart of :meth:`scan` for bulk readers (the name
+        table's ``enumerate``): one generator resume per *leaf* instead
+        of per entry.  The yielded lists belong to the shared parse
+        templates — callers must never mutate them.
+        """
+        stack: list[tuple[int, bytes | None]] = [(self._root, start)]
+        read = self.pager.read
+        page_memo = self._page_memo
+        while stack:
+            page_no, start = stack.pop()
+            # _load_template inlined (identity-hit path); keep in sync.
+            data = read(page_no)
+            entry = page_memo.get(page_no)
+            if entry is not None and entry[0] is data:
+                node = entry[1]
+            else:
+                node = self._template_for(page_no, data)
+            keys = node.keys
+            if node.kind == LEAF:
+                if start is None:
+                    yield keys, node.values
+                else:
+                    first = bisect.bisect_left(keys, start)
+                    yield keys[first:], node.values[first:]
+                continue
+            first = 0 if start is None else bisect.bisect_right(keys, start)
+            children = node.children
+            for index in range(len(children) - 1, first, -1):
+                stack.append((children[index], None))
+            stack.append((children[first], start))
+
     def _scan(
         self, page_no: int, start: bytes | None
     ) -> Iterator[tuple[bytes, bytes]]:
@@ -318,15 +422,24 @@ class BTree:
         # on top): same node-read order as the recursive form, without
         # a generator frame per level per item.
         stack: list[tuple[int, bytes | None]] = [(page_no, start)]
+        read = self.pager.read
+        page_memo = self._page_memo
         while stack:
             page_no, start = stack.pop()
-            node = self._read_node_ro(page_no)
+            # _load_template inlined (identity-hit path); keep in sync.
+            data = read(page_no)
+            entry = page_memo.get(page_no)
+            if entry is not None and entry[0] is data:
+                node = entry[1]
+            else:
+                node = self._template_for(page_no, data)
             keys = node.keys
             if node.kind == LEAF:
-                first = 0 if start is None else bisect.bisect_left(keys, start)
-                values = node.values
-                for index in range(first, len(keys)):
-                    yield keys[index], values[index]
+                if start is None:
+                    yield from zip(keys, node.values)
+                else:
+                    first = bisect.bisect_left(keys, start)
+                    yield from zip(keys[first:], node.values[first:])
                 continue
             first = 0 if start is None else bisect.bisect_right(keys, start)
             children = node.children

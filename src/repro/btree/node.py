@@ -32,7 +32,7 @@ _INTERNAL_ENTRY = struct.Struct("<HI")
 _U32 = struct.Struct("<I")
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """One B-tree node, either a leaf or an internal node.
 
@@ -56,7 +56,7 @@ class Node:
     # ------------------------------------------------------------------
     def serialized_size(self) -> int:
         """Exact on-page size of this node when serialized."""
-        if self.is_leaf:
+        if self.kind == LEAF:
             payload = sum(
                 _LEAF_ENTRY_OVERHEAD + len(k) + len(v)
                 for k, v in zip(self.keys, self.values)

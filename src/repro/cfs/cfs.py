@@ -354,7 +354,7 @@ class CFS:
     def _enter(self) -> None:
         if not self._mounted:
             raise NotMounted("CFS volume is not mounted")
-        self.clock.fire_due_timers()
+        self.clock.tick()
 
     def _resolve(
         self, name: str, version: int | None

@@ -41,7 +41,7 @@ from repro.errors import CorruptMetadata
 from repro.obs import NULL_OBS
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheEntry:
     kind: int              # PAGE_NAME_TABLE or PAGE_LEADER
     page_id: int
@@ -62,6 +62,17 @@ class CacheEntry:
     @property
     def evictable(self) -> bool:
         return not self.needs_log and not self.home_stale
+
+
+class _NullCounter:
+    """Stand-in counter bound on detached (NULL observer) hot paths:
+    the increment lands on a throwaway slot instead of re-entering the
+    no-op observer on every hit."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
 
 
 class MetadataCache:
@@ -138,7 +149,20 @@ class MetadataCache:
                 obs.count("cache.hits")
                 if obs.enabled:
                     self._hit_counter = obs.metrics.counter("cache.hits")
-            self._touch(entry)
+                else:
+                    self._hit_counter = _NullCounter()
+            # _touch inlined: this is the hottest cache path.  Every
+            # entry in ``_entries`` is also in ``_lru`` (both are
+            # populated by ``_touch`` and pruned together by
+            # ``_evict_if_needed``), so a bare move_to_end suffices;
+            # the fallback re-inserts if that invariant ever breaks.
+            self._tick += 1
+            entry.lru_tick = self._tick
+            lru = self._lru
+            try:
+                lru.move_to_end(key)
+            except KeyError:
+                lru[key] = entry
             return entry.data
         self.misses += 1
         self.obs.count("cache.misses")

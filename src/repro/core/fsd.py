@@ -168,6 +168,9 @@ class FSD:
             else DataPageCache(sector_bytes=disk.geometry.sector_bytes)
         )
         self.ops = FsdOpCounts()
+        #: geometry is frozen; cache the sector size the data paths
+        #: divide by on every read/write.
+        self._sector_bytes = disk.geometry.sector_bytes
         self._uid_sequence = 0
         self._mounted = True
         #: non-None once the escalation ladder has been exhausted: the
@@ -442,7 +445,7 @@ class FSD:
                 self.coordinator.note_update()
                 keep = self.DEFAULT_KEEP if keep is None else keep
                 version = (self.name_table.highest_version(name) or 0) + 1
-                sector_bytes = self.disk.geometry.sector_bytes
+                sector_bytes = self._sector_bytes
                 data_sectors = -(-len(data) // sector_bytes)
                 big = len(data) >= self.params.big_file_threshold_bytes
                 table = self.allocator.allocate(1 + data_sectors, big=big)
@@ -497,29 +500,27 @@ class FSD:
     def read(self, handle: FsdFile, offset: int = 0, length: int | None = None) -> bytes:
         """Read file bytes; the first access piggybacks leader
         verification onto the data transfer."""
-        with self.obs.span("fsd.read", name=handle.name):
+        props = handle.props
+        with self.obs.span("fsd.read", name=props.name):
             self._enter()
             self.ops.reads += 1
             self.obs.count("fsd.reads")
+            byte_size = props.byte_size
             if length is None:
-                length = handle.props.byte_size - offset
-            if (
-                offset < 0
-                or length < 0
-                or offset + length > handle.props.byte_size
-            ):
+                length = byte_size - offset
+            if offset < 0 or length < 0 or offset + length > byte_size:
                 raise FsError(
                     f"read [{offset}, {offset + length}) outside file of "
-                    f"{handle.props.byte_size} bytes"
+                    f"{byte_size} bytes"
                 )
             if length == 0:
                 self._verify_leader_if_needed(handle, piggyback_extent=None)
                 return b""
-            sector_bytes = self.disk.geometry.sector_bytes
+            sector_bytes = self._sector_bytes
             first_page = offset // sector_bytes
             last_page = (offset + length - 1) // sector_bytes
             page_count = last_page - first_page + 1
-            if self.data_cache.enabled:
+            if self.data_cache.capacity > 0:
                 chunks = self._read_pages_cached(handle, first_page, page_count)
             else:
                 extents = handle.runs.extents_for(first_page, page_count)
@@ -541,7 +542,7 @@ class FSD:
 
     def write(self, handle: FsdFile, offset: int, data: bytes) -> None:
         """Write (and possibly extend) an existing file."""
-        with self.obs.span("fsd.write", name=handle.name, bytes=len(data)):
+        with self.obs.span("fsd.write", name=handle.props.name, bytes=len(data)):
             self._enter(write=True)
             with self.txn.op():
                 self.ops.writes += 1
@@ -569,7 +570,7 @@ class FSD:
             self._enter()
             self.ops.lists += 1
             self.obs.count("fsd.lists")
-            return [props for props, _ in self.name_table.enumerate(prefix)]
+            return list(self.name_table.enumerate_props(prefix))
 
     def rename(self, old_name: str, new_name: str, version: int | None = None) -> FsdFile:
         """Rename a file version; rewrites its leader (the name checksum
@@ -594,21 +595,21 @@ class FSD:
                 self.cache.write_leader(
                     new_props.leader_addr,
                     encode_leader(
-                        new_props, runs, self.disk.geometry.sector_bytes
+                        new_props, runs, self._sector_bytes
                     ),
                 )
                 return FsdFile(props=new_props, runs=runs)
 
     def truncate(self, handle: FsdFile, new_byte_size: int) -> None:
         """Contract a file; freed runs go through the shadow bitmap."""
-        with self.obs.span("fsd.truncate", name=handle.name):
+        with self.obs.span("fsd.truncate", name=handle.props.name):
             self._enter(write=True)
             with self.txn.op():
                 self.obs.count("fsd.truncates")
                 self.coordinator.note_update()
                 if new_byte_size > handle.props.byte_size:
                     raise FsError("truncate cannot grow a file (use write)")
-                sector_bytes = self.disk.geometry.sector_bytes
+                sector_bytes = self._sector_bytes
                 keep_sectors = -(-new_byte_size // sector_bytes)
                 freed = handle.runs.truncate_sectors(keep_sectors)
                 self.data_cache.invalidate_runs(freed)
@@ -658,7 +659,7 @@ class FSD:
             raise DegradedVolumeError(
                 self.degraded_reason, fault_site=self.degraded_site
             )
-        self.clock.fire_due_timers()
+        self.clock.tick()
         self.coordinator.check_pressure()
 
     def _note_degraded(
@@ -751,7 +752,7 @@ class FSD:
             return sectors
 
     def _write_data(self, handle: FsdFile, offset: int, data: bytes) -> None:
-        sector_bytes = self.disk.geometry.sector_bytes
+        sector_bytes = self._sector_bytes
         end = offset + len(data)
         if not data:
             return
@@ -792,7 +793,7 @@ class FSD:
             self._refresh_leader(handle)
 
     def _ensure_capacity(self, handle: FsdFile, byte_size: int) -> None:
-        sector_bytes = self.disk.geometry.sector_bytes
+        sector_bytes = self._sector_bytes
         have = handle.runs.total_sectors
         need = -(-byte_size // sector_bytes)
         if need <= have:
@@ -808,7 +809,7 @@ class FSD:
         self, handle: FsdFile, page: int, old_size: int
     ) -> bytes:
         """Read one existing sector for a read-modify-write boundary."""
-        sector_bytes = self.disk.geometry.sector_bytes
+        sector_bytes = self._sector_bytes
         if page * sector_bytes >= old_size:
             return b"\x00" * sector_bytes
         address = handle.runs.sector_of_page(page)
@@ -856,7 +857,7 @@ class FSD:
     ) -> None:
         """Write-through population: the platter copy just written is
         also the freshest cacheable image."""
-        if self.data_cache.enabled:
+        if self.data_cache.capacity > 0:
             for offset, sector in enumerate(sectors):
                 self.data_cache.put(address + offset, sector, uid=uid)
 
@@ -973,7 +974,7 @@ class FSD:
         capped by ``readahead_pages``, stopping at end-of-file or at
         the first sector already cached."""
         dc = self.data_cache
-        sector_bytes = self.disk.geometry.sector_bytes
+        sector_bytes = self._sector_bytes
         file_pages = -(-handle.props.byte_size // sector_bytes)
         if dc.readahead_pages <= 0 or not (0 < next_page < file_pages):
             return None
@@ -1019,7 +1020,7 @@ class FSD:
             # in-memory copy, no extra I/O.
             self._verify_leader_if_needed(handle, piggyback_extent=None)
         while remaining > 0:
-            count = min(remaining, max_io)
+            count = remaining if remaining < max_io else max_io
             out.extend(self._ladder_read(start, count, cpu_overlap=True))
             start += count
             remaining -= count
@@ -1034,7 +1035,7 @@ class FSD:
         self.cache.write_leader(
             handle.props.leader_addr,
             encode_leader(
-                handle.props, handle.runs, self.disk.geometry.sector_bytes
+                handle.props, handle.runs, self._sector_bytes
             ),
         )
         handle.leader_verified = True

@@ -239,7 +239,9 @@ class CommitCoordinator:
     def check_pressure(self) -> bool:
         """Force early when too many pages are waiting (called from the
         file system's entry points); returns True if a force ran."""
-        if self.cache.pending_log_pages() >= self.pressure_pages:
+        # pending_log_pages() inlined: this guard runs on every file
+        # system entry point.
+        if len(self.cache._dirty) >= self.pressure_pages:
             self.pressure_forces += 1
             self.obs.count("commit.pressure_forces")
             self.force()

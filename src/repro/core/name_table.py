@@ -17,8 +17,10 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.btree import BTree
-from repro.core.cache import MetadataCache
+from repro.core.cache import MetadataCache, _NullCounter
+from repro.core.wal import PAGE_NAME_TABLE
 from repro.core.layout import VolumeLayout
+from repro.core import types
 from repro.core.types import (
     MAX_INLINE_RUNS,
     MAX_RUNS_PER_CHUNK,
@@ -187,6 +189,8 @@ class NameTablePager:
         self.cache = cache
         self.layout = layout
         self.clock = clock
+        #: the fixed per-node CPU charge (CpuCostModel is frozen).
+        self._node_ms = clock.cpu.btree_node_ms
         self.page_size = layout.geometry.sector_bytes
         self.nt_pages = layout.params.nt_pages
         self.bitmap_pages = -(-self.nt_pages // (8 * self.page_size))
@@ -209,23 +213,49 @@ class NameTablePager:
     def read(self, page_no: int) -> bytes:
         """B-tree pager read: one cached name-table page."""
         clock = self.clock
-        clock.advance_cpu(clock.cpu.btree_node_ms)
+        # advance_cpu inlined: btree_node_ms is a fixed positive cost
+        # and this is the hottest clock charge in the metadata path.
+        ms = self._node_ms
+        clock.now_ms += ms
+        clock.cpu_busy_ms += ms
         counter = self._read_counter
         if counter is not None:
             counter.value += 1
         else:
             # First read creates the counter through the normal path,
-            # then binds the handle for every later read.
+            # then binds the handle (a throwaway slot when detached)
+            # for every later read.
             obs = self._obs
             obs.count("btree.page_reads")
             if obs.enabled:
                 self._read_counter = obs.metrics.counter("btree.page_reads")
-        return self.cache.read_nt(page_no)
+            else:
+                self._read_counter = _NullCounter()
+        # cache.read_nt's hit path inlined (same statements, one frame
+        # for the whole pager read); misses fall through to the method.
+        cache = self.cache
+        key = (PAGE_NAME_TABLE, page_no)
+        entry = cache._entries.get(key)
+        if entry is not None:
+            hit_counter = cache._hit_counter
+            if hit_counter is not None:
+                cache.hits += 1
+                hit_counter.value += 1
+                cache._tick += 1
+                entry.lru_tick = cache._tick
+                try:
+                    cache._lru.move_to_end(key)
+                except KeyError:
+                    cache._lru[key] = entry
+                return entry.data
+        return cache.read_nt(page_no)
 
     def write(self, page_no: int, data: bytes) -> None:
         """B-tree pager write: stage the page for the next commit."""
         clock = self.clock
-        clock.advance_cpu(clock.cpu.btree_node_ms)
+        ms = self._node_ms
+        clock.now_ms += ms
+        clock.cpu_busy_ms += ms
         counter = self._write_counter
         if counter is not None:
             counter.value += 1
@@ -234,6 +264,8 @@ class NameTablePager:
             obs.count("btree.page_writes")
             if obs.enabled:
                 self._write_counter = obs.metrics.counter("btree.page_writes")
+            else:
+                self._write_counter = _NullCounter()
         self.cache.write_nt(page_no, data)
 
     def allocate(self) -> int:
@@ -407,26 +439,73 @@ class FsdNameTable:
         current: tuple[FileProperties, RunTable] | None = None
         expected_runs = 0
         start = prefix.encode("utf-8") if prefix else None
-        for key, value in self.tree.scan(start):
-            name, version, chunk = decode_key(key)
-            if prefix and not name.startswith(prefix):
-                break
-            self.clock.advance_cpu(self.clock.cpu.entry_interpret_ms)
-            if chunk == 0:
-                if current is not None:
-                    yield current
-                props, runs, expected_runs = decode_main_entry(
-                    name, version, value
-                )
-                current = (props, runs)
-            else:
-                if current is None:
+        clock = self.clock
+        interpret_ms = clock.cpu.entry_interpret_ms
+        # decode_key memo-hit inlined: one dict probe per entry, with
+        # the decoding call only on a cold key.  Leaf-batched scan: one
+        # generator resume per leaf page, not per entry.
+        key_memo = types._KEY_MEMO
+        for keys, values in self.tree.scan_leaves(start):
+            for key, value in zip(keys, values):
+                decoded = key_memo.get(key)
+                if decoded is None:
+                    decoded = decode_key(key)
+                name, version, chunk = decoded
+                if prefix and not name.startswith(prefix):
+                    if current is not None:
+                        yield current
+                    return
+                # advance_cpu inlined: fixed positive cost, once per
+                # entry of every list operation.
+                clock.now_ms += interpret_ms
+                clock.cpu_busy_ms += interpret_ms
+                if chunk == 0:
+                    if current is not None:
+                        yield current
+                    props, runs, expected_runs = decode_main_entry(
+                        name, version, value
+                    )
+                    current = (props, runs)
+                else:
+                    if current is None:
+                        raise CorruptMetadata(
+                            f"orphan continuation entry for {name}!{version}"
+                        )
+                    current[1].runs.extend(decode_continuation(value))
+        if current is not None:
+            yield current
+
+    def enumerate_props(self, prefix: str = "") -> Iterator[FileProperties]:
+        """Properties-only listing for ``fsd.list``.
+
+        Same scan, same per-entry CPU charges as :meth:`enumerate`, but
+        run tables are never materialised: continuation entries are
+        charged and skipped without parsing, and chunk-0 entries decode
+        through the properties memo.
+        """
+        have_main = False
+        start = prefix.encode("utf-8") if prefix else None
+        clock = self.clock
+        interpret_ms = clock.cpu.entry_interpret_ms
+        key_memo = types._KEY_MEMO
+        decode_props = types.decode_main_props
+        for keys, values in self.tree.scan_leaves(start):
+            for key, value in zip(keys, values):
+                decoded = key_memo.get(key)
+                if decoded is None:
+                    decoded = decode_key(key)
+                name, version, chunk = decoded
+                if prefix and not name.startswith(prefix):
+                    return
+                clock.now_ms += interpret_ms
+                clock.cpu_busy_ms += interpret_ms
+                if chunk == 0:
+                    have_main = True
+                    yield decode_props(name, version, value)
+                elif not have_main:
                     raise CorruptMetadata(
                         f"orphan continuation entry for {name}!{version}"
                     )
-                current[1].runs.extend(decode_continuation(value))
-        if current is not None:
-            yield current
 
     def __len__(self) -> int:
         """Number of chunk-0 entries is not tracked; len(tree) counts

@@ -39,7 +39,7 @@ class FileKind(IntEnum):
     CACHED = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Run:
     """A contiguous extent of ``count`` sectors starting at ``start``."""
 
@@ -58,7 +58,7 @@ class Run:
         return self.start <= sector < self.end
 
 
-@dataclass
+@dataclass(slots=True)
 class RunTable:
     """Maps logical file pages to disk sectors via a list of runs."""
 
@@ -88,8 +88,14 @@ class RunTable:
             if skip >= run.count:
                 skip -= run.count
                 continue
-            take = min(remaining, run.count - skip)
-            out.append(Run(run.start + skip, take))
+            avail = run.count - skip
+            take = remaining if remaining < avail else avail
+            if skip == 0 and take == run.count:
+                # Whole run covered: Run is frozen, so share it rather
+                # than building an identical copy.
+                out.append(run)
+            else:
+                out.append(Run(run.start + skip, take))
             remaining -= take
             skip = 0
         if remaining > 0:
@@ -130,7 +136,7 @@ class RunTable:
         return RunTable(list(self.runs))
 
 
-@dataclass
+@dataclass(slots=True)
 class FileProperties:
     """Everything FSD's name table records about one file version."""
 
@@ -150,8 +156,18 @@ class FileProperties:
         return replace(self, **kwargs)
 
 
+#: name -> validated encoding; every entry point validates its name
+#: argument, and workloads reuse a small set of names heavily.  Only
+#: names that pass validation are memoised, so error paths replay.
+_NAME_MEMO: dict[str, bytes] = {}
+_NAME_MEMO_LIMIT = 8192
+
+
 def validate_name(name: str) -> bytes:
     """Check and encode a file name for use as a B-tree key component."""
+    cached = _NAME_MEMO.get(name)
+    if cached is not None:
+        return cached
     encoded = name.encode("utf-8")
     if not encoded:
         raise FsError("empty file name")
@@ -159,6 +175,9 @@ def validate_name(name: str) -> bytes:
         raise FsError(f"file name longer than {MAX_NAME_BYTES} bytes: {name!r}")
     if b"\x00" in encoded:
         raise FsError("file names may not contain NUL")
+    if len(_NAME_MEMO) >= _NAME_MEMO_LIMIT:
+        _NAME_MEMO.clear()
+    _NAME_MEMO[name] = encoded
     return encoded
 
 
@@ -191,15 +210,28 @@ def name_prefix(name: str) -> bytes:
     return validate_name(name) + b"\x00"
 
 
+#: parse memo for name-table keys: every ``list`` re-decodes the same
+#: keys, and the decoded triple is an immutable tuple — safe to share.
+_KEY_MEMO: dict[bytes, tuple[str, int, int]] = {}
+_KEY_MEMO_LIMIT = 8192
+
+
 def decode_key(key: bytes) -> tuple[str, int, int]:
     """Parse a name-table key into (name, version, chunk)."""
+    decoded = _KEY_MEMO.get(key)
+    if decoded is not None:
+        return decoded
     nul = key.rfind(b"\x00", 0, len(key) - 4)
     if nul < 0 or len(key) < nul + 5:
         raise CorruptMetadata(f"malformed name-table key {key!r}")
     name = key[:nul].decode("utf-8")
     version = int.from_bytes(key[nul + 1 : nul + 3], "big")
     chunk = int.from_bytes(key[nul + 3 : nul + 5], "big")
-    return name, version, chunk
+    if len(_KEY_MEMO) >= _KEY_MEMO_LIMIT:
+        _KEY_MEMO.clear()
+    decoded = (name, version, chunk)
+    _KEY_MEMO[key] = decoded
+    return decoded
 
 
 # ----------------------------------------------------------------------
@@ -276,9 +308,11 @@ _MAIN_PREFIX = struct.Struct("<BQQddBIH")
 _RUN_RECORD = struct.Struct("<IH")
 
 #: parse memo for chunk-0 entries, keyed by entry bytes: every ``list``
-#: re-decodes the same entries, so the field tuple is cached and only
-#: the (mutable) FileProperties / RunTable wrappers are rebuilt per
-#: call.  Run objects are frozen and safely shared.
+#: re-decodes the same entries, so the decoded FileProperties is cached
+#: whole and only the RunTable wrapper (whose ``runs`` list callers
+#: extend and truncate) is rebuilt per call.  FileProperties is never
+#: mutated in place — updates go through ``with_updates`` — and Run
+#: objects are frozen, so both are safely shared across decodes.
 _MAIN_MEMO: dict[bytes, tuple] = {}
 _MAIN_MEMO_LIMIT = 4096
 
@@ -330,47 +364,69 @@ def decode_main_entry(
             raise CorruptMetadata(
                 f"truncated main entry of {len(value)} bytes"
             ) from None
-        fields = (
-            FileKind(kind_byte),
+        # Positional construction: this pairs with the field order of
+        # FileProperties and skips per-call keyword processing.
+        props = FileProperties(
+            name,
+            version,
             uid,
+            FileKind(kind_byte),
             byte_size,
             create_time,
             last_used,
             keep,
             leader_addr,
-            total_runs,
             remote_target,
-            run_tuple,
         )
+        fields = (props, run_tuple, total_runs)
         if len(_MAIN_MEMO) >= _MAIN_MEMO_LIMIT:
             _MAIN_MEMO.clear()
         _MAIN_MEMO[value] = fields
-    (
-        kind,
-        uid,
-        byte_size,
-        create_time,
-        last_used,
-        keep,
-        leader_addr,
-        total_runs,
-        remote_target,
-        run_tuple,
-    ) = fields
-    runs = RunTable(list(run_tuple))
-    props = FileProperties(
-        name=name,
-        version=version,
-        uid=uid,
-        kind=kind,
-        byte_size=byte_size,
-        create_time_ms=create_time,
-        last_used_ms=last_used,
-        keep=keep,
-        leader_addr=leader_addr,
-        remote_target=remote_target,
-    )
-    return props, runs, total_runs
+    props, run_tuple, total_runs = fields
+    if props.name != name or props.version != version:
+        # Same entry bytes under a different key (the value encodes
+        # no name/version): rebuild the properties for this key.
+        props = FileProperties(
+            name,
+            version,
+            props.uid,
+            props.kind,
+            props.byte_size,
+            props.create_time_ms,
+            props.last_used_ms,
+            props.keep,
+            props.leader_addr,
+            props.remote_target,
+        )
+    return props, RunTable(list(run_tuple)), total_runs
+
+
+def decode_main_props(name: str, version: int, value: bytes) -> FileProperties:
+    """Properties-only decode of a chunk-0 entry.
+
+    ``list`` discards run tables, so this skips materialising a fresh
+    :class:`RunTable` per entry; a memo hit for the listing's own key
+    returns the shared (never mutated in place) properties object.
+    """
+    fields = _MAIN_MEMO.get(value)
+    if fields is None:
+        props, _runs, _total = decode_main_entry(name, version, value)
+        return props
+    props = fields[0]
+    if props.name != name or props.version != version:
+        props = FileProperties(
+            name,
+            version,
+            props.uid,
+            props.kind,
+            props.byte_size,
+            props.create_time_ms,
+            props.last_used_ms,
+            props.keep,
+            props.leader_addr,
+            props.remote_target,
+        )
+    return props
 
 
 def encode_continuation(runs: list[Run]) -> bytes:

@@ -161,45 +161,54 @@ class VolumeAllocationMap:
         """
         if want <= 0:
             raise FsError(f"bad allocation size {want}")
+        # _is_set inlined in the extension loops: allocation runs this
+        # scan for every extent it hands out.
+        bits = self._bits
         if ascending:
             sector = self._next_free(start, end, step=1)
             if sector is None:
                 return None
             length = 1
+            probe = sector + 1
             while (
                 length < want
-                and sector + length < end
-                and not self._is_set(sector + length)
+                and probe < end
+                and not bits[probe >> 3] & (1 << (probe & 7))
             ):
                 length += 1
+                probe += 1
             return Run(sector, length)
         sector = self._next_free(end - 1, start - 1, step=-1)
         if sector is None:
             return None
         length = 1
+        probe = sector - 1
         while (
             length < want
-            and sector - 1 >= start
-            and not self._is_set(sector - 1)
+            and probe >= start
+            and not bits[probe >> 3] & (1 << (probe & 7))
         ):
-            sector -= 1
+            sector = probe
             length += 1
+            probe -= 1
         return Run(sector, length)
 
     def _next_free(self, start: int, stop: int, step: int) -> int | None:
         """First free sector scanning from ``start`` toward ``stop``
         (exclusive), skipping fully allocated bytes quickly."""
         sector = start
+        bits = self._bits
         while (step > 0 and sector < stop) or (step < 0 and sector > stop):
             byte_index = sector >> 3
-            if self._bits[byte_index] == _FULL_BYTE:
+            byte = bits[byte_index]
+            if byte == _FULL_BYTE:
                 # Skip the whole byte.
                 if step > 0:
                     sector = (byte_index + 1) << 3
                 else:
                     sector = (byte_index << 3) - 1
                 continue
-            if not self._is_set(sector):
+            if not byte & (1 << (sector & 7)):
                 return sector
             sector += step
         return None

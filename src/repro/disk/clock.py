@@ -8,16 +8,40 @@ reproduced tables is ``SimClock.now_ms``.
 
 The real FSD forces its log from a timer process twice a second.  The
 simulator is single threaded, so periodic work is expressed as *timer
-events*: callbacks with a due time that the owning file system fires at
-its next entry point (see :meth:`SimClock.fire_due_timers`).  The
-externally observable schedule is the same as the threaded original —
-a log force happens at the first opportunity after its period elapses.
+events*: callbacks with a due time.  Two entry points drive them:
+
+* :meth:`SimClock.tick` — fire anything already due, at the current
+  time.  File-system entry points call it so a daemon that came due
+  while the client thought runs "at the first opportunity after its
+  period elapses", exactly like the threaded original.  The check is a
+  single comparison against a cached horizon (the earliest enabled due
+  time), so a tick with nothing due costs O(1) — no list walk.
+* :meth:`SimClock.advance_to` — advance idle time to a deadline,
+  firing each timer at its exact due time along the way.  Event-driven
+  harnesses (the traffic engine) use it to jump an idle simulation to
+  the next daemon wake-up instead of stepping-and-polling.
+
+Cancellation is O(1): :meth:`SimClock.remove_timer` tombstones the
+event (``enabled = False``) and dead entries are swept out lazily when
+they outnumber the live ones — a chaos campaign cancelling thousands of
+deadline timers stays linear.  Registration order is preserved across
+sweeps because simultaneous timers fire in the order they were added.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable
+
+_INF = float("inf")
+
+#: Compact the timer list once tombstones outnumber live entries (and
+#: there are enough of them for the sweep to matter).
+_COMPACT_MIN_DEAD = 64
+
+#: ``advance_to`` refuses to fire more than this many batches in one
+#: call — a zero-period timer would otherwise spin forever.
+_ADVANCE_GUARD = 1_000_000
 
 
 @dataclass
@@ -55,7 +79,7 @@ class CpuCostModel:
     bsd_write_overlap_ms: float = 4.0      # overlapped extra per block write
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class TimerEvent:
     """A periodic callback owned by a file system (e.g. the log force
     daemon).  ``callback`` runs with the clock as argument."""
@@ -75,7 +99,14 @@ class SimClock:
         self.cpu_busy_ms: float = 0.0
         self.disk_busy_ms: float = 0.0
         self.cpu = cpu or CpuCostModel()
+        #: registration-ordered ring of timers; cancelled entries stay
+        #: as tombstones until the lazy sweep in :meth:`_compact`.
         self._timers: list[TimerEvent] = []
+        self._dead = 0
+        #: cached lower bound on the earliest enabled due time (+inf
+        #: when no timer is live).  A stale-too-early horizon is safe —
+        #: it costs one wasted scan that then recomputes it exactly.
+        self._horizon_ms: float = _INF
 
     # ------------------------------------------------------------------
     # time advancement
@@ -124,38 +155,113 @@ class SimClock:
             name=name,
         )
         self._timers.append(event)
+        if event.due_ms < self._horizon_ms:
+            self._horizon_ms = event.due_ms
         return event
 
     def remove_timer(self, event: TimerEvent) -> None:
-        """Deregister a timer so it never fires again."""
+        """Deregister a timer so it never fires again.  O(1): the event
+        is tombstoned in place; the list is swept when tombstones
+        outnumber live timers."""
+        if not event.enabled:
+            return
         event.enabled = False
-        if event in self._timers:
-            self._timers.remove(event)
+        self._dead += 1
+        if (
+            self._dead >= _COMPACT_MIN_DEAD
+            and self._dead * 2 >= len(self._timers)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep tombstones, preserving registration order."""
+        self._timers = [e for e in self._timers if e.enabled]
+        self._dead = 0
+
+    def _refresh_horizon(self) -> float:
+        """Recompute the exact earliest enabled due time."""
+        horizon = _INF
+        for event in self._timers:
+            if event.enabled and event.due_ms < horizon:
+                horizon = event.due_ms
+        self._horizon_ms = horizon
+        return horizon
 
     def next_timer_due_ms(self) -> float | None:
         """Earliest due time among enabled timers, or None when no
-        timer is registered.  Event-driven harnesses (the traffic
-        engine) use it to advance an idle simulation to the next
-        daemon wake-up instead of polling."""
-        due = [event.due_ms for event in self._timers if event.enabled]
-        return min(due) if due else None
+        timer is registered."""
+        horizon = self._refresh_horizon()
+        return None if horizon == _INF else horizon
 
-    def fire_due_timers(self) -> int:
+    def tick(self) -> int:
         """Fire every enabled timer whose due time has passed.
 
         Called by file-system entry points before doing work, which is
         how the single-threaded simulation models the background commit
-        daemon.  Returns the number of callbacks fired.
+        daemon: the callback runs at the first opportunity after its
+        period elapses.  With nothing due this is one comparison
+        against the cached horizon.  Returns the callbacks fired.
         """
+        if self.now_ms < self._horizon_ms:
+            return 0
+        return self._fire_due()
+
+    def _fire_due(self) -> int:
+        """Fire due timers in registration order, rescheduling each one
+        period ahead *before* its callback runs (so a callback that
+        re-enters the clock sees the next deadline, not the stale one).
+        A long idle gap covering several periods still fires once, like
+        a real timer thread catching up after oversleeping."""
         fired = 0
         for event in list(self._timers):
-            # A long idle gap may cover several periods; the daemon only
-            # runs once per wake-up, like a real timer thread catching up.
             if event.enabled and self.now_ms >= event.due_ms:
                 event.due_ms = self.now_ms + event.period_ms
                 event.callback(self)
                 fired += 1
+        self._refresh_horizon()
         return fired
+
+    def advance_to(self, deadline_ms: float) -> int:
+        """Advance idle time to ``deadline_ms``, firing each timer at
+        its exact due time along the way.
+
+        This is the event-driven replacement for step-and-poll drains:
+        the clock jumps straight to the next due time, fires (in
+        registration order when several coincide), and repeats until
+        the deadline is reached.  Callbacks may themselves consume
+        simulated time; any timer that comes due during a callback
+        fires in the same batch.  A deadline already in the past just
+        fires what is due now.  Returns the callbacks fired.
+        """
+        fired = 0
+        for _ in range(_ADVANCE_GUARD):
+            horizon = self._refresh_horizon()
+            if horizon > deadline_ms:
+                break
+            if horizon > self.now_ms:
+                self.advance_idle(horizon - self.now_ms)
+            fired += self._fire_due()
+        else:
+            raise RuntimeError(
+                f"timer storm: {_ADVANCE_GUARD} batches fired advancing "
+                f"to {deadline_ms}"
+            )
+        if deadline_ms > self.now_ms:
+            self.advance_idle(deadline_ms - self.now_ms)
+        return fired
+
+    def drain(self, ms: float, step_ms: float = 100.0) -> None:
+        """Advance ``ms`` of idle time in ``step_ms`` slices, firing
+        due timers at each slice boundary — lets the group-commit
+        daemon run between measured phases.  Time consumed by the
+        callbacks themselves is on top of ``ms``, mirroring a harness
+        that sleeps in steps regardless of what the daemons do."""
+        remaining = ms
+        while remaining > 0:
+            slice_ms = min(step_ms, remaining)
+            self.advance_idle(slice_ms)
+            self.tick()
+            remaining -= slice_ms
 
     # ------------------------------------------------------------------
     # snapshots

@@ -61,6 +61,21 @@ class SimDisk:
         self._data: dict[int, bytes] = {}
         self._labels: dict[int, bytes] = {}
         self._zero_sector = b"\x00" * self.geometry.sector_bytes
+        # Geometry is frozen; cache the derived integers the per-I/O
+        # prologue needs so the hot path does no property dispatch.
+        geo = self.geometry
+        self._spc = geo.sectors_per_cylinder
+        self._spt = geo.sectors_per_track
+        self._total = geo.total_sectors
+        self._sector_bytes = geo.sector_bytes
+        #: count -> media transfer time.  Timing and geometry are both
+        #: frozen, so the entry is exactly what ``timing.transfer_ms``
+        #: returns for that count (computed through it once).
+        self._xfer_memo: dict[int, float] = {}
+        #: slot -> target rotational angle: the same ``slot / spt``
+        #: division ``timing.rotational_wait_ms`` performs, precomputed
+        #: for every slot of this (frozen) geometry.
+        self._angles = [slot / self._spt for slot in range(self._spt)]
 
     # ------------------------------------------------------------------
     # positioning and timing
@@ -71,32 +86,40 @@ class SimDisk:
         ``address`` was range-checked by the caller's prologue, so the
         cylinder/slot arithmetic is inlined (no re-validation).
         """
-        geo, timing = self.geometry, self.timing
-        target_cylinder = address // geo.sectors_per_cylinder
+        timing = self.timing
+        clock, stats = self.clock, self.stats
+        target_cylinder = address // self._spc
         distance = abs(target_cylinder - self.head_cylinder)
+        # clock.advance_disk inlined below: seek and rotational waits
+        # are non-negative by construction and this prologue runs for
+        # every simulated I/O.
         if distance:
             seek = timing.seek_ms(distance)
-            self.clock.advance_disk(seek)
-            self.stats.seek_ms += seek
+            clock.now_ms += seek
+            clock.disk_busy_ms += seek
+            stats.seek_ms += seek
             if distance <= timing.short_seek_cylinders:
-                self.stats.short_seeks += 1
+                stats.short_seeks += 1
             else:
-                self.stats.seeks += 1
+                stats.seeks += 1
             self.head_cylinder = target_cylinder
-        wait = timing.rotational_wait_ms(
-            self.clock.now_ms,
-            address % geo.sectors_per_track,
-            geo.sectors_per_track,
-        )
-        self.clock.advance_disk(wait)
-        self.stats.rotational_ms += wait
+        spt = self._spt
+        wait = timing.rotational_wait_ms(clock.now_ms, address % spt, spt)
+        clock.now_ms += wait
+        clock.disk_busy_ms += wait
+        stats.rotational_ms += wait
 
     def _transfer(self, address: int, count: int) -> None:
-        geo = self.geometry
-        time = self.timing.transfer_ms(count, geo.sectors_per_track)
-        self.clock.advance_disk(time)
+        memo = self._xfer_memo
+        time = memo.get(count)
+        if time is None:
+            time = self.timing.transfer_ms(count, self._spt)
+            memo[count] = time
+        clock = self.clock
+        clock.now_ms += time
+        clock.disk_busy_ms += time
         self.stats.transfer_ms += time
-        self.head_cylinder = (address + count - 1) // geo.sectors_per_cylinder
+        self.head_cylinder = (address + count - 1) // self._spc
 
     def _trace_begin(self, address: int) -> tuple[float, float, float, int, float] | None:
         if self.tracer is None:
@@ -131,15 +154,19 @@ class SimDisk:
     def _cpu_for_io(self, sectors: int, cpu_overlap: bool) -> None:
         if not self.charge_cpu:
             return
-        cpu = self.clock.cpu
-        self.clock.advance_cpu(cpu.io_setup_ms)
+        clock = self.clock
+        cpu = clock.cpu
+        setup_ms = cpu.io_setup_ms
+        clock.now_ms += setup_ms
+        clock.cpu_busy_ms += setup_ms
         copy_ms = cpu.per_sector_copy_ms * sectors
         if cpu_overlap:
             # Streaming transfers: the copy overlaps the media transfer
             # (DMA), so it costs CPU but not elapsed time.
-            self.clock.charge_overlapped_cpu(copy_ms)
+            clock.cpu_busy_ms += copy_ms
         else:
-            self.clock.advance_cpu(copy_ms)
+            clock.now_ms += copy_ms
+            clock.cpu_busy_ms += copy_ms
 
     def _begin_io(
         self, address: int, count: int, is_write: bool, cpu_overlap: bool
@@ -148,8 +175,13 @@ class SimDisk:
 
         Returns the crash plan if this very operation must crash.
         """
-        self.geometry.check_range(address, count)
-        plan = self.faults.crash_due()
+        # check_range inlined for the in-bounds case; the slow call
+        # keeps the exact error text for the raising paths.
+        if count <= 0 or address < 0 or address + count > self._total:
+            self.geometry.check_range(address, count)
+        faults = self.faults
+        # crash_due() inlined for the unarmed case (every I/O pays it).
+        plan = None if faults.crash_plan is None else faults.crash_due()
         self._cpu_for_io(count, cpu_overlap)
         self._position(address)
         if plan is not None and not is_write:
@@ -196,14 +228,71 @@ class SimDisk:
         """
         if expect_labels is not None and len(expect_labels) != count:
             raise DiskRangeError("expect_labels length != sector count")
-        marker = self._trace_begin(address)
-        self._begin_io(address, count, is_write=False, cpu_overlap=cpu_overlap)
-        self._transfer(address, count)
-        self._trace_end(marker, "read", address, count)
-        self.stats.reads += 1
-        self.stats.sectors_read += count
+        marker = self._trace_begin(address) if self.tracer is not None else None
+        # The read prologue below is ``_begin_io`` + ``_transfer``
+        # inlined: reads are the hottest simulated operation, and one
+        # frame covers range check, crash countdown, CPU charge, seek,
+        # rotational wait and media transfer.  Keep in sync with the
+        # method bodies above (writes and label I/O still call them).
+        if count <= 0 or address < 0 or address + count > self._total:
+            self.geometry.check_range(address, count)
+        faults = self.faults
+        plan = None if faults.crash_plan is None else faults.crash_due()
+        clock, stats, timing = self.clock, self.stats, self.timing
+        if self.charge_cpu:
+            cpu = clock.cpu
+            setup_ms = cpu.io_setup_ms
+            clock.now_ms += setup_ms
+            clock.cpu_busy_ms += setup_ms
+            copy_ms = cpu.per_sector_copy_ms * count
+            if cpu_overlap:
+                clock.cpu_busy_ms += copy_ms
+            else:
+                clock.now_ms += copy_ms
+                clock.cpu_busy_ms += copy_ms
+        target_cylinder = address // self._spc
+        distance = abs(target_cylinder - self.head_cylinder)
+        if distance:
+            # seek_ms memo-hit inlined; a miss computes (and caches)
+            # through the method, so values stay bit-identical.
+            seek = timing._seek_table.get(distance)
+            if seek is None:
+                seek = timing.seek_ms(distance)
+            clock.now_ms += seek
+            clock.disk_busy_ms += seek
+            stats.seek_ms += seek
+            if distance <= timing.short_seek_cylinders:
+                stats.short_seeks += 1
+            else:
+                stats.seeks += 1
+            self.head_cylinder = target_cylinder
+        # rotational_wait_ms inlined, float op for float op.
+        spt = self._spt
+        target_angle = self._angles[address % spt]
+        rotation = timing.rotation_ms
+        current_angle = (clock.now_ms % rotation) / rotation
+        wait = ((target_angle - current_angle) % 1.0) * rotation
+        clock.now_ms += wait
+        clock.disk_busy_ms += wait
+        stats.rotational_ms += wait
+        if plan is not None:
+            raise SimulatedCrash(f"crash during read of sector {address}")
+        memo = self._xfer_memo
+        time = memo.get(count)
+        if time is None:
+            time = timing.transfer_ms(count, spt)
+            memo[count] = time
+        clock.now_ms += time
+        clock.disk_busy_ms += time
+        stats.transfer_ms += time
+        self.head_cylinder = (address + count - 1) // self._spc
+        if marker is not None:
+            self._trace_end(marker, "read", address, count)
+        stats.reads += 1
+        stats.sectors_read += count
         data = self._data
-        if not self.faults.any_read_faults:
+        # any_read_faults inlined (same truth test, no property frame).
+        if not (faults.damaged or faults.transient or faults.latent):
             # The batched fast path: no fault anywhere can fail a read,
             # so the extent needs no per-sector consult at all.
             if expect_labels is not None:
@@ -215,7 +304,7 @@ class SimDisk:
                         raise LabelCheckError(
                             sector_address, expect_labels[offset], stored
                         )
-            zero = self._zero()
+            zero = self._zero_sector
             return [data.get(a, zero) for a in range(address, address + count)]
         # Faults armed: consult per sector, label checks interleaved in
         # address order exactly as the microcode would hit them.
@@ -252,13 +341,16 @@ class SimDisk:
         count = len(sectors)
         if count == 0:
             raise DiskRangeError("empty write")
-        sector_bytes = self.geometry.sector_bytes
-        for sector in sectors:
-            if len(sector) > sector_bytes:
-                raise DiskRangeError(
-                    f"sector payload of {len(sector)} bytes > "
-                    f"{sector_bytes}"
-                )
+        sector_bytes = self._sector_bytes
+        # max(map(len, ...)) keeps the common all-valid case in C code;
+        # the Python loop only runs to find the offender for the error.
+        if max(map(len, sectors)) > sector_bytes:
+            for sector in sectors:
+                if len(sector) > sector_bytes:
+                    raise DiskRangeError(
+                        f"sector payload of {len(sector)} bytes > "
+                        f"{sector_bytes}"
+                    )
         if expect_labels is not None and len(expect_labels) != count:
             raise DiskRangeError("expect_labels length != sector count")
         if set_labels is not None and len(set_labels) != count:
@@ -295,7 +387,10 @@ class SimDisk:
         # alongside, and a single batched fault consult (a no-op truth
         # test when nothing is armed).
         self._data.update(
-            zip(range(address, address + persist), map(self._pad, sectors))
+            zip(
+                range(address, address + persist),
+                [s.ljust(sector_bytes, b"\x00") for s in sectors],
+            )
         )
         if set_labels is not None:
             labels = self._labels

@@ -71,7 +71,7 @@ LATENESS_BUCKETS = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0)
 DEFAULT_COALESCE_LIMIT = 240
 
 
-@dataclass
+@dataclass(slots=True)
 class IoRequest:
     """One queued write: everything needed to replay it on the disk."""
 

@@ -100,35 +100,38 @@ class SpanLog:
 
     def start(self, name: str, /, **attrs) -> ActiveSpan:
         """Open a span nested under the current top of the stack."""
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        span_id = self._next_id
+        self._next_id = span_id + 1
         span = ActiveSpan(
-            log=self,
-            span_id=self._next_id,
-            parent_id=parent.span_id if parent else None,
-            name=name,
-            depth=len(self._stack),
-            start_ms=self.now(),
-            attrs=attrs,
+            self,
+            span_id,
+            stack[-1].span_id if stack else None,
+            name,
+            len(stack),
+            self.now(),
+            attrs,
         )
-        self._next_id += 1
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def finish(self, span: ActiveSpan) -> None:
         """Close ``span`` (and anything opened inside it)."""
         # Exceptions can unwind several spans at once; close everything
         # above (and including) the finishing span so nesting stays sound.
-        while self._stack:
-            top = self._stack.pop()
-            self.records.append(
+        stack = self._stack
+        records = self.records
+        while stack:
+            top = stack.pop()
+            records.append(
                 SpanRecord(
-                    span_id=top.span_id,
-                    parent_id=top.parent_id,
-                    name=top.name,
-                    depth=top.depth,
-                    start_ms=top.start_ms,
-                    end_ms=self.now(),
-                    attrs=dict(top.attrs),
+                    top.span_id,
+                    top.parent_id,
+                    top.name,
+                    top.depth,
+                    top.start_ms,
+                    self.now(),
+                    dict(top.attrs),
                 )
             )
             if top is span:

@@ -20,54 +20,86 @@ def checksum(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+#: precompiled scalar codecs — ``Struct.pack``/``unpack_from`` avoid
+#: both the per-call format parse and intermediate byte copies.
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+#: sentinel capacity for unbounded packers: one compare per append, no
+#: ``is None`` branch on the hot path.
+_NO_CAP = float("inf")
+
+
 class Packer:
     """Append-only binary writer with fixed-capacity enforcement.
 
     A ``Packer`` refuses to grow past ``capacity`` bytes, which models
     the hard sector/page boundary every on-disk structure must respect.
+    Bytes accumulate in one ``bytearray`` (amortized O(1) appends, no
+    per-field ``bytes`` objects or final join).
     """
 
-    def __init__(self, capacity: int | None = None):
-        self._parts: list[bytes] = []
-        self._size = 0
-        self._capacity = capacity
+    __slots__ = ("_buf", "_capacity", "_cap")
 
-    def _append(self, data: bytes) -> None:
-        if self._capacity is not None and self._size + len(data) > self._capacity:
-            raise ValueError(
-                f"packed structure overflows capacity {self._capacity}"
-            )
-        self._parts.append(data)
-        self._size += len(data)
+    def __init__(self, capacity: int | None = None):
+        self._buf = bytearray()
+        self._capacity = capacity
+        self._cap = _NO_CAP if capacity is None else capacity
+
+    def _overflow(self) -> ValueError:
+        return ValueError(
+            f"packed structure overflows capacity {self._capacity}"
+        )
 
     def u8(self, value: int) -> "Packer":
         """Append an unsigned byte."""
-        self._append(struct.pack("<B", value))
+        buf = self._buf
+        if len(buf) + 1 > self._cap:
+            raise self._overflow()
+        buf += _U8.pack(value)
         return self
 
     def u16(self, value: int) -> "Packer":
         """Append a little-endian unsigned 16-bit integer."""
-        self._append(struct.pack("<H", value))
+        buf = self._buf
+        if len(buf) + 2 > self._cap:
+            raise self._overflow()
+        buf += _U16.pack(value)
         return self
 
     def u32(self, value: int) -> "Packer":
         """Append a little-endian unsigned 32-bit integer."""
-        self._append(struct.pack("<I", value))
+        buf = self._buf
+        if len(buf) + 4 > self._cap:
+            raise self._overflow()
+        buf += _U32.pack(value)
         return self
 
     def u64(self, value: int) -> "Packer":
         """Append a little-endian unsigned 64-bit integer."""
-        self._append(struct.pack("<Q", value))
+        buf = self._buf
+        if len(buf) + 8 > self._cap:
+            raise self._overflow()
+        buf += _U64.pack(value)
         return self
 
     def f64(self, value: float) -> "Packer":
         """Append a little-endian IEEE-754 double."""
-        self._append(struct.pack("<d", value))
+        buf = self._buf
+        if len(buf) + 8 > self._cap:
+            raise self._overflow()
+        buf += _F64.pack(value)
         return self
 
     def raw(self, data: bytes) -> "Packer":
         """Append raw bytes verbatim."""
-        self._append(data)
+        buf = self._buf
+        if len(buf) + len(data) > self._cap:
+            raise self._overflow()
+        buf += data
         return self
 
     def string(self, text: str, max_len: int = 255) -> "Packer":
@@ -75,30 +107,27 @@ class Packer:
         encoded = text.encode("utf-8")
         if len(encoded) > max_len:
             raise ValueError(f"string longer than {max_len} bytes: {text!r}")
-        self.u8(len(encoded))
-        self._append(encoded)
+        buf = self._buf
+        if len(buf) + 1 + len(encoded) > self._cap:
+            raise self._overflow()
+        buf += _U8.pack(len(encoded))
+        buf += encoded
         return self
 
     @property
     def size(self) -> int:
-        return self._size
+        return len(self._buf)
 
     def bytes(self, pad_to: int | None = None) -> bytes:
         """Return the packed bytes, zero-padded to ``pad_to`` if given."""
-        data = b"".join(self._parts)
-        if pad_to is not None:
-            if len(data) > pad_to:
-                raise ValueError(f"packed {len(data)} bytes > pad_to {pad_to}")
-            data = data.ljust(pad_to, b"\x00")
-        return data
-
-
-#: precompiled scalar codecs — ``Struct.unpack_from`` avoids both the
-#: per-call format parse and the intermediate slice of ``_take``.
-_U16 = struct.Struct("<H")
-_U32 = struct.Struct("<I")
-_U64 = struct.Struct("<Q")
-_F64 = struct.Struct("<d")
+        buf = self._buf
+        if pad_to is None:
+            return bytes(buf)
+        if len(buf) > pad_to:
+            raise ValueError(f"packed {len(buf)} bytes > pad_to {pad_to}")
+        out = bytearray(pad_to)
+        out[: len(buf)] = buf
+        return bytes(out)
 
 
 class Unpacker:
@@ -109,29 +138,23 @@ class Unpacker:
     class the software cross-checks use.
     """
 
-    __slots__ = ("_data", "_offset")
+    __slots__ = ("_data", "_offset", "_len")
 
     def __init__(self, data: bytes, offset: int = 0):
         self._data = data
         self._offset = offset
+        self._len = len(data)
 
     def _truncated(self, count: int) -> CorruptMetadata:
         return CorruptMetadata(
             f"truncated structure: wanted {count} bytes at "
-            f"offset {self._offset} of {len(self._data)}"
+            f"offset {self._offset} of {self._len}"
         )
-
-    def _take(self, count: int) -> bytes:
-        if self._offset + count > len(self._data):
-            raise self._truncated(count)
-        chunk = self._data[self._offset:self._offset + count]
-        self._offset += count
-        return chunk
 
     def u8(self) -> int:
         """Read an unsigned byte."""
         offset = self._offset
-        if offset + 1 > len(self._data):
+        if offset + 1 > self._len:
             raise self._truncated(1)
         self._offset = offset + 1
         return self._data[offset]
@@ -139,7 +162,7 @@ class Unpacker:
     def u16(self) -> int:
         """Read a little-endian unsigned 16-bit integer."""
         offset = self._offset
-        if offset + 2 > len(self._data):
+        if offset + 2 > self._len:
             raise self._truncated(2)
         self._offset = offset + 2
         return _U16.unpack_from(self._data, offset)[0]
@@ -147,7 +170,7 @@ class Unpacker:
     def u32(self) -> int:
         """Read a little-endian unsigned 32-bit integer."""
         offset = self._offset
-        if offset + 4 > len(self._data):
+        if offset + 4 > self._len:
             raise self._truncated(4)
         self._offset = offset + 4
         return _U32.unpack_from(self._data, offset)[0]
@@ -155,7 +178,7 @@ class Unpacker:
     def u64(self) -> int:
         """Read a little-endian unsigned 64-bit integer."""
         offset = self._offset
-        if offset + 8 > len(self._data):
+        if offset + 8 > self._len:
             raise self._truncated(8)
         self._offset = offset + 8
         return _U64.unpack_from(self._data, offset)[0]
@@ -163,19 +186,35 @@ class Unpacker:
     def f64(self) -> float:
         """Read a little-endian IEEE-754 double."""
         offset = self._offset
-        if offset + 8 > len(self._data):
+        if offset + 8 > self._len:
             raise self._truncated(8)
         self._offset = offset + 8
         return _F64.unpack_from(self._data, offset)[0]
 
     def raw(self, count: int) -> bytes:
-        """Read ``count`` raw bytes."""
-        return bytes(self._take(count))
+        """Read ``count`` raw bytes.  Always an independent ``bytes``
+        copy, even when the unpacker wraps a ``memoryview`` over a
+        reusable buffer — callers may hold the result indefinitely."""
+        offset = self._offset
+        end = offset + count
+        if end > self._len:
+            raise self._truncated(count)
+        self._offset = end
+        return bytes(self._data[offset:end])
 
     def string(self) -> str:
         """Read a length-prefixed UTF-8 string."""
-        length = self.u8()
-        return self._take(length).decode("utf-8")
+        offset = self._offset
+        if offset + 1 > self._len:
+            raise self._truncated(1)
+        length = self._data[offset]
+        offset += 1
+        end = offset + length
+        if end > self._len:
+            self._offset = offset
+            raise self._truncated(length)
+        self._offset = end
+        return str(self._data[offset:end], "utf-8")
 
     @property
     def offset(self) -> int:
@@ -183,4 +222,4 @@ class Unpacker:
 
     def remaining(self) -> int:
         """Bytes left to read."""
-        return len(self._data) - self._offset
+        return self._len - self._offset

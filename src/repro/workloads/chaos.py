@@ -49,7 +49,6 @@ a bit-identical disk, metrics snapshot, and report.
 
 from __future__ import annotations
 
-import heapq
 import json
 import random
 from dataclasses import dataclass, field, replace
@@ -317,22 +316,11 @@ class ChaosEngine(TrafficEngine):
         self._schedule(due_ms, guarded)
 
     def _loop(self) -> None:
-        clock = self.fs.clock
         while self._heap:
-            due_ms, _, fn = heapq.heappop(self._heap)
-            if due_ms > clock.now_ms:
-                clock.advance_idle(due_ms - clock.now_ms)
             try:
-                fn()
+                self._pump()
             except SimulatedCrash:
                 self._recover()
-                continue
-            if not self._heap and self._parked:
-                try:
-                    self._drain_parked()
-                except SimulatedCrash:
-                    self._recover()
-            clock = self.fs.clock
 
     def _attempt(self, client) -> None:
         if self._volume_lost:
@@ -380,7 +368,7 @@ class ChaosEngine(TrafficEngine):
             self._schedule(
                 clock.now_ms + self.chaos.fault_interval_ms, self._tick
             )
-        clock.fire_due_timers()
+        clock.tick()
         kind = inject_fault(
             self.disk, self.fs.layout, self._leader_addrs,
             self._chaos_rng,

@@ -676,14 +676,19 @@ class TrafficEngine:
     def _loop(self) -> None:
         """Drain the event heap (the chaos engine overrides this to
         catch :class:`~repro.errors.SimulatedCrash` and recover)."""
-        clock = self.fs.clock
         while self._heap:
-            due_ms, _, fn = heapq.heappop(self._heap)
-            if due_ms > clock.now_ms:
-                clock.advance_idle(due_ms - clock.now_ms)
-            fn()
-            if not self._heap and self._parked:
-                self._drain_parked()
+            self._pump()
+
+    def _pump(self) -> None:
+        """Pop one event, advance idle to its due time, run it, and
+        walk parked clients forward when it drained the heap."""
+        clock = self.fs.clock
+        due_ms, _, fn = heapq.heappop(self._heap)
+        if due_ms > clock.now_ms:
+            clock.advance_idle(due_ms - clock.now_ms)
+        fn()
+        if not self._heap and self._parked:
+            self._drain_parked()
 
     def run_serial(self) -> TrafficReport:
         """Execute client 0's script as a plain serial adapter loop —
@@ -746,9 +751,7 @@ class TrafficEngine:
                     raise FsError("no timer and a force freed no "
                                   "parked client")
                 continue
-            if due > clock.now_ms:
-                clock.advance_idle(due - clock.now_ms)
-            clock.fire_due_timers()
+            clock.advance_to(due)
 
     # ------------------------------------------------------------------
     # per-operation flow
@@ -770,7 +773,7 @@ class TrafficEngine:
         # The pre-step every FSD entry point performs; running it here
         # keeps daemon forces at their serial times even while this
         # client is about to block in admission.
-        clock.fire_due_timers()
+        clock.tick()
         self.fs.coordinator.check_pressure()
         if op.kind in MUTATING:
             if self.fs.degraded_reason is not None:

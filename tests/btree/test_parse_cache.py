@@ -1,0 +1,137 @@
+"""Invalidation tests for the B-tree's two-level parse memo.
+
+The tree keeps a per-page identity memo (page_no -> (bytes, template))
+in front of a content-keyed parse memo.  The safety argument is that a
+write drops the identity entry, and a pager that re-reads changed bytes
+hands back a different object — so a stale template can only be reused
+while the page bytes are provably unchanged.  These tests pin that
+contract down: an edit forces a re-derive, a remount starts cold, and
+shared templates are never mutated by the write paths.
+"""
+
+from __future__ import annotations
+
+from repro.btree import BTree, MemoryPager
+from repro.btree.btree import Node
+
+
+def _fill(tree: BTree, count: int = 120) -> None:
+    for index in range(count):
+        tree.insert(f"key-{index:04d}".encode(), b"value" * 3)
+
+
+class TestIdentityHits:
+    def test_repeated_reads_reuse_one_template(self):
+        tree = BTree.create(MemoryPager(page_size=256))
+        _fill(tree)
+        tree.get(b"key-0000")
+        before = dict(tree._page_memo)
+        tree.get(b"key-0000")
+        tree.get(b"key-0000")
+        # Same pages, same bytes objects: the identity memo is stable
+        # and the templates are the very same objects.
+        for page_no, (data, template) in before.items():
+            entry = tree._page_memo.get(page_no)
+            assert entry is not None
+            assert entry[0] is data
+            assert entry[1] is template
+
+    def test_pager_reads_are_never_skipped(self):
+        pager = MemoryPager(page_size=256)
+        tree = BTree.create(pager)
+        _fill(tree)
+        reads_before = pager.reads
+        tree.get(b"key-0000")
+        first_lookup = pager.reads - reads_before
+        tree.get(b"key-0000")
+        second_lookup = pager.reads - reads_before - first_lookup
+        # The memo saves the parse, not the page access: both lookups
+        # charge identical pager reads (one per level).
+        assert first_lookup == tree.depth()
+        assert second_lookup == first_lookup
+
+
+class TestEditInvalidates:
+    def test_write_drops_identity_entry(self):
+        tree = BTree.create(MemoryPager(page_size=256))
+        _fill(tree)
+        tree.get(b"key-0000")
+        touched = set(tree._page_memo)
+        assert touched
+        tree.insert(b"key-0000", b"NEWVALUE")
+        # Every page rewritten by the insert lost its identity entry or
+        # re-derived a template matching the new bytes.
+        value = tree.get(b"key-0000")
+        assert value == b"NEWVALUE"
+
+    def test_edited_page_serves_new_content(self):
+        pager = MemoryPager(page_size=256)
+        tree = BTree.create(pager)
+        tree.insert(b"alpha", b"one")
+        tree.insert(b"beta", b"two")
+        assert tree.get(b"alpha") == b"one"  # template now memoised
+        tree.insert(b"alpha", b"three")  # in-place edit of the leaf
+        assert tree.get(b"alpha") == b"three"
+        assert tree.get(b"beta") == b"two"
+        # The stale pre-edit template must not linger for the page.
+        root_entry = tree._page_memo.get(tree._root)
+        if root_entry is not None:
+            data, template = root_entry
+            assert data is pager.read(tree._root)
+
+    def test_delete_invalidates_like_insert(self):
+        tree = BTree.create(MemoryPager(page_size=256))
+        _fill(tree)
+        assert tree.get(b"key-0042") is not None
+        assert tree.delete(b"key-0042")
+        assert tree.get(b"key-0042") is None
+        tree.check_invariants()
+
+
+class TestRemountStartsCold:
+    def test_reopen_has_empty_memos(self):
+        pager = MemoryPager(page_size=256)
+        tree = BTree.create(pager)
+        _fill(tree)
+        tree.get(b"key-0000")
+        assert tree._page_memo or tree._parse_memo
+
+        reopened = BTree.open(pager)
+        assert reopened._page_memo == {}
+        assert reopened._parse_memo == {}
+        # And the cold tree still reads everything correctly.
+        assert reopened.get(b"key-0000") == b"value" * 3
+        assert len(reopened) == len(tree)
+
+    def test_reopened_tree_sees_pre_remount_edits(self):
+        pager = MemoryPager(page_size=256)
+        tree = BTree.create(pager)
+        _fill(tree)
+        tree.insert(b"key-0001", b"EDITED")
+        reopened = BTree.open(pager)
+        assert reopened.get(b"key-0001") == b"EDITED"
+        assert [k for k, _ in reopened.scan(start=b"key-0000")][0] == b"key-0000"
+
+
+class TestTemplatesAreNeverMutated:
+    def test_mutating_ops_leave_templates_intact(self):
+        """Insert/delete descend on shared templates; the copy-on-write
+        discipline means a template snapshot taken before a burst of
+        edits still matches what its bytes parse to."""
+        tree = BTree.create(MemoryPager(page_size=256))
+        _fill(tree)
+        tree.get(b"key-0000")
+        # Hold the *live* template objects so a later in-place mutation
+        # by any write path would show up against a fresh parse.
+        held = list(tree._parse_memo.items())
+        assert held
+        _fill(tree, 240)  # heavy edit burst: splits, rewrites
+        for index in range(0, 240, 3):
+            tree.delete(f"key-{index:04d}".encode())
+        tree.check_invariants()
+        for data, template in held:
+            fresh = Node.from_bytes(data)
+            assert template.kind == fresh.kind
+            assert template.keys == fresh.keys
+            assert template.values == fresh.values
+            assert template.children == fresh.children

@@ -80,7 +80,7 @@ class TestTimer:
         fs.create_calls = 0
         fs.cache.write_nt(400, b"x" * 512)
         fs.clock.advance_idle(10_000)
-        fs.clock.fire_due_timers()
+        fs.clock.tick()
         assert fs.cache.pending_log_pages() > 0
 
 

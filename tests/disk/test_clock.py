@@ -69,10 +69,10 @@ class TestTimers:
         fired = []
         clock.add_timer(500.0, lambda c: fired.append(c.now_ms))
         clock.advance_idle(499.0)
-        clock.fire_due_timers()
+        clock.tick()
         assert fired == []
         clock.advance_idle(2.0)
-        clock.fire_due_timers()
+        clock.tick()
         assert len(fired) == 1
 
     def test_timer_reschedules(self):
@@ -81,7 +81,7 @@ class TestTimers:
         clock.add_timer(100.0, lambda c: fired.append(c.now_ms))
         for _ in range(5):
             clock.advance_idle(100.0)
-            clock.fire_due_timers()
+            clock.tick()
         assert len(fired) == 5
 
     def test_long_idle_fires_once_per_wakeup(self):
@@ -91,7 +91,7 @@ class TestTimers:
         fired = []
         clock.add_timer(100.0, lambda c: fired.append(c.now_ms))
         clock.advance_idle(1_000.0)
-        assert clock.fire_due_timers() == 1
+        assert clock.tick() == 1
         assert len(fired) == 1
 
     def test_removed_timer_never_fires(self):
@@ -100,7 +100,7 @@ class TestTimers:
         event = clock.add_timer(10.0, lambda c: fired.append(1))
         clock.remove_timer(event)
         clock.advance_idle(100.0)
-        clock.fire_due_timers()
+        clock.tick()
         assert fired == []
 
     def test_multiple_timers_independent(self):
@@ -109,10 +109,10 @@ class TestTimers:
         clock.add_timer(10.0, lambda c: a.append(1), name="a")
         clock.add_timer(25.0, lambda c: b.append(1), name="b")
         clock.advance_idle(12.0)
-        clock.fire_due_timers()
+        clock.tick()
         assert (len(a), len(b)) == (1, 0)
         clock.advance_idle(15.0)
-        clock.fire_due_timers()
+        clock.tick()
         assert (len(a), len(b)) == (2, 1)
 
 

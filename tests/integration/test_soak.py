@@ -66,7 +66,7 @@ def test_soak_mixed_workload_with_crashes(seed):
                 pending[name] = None
         elif roll < 0.97:
             fs.clock.advance_idle(rng.uniform(10, 400))
-            fs.clock.fire_due_timers()
+            fs.clock.tick()
             if rng.random() < 0.3:
                 fs.force()
                 apply_pending()

@@ -1,0 +1,160 @@
+"""Fuzz and aliasing tests for the serialization fast paths.
+
+``Packer``/``Unpacker`` sit under every on-disk format, so the
+precompiled-struct rewrite gets its own property suite: random field
+schedules must round-trip exactly, capacity limits must hold at every
+boundary, and ``Unpacker`` over a ``memoryview`` must never hand out
+slices aliasing the underlying (reusable) buffer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptMetadata
+from repro.serial import Packer, Unpacker, checksum
+
+#: (field kind, value) generators matched to each codec's domain.
+_FIELDS = st.one_of(
+    st.tuples(st.just("u8"), st.integers(0, 0xFF)),
+    st.tuples(st.just("u16"), st.integers(0, 0xFFFF)),
+    st.tuples(st.just("u32"), st.integers(0, 0xFFFFFFFF)),
+    st.tuples(st.just("u64"), st.integers(0, 0xFFFFFFFFFFFFFFFF)),
+    st.tuples(
+        st.just("f64"),
+        st.floats(allow_nan=False, allow_infinity=True, width=64),
+    ),
+    st.tuples(st.just("raw"), st.binary(max_size=64)),
+    st.tuples(
+        st.just("string"),
+        st.text(max_size=60).filter(lambda t: len(t.encode("utf-8")) <= 255),
+    ),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(fields=st.lists(_FIELDS, max_size=30))
+def test_round_trip(fields):
+    """Any pack schedule reads back value-for-value."""
+    packer = Packer()
+    for kind, value in fields:
+        getattr(packer, kind)(value)
+    blob = packer.bytes()
+    assert packer.size == len(blob)
+
+    reader = Unpacker(blob)
+    for kind, value in fields:
+        if kind == "raw":
+            assert reader.raw(len(value)) == value
+        else:
+            assert getattr(reader, kind)() == value
+    assert reader.remaining() == 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(fields=st.lists(_FIELDS, max_size=20), pad=st.integers(0, 64))
+def test_padded_round_trip(fields, pad):
+    """Zero-padding to a sector boundary never disturbs the payload."""
+    packer = Packer()
+    for kind, value in fields:
+        getattr(packer, kind)(value)
+    size = packer.size
+    target = size + pad
+    blob = packer.bytes(pad_to=target)
+    assert len(blob) == target
+    assert blob[size:] == b"\x00" * pad
+    reader = Unpacker(blob)
+    for kind, value in fields:
+        if kind == "raw":
+            assert reader.raw(len(value)) == value
+        else:
+            assert getattr(reader, kind)() == value
+    assert reader.remaining() == pad
+
+
+@settings(max_examples=200, deadline=None)
+@given(fields=st.lists(_FIELDS, min_size=1, max_size=10), cut=st.integers(1, 8))
+def test_truncation_always_raises_corrupt_metadata(fields, cut):
+    """Chopping any tail off a packed blob surfaces as CorruptMetadata,
+    never as a raw struct/index error."""
+    packer = Packer()
+    for kind, value in fields:
+        getattr(packer, kind)(value)
+    blob = packer.bytes()
+    if not blob:
+        return
+    truncated = blob[: -min(cut, len(blob))]
+    reader = Unpacker(truncated)
+    try:
+        for kind, value in fields:
+            if kind == "raw":
+                reader.raw(len(value))
+            else:
+                getattr(reader, kind)()
+    except CorruptMetadata:
+        return
+    pytest.fail("reading a truncated blob did not raise CorruptMetadata")
+
+
+@settings(max_examples=100, deadline=None)
+@given(capacity=st.integers(0, 16), fields=st.lists(_FIELDS, max_size=12))
+def test_capacity_is_enforced_exactly(capacity, fields):
+    """A bounded packer accepts a field iff it fits — no drift between
+    the inf-sentinel fast path and the declared capacity."""
+    packer = Packer(capacity=capacity)
+    for kind, value in fields:
+        before = packer.size
+        try:
+            getattr(packer, kind)(value)
+        except ValueError:
+            assert packer.size == before  # failed appends change nothing
+        else:
+            assert packer.size <= capacity
+    assert len(packer.bytes()) <= capacity
+
+
+class TestMemoryviewAliasing:
+    """Unpacker.raw/string must copy out of reusable buffers."""
+
+    def test_raw_is_independent_of_reused_buffer(self):
+        buffer = bytearray(b"\x05hello-world-payload")
+        reader = Unpacker(memoryview(buffer))
+        first = reader.raw(6)
+        assert first == b"\x05hello"
+        # Simulate the I/O layer reusing the buffer for the next sector.
+        buffer[:] = b"\xff" * len(buffer)
+        assert first == b"\x05hello"
+        assert isinstance(first, bytes)
+
+    def test_string_is_independent_of_reused_buffer(self):
+        payload = "name!7"
+        packed = Packer().string(payload).bytes()
+        buffer = bytearray(packed)
+        reader = Unpacker(memoryview(buffer))
+        text = reader.string()
+        assert text == payload
+        buffer[:] = b"\x00" * len(buffer)
+        assert text == payload
+
+    def test_scalars_from_memoryview_match_bytes(self):
+        packed = (
+            Packer().u8(7).u16(300).u32(70_000).u64(2**40).f64(1.5).bytes()
+        )
+        from_bytes = Unpacker(packed)
+        from_view = Unpacker(memoryview(packed))
+        assert from_view.u8() == from_bytes.u8()
+        assert from_view.u16() == from_bytes.u16()
+        assert from_view.u32() == from_bytes.u32()
+        assert from_view.u64() == from_bytes.u64()
+        assert from_view.f64() == from_bytes.f64()
+        assert from_view.remaining() == from_bytes.remaining() == 0
+
+
+def test_checksum_is_stable_and_32_bit():
+    blob = b"cedar-log-record"
+    value = checksum(blob)
+    assert value == checksum(bytes(blob))
+    assert 0 <= value <= 0xFFFFFFFF
+    assert checksum(blob + b"\x00") != value
